@@ -1,0 +1,42 @@
+// Ablation (google-benchmark): HC4 contraction vs pure branch-and-prune.
+// dReal's performance rests on ICP pruning; this quantifies it per
+// functional on the EC1 query.
+#include <benchmark/benchmark.h>
+
+#include "conditions/conditions.h"
+#include "functionals/functional.h"
+#include "solver/icp.h"
+
+namespace {
+
+using namespace xcv;
+
+void RunSolver(benchmark::State& state, int contraction_rounds) {
+  const auto& f = functionals::PaperFunctionals()[static_cast<std::size_t>(
+      state.range(0))];
+  const auto psi =
+      conditions::BuildCondition(*conditions::FindCondition("EC1"), f);
+  solver::SolverOptions opts;
+  opts.max_nodes = 4000;
+  opts.contraction_rounds = contraction_rounds;
+  solver::DeltaSolver solver(expr::BoolExpr::Not(*psi), opts);
+  const auto domain = conditions::PaperDomain(f);
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    auto result = solver.Check(domain);
+    nodes = result.stats.nodes;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetLabel(f.name);
+}
+
+void BM_WithHc4(benchmark::State& state) { RunSolver(state, 2); }
+BENCHMARK(BM_WithHc4)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_PureBranchAndPrune(benchmark::State& state) { RunSolver(state, 0); }
+BENCHMARK(BM_PureBranchAndPrune)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark): interval primitives, tape
+// evaluation (double and interval), symbolic differentiation, HC4
+// contraction, and one full solver call per functional family.
+#include <benchmark/benchmark.h>
+
+#include "conditions/conditions.h"
+#include "conditions/enhancement.h"
+#include "expr/compile.h"
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+#include "interval/interval.h"
+#include "solver/contractor.h"
+#include "solver/icp.h"
+
+namespace {
+
+using namespace xcv;
+
+void BM_IntervalMul(benchmark::State& state) {
+  Interval a(-1.3, 2.7), b(0.4, 5.1);
+  for (auto _ : state) benchmark::DoNotOptimize(a * b);
+}
+BENCHMARK(BM_IntervalMul);
+
+void BM_IntervalDiv(benchmark::State& state) {
+  Interval a(-1.3, 2.7), b(0.4, 5.1);
+  for (auto _ : state) benchmark::DoNotOptimize(a / b);
+}
+BENCHMARK(BM_IntervalDiv);
+
+void BM_IntervalExpLog(benchmark::State& state) {
+  Interval a(0.3, 2.2);
+  for (auto _ : state) benchmark::DoNotOptimize(Log(Exp(a)));
+}
+BENCHMARK(BM_IntervalExpLog);
+
+void BM_IntervalLambertW(benchmark::State& state) {
+  Interval a(0.1, 7.5);
+  for (auto _ : state) benchmark::DoNotOptimize(LambertW0(a));
+}
+BENCHMARK(BM_IntervalLambertW);
+
+const functionals::Functional& FunctionalByIndex(int i) {
+  return functionals::PaperFunctionals()[static_cast<std::size_t>(i)];
+}
+
+void BM_TapeEvalDouble(benchmark::State& state) {
+  const auto& f = FunctionalByIndex(static_cast<int>(state.range(0)));
+  const auto tape = expr::Compile(f.eps_c);
+  expr::TapeScratch scratch;
+  const double env[3] = {1.3, 0.9, 1.4};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(expr::EvalTape(tape, env, scratch));
+  state.SetLabel(f.name);
+}
+BENCHMARK(BM_TapeEvalDouble)->DenseRange(0, 4);
+
+void BM_TapeEvalInterval(benchmark::State& state) {
+  const auto& f = FunctionalByIndex(static_cast<int>(state.range(0)));
+  const auto tape = expr::Compile(f.eps_c);
+  expr::TapeScratch scratch;
+  const std::vector<Interval> box{Interval(1.0, 1.5), Interval(0.5, 1.0),
+                                  Interval(1.0, 2.0)};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(expr::EvalTapeInterval(tape, box, scratch));
+  state.SetLabel(f.name);
+}
+BENCHMARK(BM_TapeEvalInterval)->DenseRange(0, 4);
+
+void BM_SymbolicDerivative(benchmark::State& state) {
+  const auto& f = FunctionalByIndex(static_cast<int>(state.range(0)));
+  const auto fc = conditions::CorrelationEnhancement(f);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        expr::Differentiate(fc, functionals::VarRs()));
+  state.SetLabel(f.name);
+}
+BENCHMARK(BM_SymbolicDerivative)->DenseRange(0, 4);
+
+void BM_Hc4Contract(benchmark::State& state) {
+  const auto& f = FunctionalByIndex(static_cast<int>(state.range(0)));
+  const auto fc = conditions::CorrelationEnhancement(f);
+  solver::AtomContractor contractor(expr::Neg(fc), expr::Rel::kLe);
+  expr::TapeScratch scratch;
+  for (auto _ : state) {
+    solver::Box box({Interval(0.5, 2.5), Interval(0.5, 2.5),
+                     Interval(0.5, 2.5)});
+    benchmark::DoNotOptimize(contractor.Contract(box, scratch));
+  }
+  state.SetLabel(f.name);
+}
+BENCHMARK(BM_Hc4Contract)->DenseRange(0, 4);
+
+void BM_SolverCallEc1(benchmark::State& state) {
+  const auto& f = FunctionalByIndex(static_cast<int>(state.range(0)));
+  const auto psi = conditions::BuildCondition(
+      *conditions::FindCondition("EC1"), f);
+  solver::SolverOptions opts;
+  opts.max_nodes = 2000;
+  solver::DeltaSolver solver(expr::BoolExpr::Not(*psi), opts);
+  const auto domain = conditions::PaperDomain(f);
+  for (auto _ : state) benchmark::DoNotOptimize(solver.Check(domain));
+  state.SetLabel(f.name + " (2000-node budget)");
+}
+BENCHMARK(BM_SolverCallEc1)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Table II: consistency between the Pederson-Burke grid search and the
+// verifier, per DFA-condition pair (J / J* / ? / −).
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "report/consistency.h"
+#include "report/tables.h"
+
+int main() {
+  using namespace xcv;
+  bench::PrintHeader(
+      "Table II — PB grid search vs verifier consistency",
+      "paper Table II (Section IV-C)");
+
+  const auto v_options = bench::BenchVerifierOptions();
+  const auto pb_options = bench::BenchPbOptions();
+  const auto& functionals = functionals::PaperFunctionals();
+  const auto& conditions = conditions::AllConditions();
+
+  std::vector<std::string> rows, cols;
+  for (const auto& f : functionals) cols.push_back(f.name);
+  std::vector<std::vector<report::Consistency>> cells;
+
+  for (const auto& cond : conditions) {
+    rows.push_back(cond.name);
+    cells.emplace_back();
+    for (const auto& f : functionals) {
+      std::fprintf(stderr, "[table2] %s x %s...\n", cond.short_id.c_str(),
+                   f.name.c_str());
+      const auto pb = gridsearch::RunPbCheck(f, cond, pb_options);
+      const auto run = bench::RunPair(f, cond, v_options);
+      cells.back().push_back(report::Compare(pb, run.report));
+    }
+  }
+
+  std::printf("%s\n", report::RenderTable2(rows, cols, cells).c_str());
+  std::printf(
+      "Paper Table II for comparison:\n"
+      "  EC1: PBE J*  LYP J  AM05 J*  SCAN ?  VWN J*\n"
+      "  EC2: PBE J*  LYP J  AM05 J*  SCAN ?  VWN J*\n"
+      "  EC3: PBE ?   LYP J  AM05 ?   SCAN ?  VWN J*\n"
+      "  EC6: PBE J*  LYP J  AM05 J*  SCAN ?  VWN J*\n"
+      "  EC7: PBE J   LYP J  AM05 J*  SCAN ?  VWN J*\n"
+      "  EC4: PBE J*  LYP −  AM05 ?   SCAN ?  VWN −\n"
+      "  EC5: PBE J*  LYP −  AM05 ?   SCAN ?  VWN −\n");
+  return 0;
+}

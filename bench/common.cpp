@@ -1,0 +1,70 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/stopwatch.h"
+
+namespace xcv::bench {
+
+double EnvOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end != value && parsed > 0.0) ? parsed : fallback;
+}
+
+verifier::VerifierOptions BenchVerifierOptions() {
+  verifier::VerifierOptions o;
+  o.split_threshold = EnvOr("XCV_SPLIT_THRESHOLD", 0.3125);
+  o.solver.max_nodes =
+      static_cast<std::uint64_t>(EnvOr("XCV_SOLVER_NODES", 30'000));
+  o.solver.delta = 1e-3;
+  o.solver.time_budget_seconds = 0.5;
+  o.solver.max_invalid_models = 512;
+  o.total_time_budget_seconds = EnvOr("XCV_PAIR_SECONDS", 10.0);
+  return o;
+}
+
+gridsearch::PbOptions BenchPbOptions() {
+  gridsearch::PbOptions o;
+  const auto n = static_cast<std::size_t>(EnvOr("XCV_PB_GRID", 150));
+  o.n_rs = n;
+  o.n_s = n;
+  o.n_alpha = 9;
+  return o;
+}
+
+PairRun RunPair(const functionals::Functional& f,
+                const conditions::ConditionInfo& cond,
+                const verifier::VerifierOptions& options) {
+  PairRun run;
+  const auto psi = conditions::BuildCondition(cond, f);
+  if (!psi.has_value()) return run;
+  run.applicable = true;
+  Stopwatch watch;
+  verifier::VerifierOptions tuned = options;
+  // LDA pairs are one-dimensional and cheap: spend the budget on precision
+  // (shrinks the inconclusive slivers near rs -> 0, as in the paper's VWN
+  // column).
+  if (f.family == functionals::Family::kLda) tuned.solver.delta = 1e-5;
+  verifier::Verifier v(*psi, tuned);
+  run.report = v.Run(conditions::PaperDomain(f));
+  run.verdict = run.report.Summarize();
+  run.seconds = watch.ElapsedSeconds();
+  return run;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Budget: %.0fs/pair, threshold t=%.4g, %d-node solver calls\n",
+              EnvOr("XCV_PAIR_SECONDS", 10.0),
+              EnvOr("XCV_SPLIT_THRESHOLD", 0.3125),
+              static_cast<int>(EnvOr("XCV_SOLVER_NODES", 30'000)));
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace xcv::bench

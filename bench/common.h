@@ -1,0 +1,49 @@
+// Shared driver for the reproduction benchmarks.
+//
+// Scaling: the paper ran dReal with a 2-hour per-call limit and split down
+// to t = 0.05; a full Table I at that scale is a multi-day run. The bench
+// binaries reproduce the *shape* (verdicts, violation regions, who times
+// out) at a budget that completes in minutes on one core. Environment
+// overrides:
+//   XCV_PAIR_SECONDS     wall-clock budget per DFA-condition pair (def 10)
+//   XCV_SPLIT_THRESHOLD  Algorithm 1 threshold t (default 0.3125)
+//   XCV_SOLVER_NODES     per-solver-call node budget (default 30000)
+//   XCV_PB_GRID          PB baseline grid points per axis (default 150)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "conditions/conditions.h"
+#include "functionals/functional.h"
+#include "gridsearch/pb_checker.h"
+#include "verifier/verifier.h"
+
+namespace xcv::bench {
+
+/// Bench-scale verifier options (env-overridable, see header comment).
+verifier::VerifierOptions BenchVerifierOptions();
+
+/// Bench-scale PB options.
+gridsearch::PbOptions BenchPbOptions();
+
+/// Result of one DFA-condition pair run.
+struct PairRun {
+  bool applicable = false;
+  verifier::Verdict verdict = verifier::Verdict::kNotApplicable;
+  verifier::VerificationReport report;
+  double seconds = 0.0;
+};
+
+/// Runs Algorithm 1 for one pair under the bench budget.
+PairRun RunPair(const functionals::Functional& f,
+                const conditions::ConditionInfo& cond,
+                const verifier::VerifierOptions& options);
+
+/// Reads a positive double from the environment, or returns `fallback`.
+double EnvOr(const char* name, double fallback);
+
+/// Banner line used by all bench binaries.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace xcv::bench

@@ -1,0 +1,69 @@
+// Verifying your own functional: define a DFA in XCLang (the textual
+// front-end standing in for the paper's Maple-sourced encoder), attach it
+// to the conditions layer, and verify exact conditions against it.
+//
+// The example defines a "Wigner-like" correlation functional with a
+// deliberately broken gradient enhancement, and shows the verifier both
+// proving the good part and catching the planted violation.
+#include <cstdio>
+
+#include "conditions/conditions.h"
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+#include "lang/parser.h"
+#include "report/ascii_plot.h"
+#include "verifier/verifier.h"
+
+int main() {
+  using namespace xcv;
+
+  // A correlation functional written as XCLang source. The gradient factor
+  // (1 - s^2/20) flips the sign of eps_c beyond s = sqrt(20) ~ 4.47 — a
+  // planted Ec-non-positivity violation in the domain corner.
+  const char* source = R"(
+    # Wigner-style correlation with a (deliberately broken) gradient factor
+    let a = 0.044;
+    let b = 7.8;
+    def eps_wigner(r) = 0 - a / (b + r);
+    eps_wigner(rs) * (1 - s^2 / 20)
+  )";
+
+  lang::Bindings bindings{{"rs", functionals::VarRs()},
+                          {"s", functionals::VarS()}};
+  functionals::Functional custom;
+  custom.name = "WIGNER_BROKEN";
+  custom.family = functionals::Family::kGga;
+  custom.design = functionals::Design::kEmpirical;
+  custom.eps_c = lang::ParseProgram(source, bindings);
+  custom.num_inputs = 2;
+
+  std::printf("Custom functional '%s' parsed from XCLang (%zu ops).\n\n",
+              custom.name.c_str(), expr::OpCountTree(custom.eps_c));
+
+  verifier::VerifierOptions options;
+  options.split_threshold = 0.3125;
+  options.solver.max_nodes = 30'000;
+  options.solver.time_budget_seconds = 0.5;
+  options.total_time_budget_seconds = 10.0;
+
+  for (const char* cid : {"EC1", "EC2", "EC7"}) {
+    const auto& cond = *conditions::FindCondition(cid);
+    const auto psi = conditions::BuildCondition(cond, custom);
+    verifier::Verifier v(*psi, options);
+    const auto domain = conditions::PaperDomain(custom);
+    const auto report = v.Run(domain);
+    std::printf("--- %s: %s ---\n", cid,
+                verifier::VerdictName(report.Summarize()).c_str());
+    if (!report.witnesses.empty()) {
+      const auto& w = report.witnesses.front();
+      std::printf("first witness: rs=%.4f s=%.4f\n", w[0], w[1]);
+    }
+    if (cid == std::string("EC1"))
+      std::printf("%s", report::PlotRegions(report, domain).c_str());
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected: EC1 is violated near s = 5 (the planted defect); the\n"
+      "verifier isolates that corner and verifies the rest.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: verify one exact condition for one functional.
+//
+// Checks the Ec non-positivity condition (EC1) for the PBE functional over
+// the paper's input domain and prints the verdict, the region partition,
+// and an ASCII map. Runs in a few seconds.
+#include <cstdio>
+
+#include "conditions/conditions.h"
+#include "functionals/functional.h"
+#include "report/ascii_plot.h"
+#include "verifier/verifier.h"
+
+int main() {
+  using namespace xcv;
+
+  // 1. Pick a functional and a condition from the registries.
+  const functionals::Functional& pbe = *functionals::FindFunctional("PBE");
+  const conditions::ConditionInfo& ec1 =
+      *conditions::FindCondition("EC1");
+  std::printf("Functional: %s (%s, %s)\n", pbe.name.c_str(),
+              functionals::FamilyName(pbe.family).c_str(),
+              functionals::DesignName(pbe.design).c_str());
+  std::printf("Condition:  %s\n\n", ec1.name.c_str());
+
+  // 2. Encode the local condition ψ for this functional (the XCEncoder
+  // step: enhancement factors, symbolic derivatives, limits).
+  const expr::BoolExpr psi = *conditions::BuildCondition(ec1, pbe);
+
+  // 3. Run Algorithm 1 under a small budget.
+  verifier::VerifierOptions options;
+  options.split_threshold = 0.3125;      // paper uses t = 0.05
+  options.solver.max_nodes = 30'000;     // per-call budget
+  options.solver.time_budget_seconds = 0.5;
+  options.total_time_budget_seconds = 8.0;
+  verifier::Verifier verifier(psi, options);
+  const solver::Box domain = conditions::PaperDomain(pbe);
+  const verifier::VerificationReport report = verifier.Run(domain);
+
+  // 4. Inspect the result.
+  std::printf("Verdict: %s (%s)\n",
+              verifier::VerdictSymbol(report.Summarize()).c_str(),
+              verifier::VerdictName(report.Summarize()).c_str());
+  using verifier::RegionStatus;
+  std::printf("Verified %.1f%%, counterexample %.1f%%, inconclusive %.1f%%, "
+              "timeout %.1f%% of the domain volume\n",
+              100 * report.VolumeFraction(RegionStatus::kVerified),
+              100 * report.VolumeFraction(RegionStatus::kCounterexample),
+              100 * report.VolumeFraction(RegionStatus::kInconclusive),
+              100 * report.VolumeFraction(RegionStatus::kTimeout));
+  std::printf("%llu solver calls, %zu leaf regions, %.2f s\n\n",
+              static_cast<unsigned long long>(report.solver_calls),
+              report.leaves.size(), report.seconds);
+  std::printf("%s", report::PlotRegions(report, domain).c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "conditions/conditions.h"
+
+#include "conditions/enhancement.h"
+#include "functionals/variables.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace xcv::conditions {
+
+using expr::BoolExpr;
+using expr::Expr;
+using functionals::Functional;
+
+const std::vector<ConditionInfo>& AllConditions() {
+  static const std::vector<ConditionInfo>* conditions =
+      new std::vector<ConditionInfo>{
+          {ConditionId::kEcNonPositivity, "EC1",
+           "Ec non-positivity (Equation 4)", /*needs_exchange=*/false,
+           /*derivative_order=*/0},
+          {ConditionId::kEcScalingInequality, "EC2",
+           "Ec scaling inequality (Equation 5)", false, 1},
+          {ConditionId::kUcMonotonicity, "EC3",
+           "Uc monotonicity (Equation 6)", false, 2},
+          {ConditionId::kTcUpperBound, "EC6",
+           "Tc upper bound (Equation 9)", false, 1},
+          {ConditionId::kConjecturedTcBound, "EC7",
+           "Conjectured Tc upper bound (Equation 10)", false, 1},
+          {ConditionId::kLiebOxfordBound, "EC4",
+           "LO bound (Equation 7)", true, 1},
+          {ConditionId::kLiebOxfordExtension, "EC5",
+           "LO extension to Exc (Equation 8)", true, 0},
+      };
+  return *conditions;
+}
+
+const ConditionInfo* FindCondition(const std::string& short_id) {
+  const std::string key = ToLower(short_id);
+  for (const ConditionInfo& c : AllConditions())
+    if (ToLower(c.short_id) == key) return &c;
+  return nullptr;
+}
+
+bool Applies(const ConditionInfo& cond, const Functional& f) {
+  if (!f.HasCorrelation()) return false;  // every condition involves F_c
+  if (cond.needs_exchange && !f.HasExchange()) return false;
+  return true;
+}
+
+std::optional<BoolExpr> BuildCondition(const ConditionInfo& cond,
+                                       const Functional& f) {
+  if (!Applies(cond, f)) return std::nullopt;
+  const Expr rs = functionals::VarRs();
+  const Expr zero = Expr::Constant(0.0);
+  const Expr clo = Expr::Constant(kLiebOxford);
+
+  switch (cond.id) {
+    case ConditionId::kEcNonPositivity:
+      // F_c ≥ 0  (Eq. 4).
+      return BoolExpr::Ge(CorrelationEnhancement(f), zero);
+    case ConditionId::kEcScalingInequality:
+      // ∂F_c/∂rs ≥ 0  (Eq. 5).
+      return BoolExpr::Ge(DFcDrs(f), zero);
+    case ConditionId::kUcMonotonicity: {
+      // ∂²F_c/∂rs² ≥ -(2/rs) ∂F_c/∂rs  (Eq. 6), multiplied through by
+      // rs > 0:  rs ∂²F_c/∂rs² + 2 ∂F_c/∂rs ≥ 0.
+      const Expr lhs =
+          rs * D2FcDrs2(f) + 2.0 * DFcDrs(f);
+      return BoolExpr::Ge(lhs, zero);
+    }
+    case ConditionId::kLiebOxfordBound:
+      // F_xc + rs ∂F_c/∂rs ≤ C_LO  (Eq. 7).
+      return BoolExpr::Le(XcEnhancement(f) + rs * DFcDrs(f), clo);
+    case ConditionId::kLiebOxfordExtension:
+      // F_xc ≤ C_LO  (Eq. 8).
+      return BoolExpr::Le(XcEnhancement(f), clo);
+    case ConditionId::kTcUpperBound: {
+      // ∂F_c/∂rs ≤ (F_c(∞) - F_c)/rs  (Eq. 9), times rs > 0.
+      const Expr lhs = rs * DFcDrs(f);
+      const Expr rhs = FcAtInfinity(f) - CorrelationEnhancement(f);
+      return BoolExpr::Le(lhs, rhs);
+    }
+    case ConditionId::kConjecturedTcBound: {
+      // ∂F_c/∂rs ≤ F_c/rs  (Eq. 10), times rs > 0.
+      return BoolExpr::Le(rs * DFcDrs(f), CorrelationEnhancement(f));
+    }
+  }
+  XCV_CHECK_MSG(false, "unhandled condition id");
+  return std::nullopt;
+}
+
+solver::Box PaperDomain(const Functional& f) {
+  std::vector<Interval> dims;
+  dims.emplace_back(1e-4, 5.0);                       // rs
+  if (f.num_inputs >= 2) dims.emplace_back(0.0, 5.0);  // s
+  if (f.num_inputs >= 3) dims.emplace_back(0.0, 5.0);  // alpha
+  return solver::Box(std::move(dims));
+}
+
+}  // namespace xcv::conditions

@@ -1,0 +1,73 @@
+// The seven DFT exact conditions of the paper's §II, as local conditions ψ
+// on the enhancement factors (paper Eqs. 4–10):
+//
+//   EC1  Ec non-positivity          F_c ≥ 0
+//   EC2  Ec scaling inequality      ∂F_c/∂rs ≥ 0
+//   EC3  Uc(λ) monotonicity         ∂²F_c/∂rs² ≥ -(2/rs) ∂F_c/∂rs
+//   EC4  Lieb-Oxford bound          F_xc + rs ∂F_c/∂rs ≤ C_LO
+//   EC5  LO extension to Exc        F_xc ≤ C_LO
+//   EC6  Tc upper bound             ∂F_c/∂rs ≤ (F_c(∞) - F_c)/rs
+//   EC7  conjectured Tc bound       ∂F_c/∂rs ≤ F_c/rs
+//
+// with C_LO = 2.27 and F_c(∞) ≈ F_c|rs=100 (following Pederson & Burke).
+// Conditions involving division by rs are encoded multiplied through by
+// rs — equivalent on the verification domain rs > 0 and far friendlier to
+// interval arithmetic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/bool_expr.h"
+#include "functionals/functional.h"
+#include "interval/interval.h"
+#include "solver/box.h"
+
+namespace xcv::conditions {
+
+/// The Lieb-Oxford constant used by the paper (following [28]).
+inline constexpr double kLiebOxford = 2.27;
+
+enum class ConditionId {
+  kEcNonPositivity,      // EC1
+  kEcScalingInequality,  // EC2
+  kUcMonotonicity,       // EC3
+  kLiebOxfordBound,      // EC4
+  kLiebOxfordExtension,  // EC5
+  kTcUpperBound,         // EC6
+  kConjecturedTcBound,   // EC7
+};
+
+struct ConditionInfo {
+  ConditionId id;
+  std::string short_id;      // "EC1"
+  std::string name;          // "Ec non-positivity (Equation 4)"
+  bool needs_exchange;       // LO conditions need an exchange part too
+  /// Highest rs-derivative of F_c the encoding computes symbolically.
+  int derivative_order;
+};
+
+/// All seven conditions in paper order (Table I row order).
+const std::vector<ConditionInfo>& AllConditions();
+
+/// Lookup by short id ("EC1".."EC7", case-insensitive); nullptr if unknown.
+const ConditionInfo* FindCondition(const std::string& short_id);
+
+/// True if `cond` applies to `f` (Table I's "−" entries are the
+/// non-applicable pairs: LO conditions on correlation-only functionals).
+bool Applies(const ConditionInfo& cond, const functionals::Functional& f);
+
+/// Builds the local-condition formula ψ for the given DFA. This is the
+/// XCEncoder step: enhancement factors from the functional's symbolic form,
+/// derivatives computed symbolically, limits substituted. Returns nullopt
+/// if the condition does not apply.
+std::optional<expr::BoolExpr> BuildCondition(
+    const ConditionInfo& cond, const functionals::Functional& f);
+
+/// The verification domain used by the paper (from Pederson & Burke):
+/// rs ∈ [1e-4, 5]; s ∈ [0, 5] for GGAs; α ∈ [0, 5] for meta-GGAs.
+/// LDA functionals get the rs interval only.
+solver::Box PaperDomain(const functionals::Functional& f);
+
+}  // namespace xcv::conditions

@@ -1,0 +1,40 @@
+#include "conditions/enhancement.h"
+
+#include "functionals/variables.h"
+#include "support/check.h"
+
+namespace xcv::conditions {
+
+using expr::Expr;
+using functionals::Functional;
+
+Expr CorrelationEnhancement(const Functional& f) {
+  XCV_CHECK_MSG(f.HasCorrelation(),
+                "'" << f.name << "' has no correlation part");
+  return expr::Div(f.eps_c, functionals::EpsXUnif());
+}
+
+Expr ExchangeEnhancement(const Functional& f) {
+  XCV_CHECK_MSG(f.HasExchange(), "'" << f.name << "' has no exchange part");
+  return expr::Div(f.eps_x, functionals::EpsXUnif());
+}
+
+Expr XcEnhancement(const Functional& f) {
+  return expr::Add(ExchangeEnhancement(f), CorrelationEnhancement(f));
+}
+
+Expr DFcDrs(const Functional& f) {
+  return expr::Differentiate(CorrelationEnhancement(f),
+                             functionals::VarRs());
+}
+
+Expr D2FcDrs2(const Functional& f) {
+  return expr::Differentiate(DFcDrs(f), functionals::VarRs());
+}
+
+Expr FcAtInfinity(const Functional& f) {
+  return expr::Substitute(CorrelationEnhancement(f), functionals::VarRs(),
+                          Expr::Constant(100.0));
+}
+
+}  // namespace xcv::conditions

@@ -1,0 +1,34 @@
+// Exchange/correlation enhancement factors (the paper's Eq. 2):
+//
+//   F_xc[n] = F_x + F_c = ε̃_xc / ε_x^unif
+//
+// with ε_x^unif the uniform-gas exchange energy per particle. Since
+// ε_x^unif < 0 for all rs > 0, F_c ≥ 0 iff ε̃_c ≤ 0 — which is how EC1's two
+// equivalent phrasings (Eqs. 3 and 4) relate.
+#pragma once
+
+#include "expr/expr.h"
+#include "functionals/functional.h"
+
+namespace xcv::conditions {
+
+/// F_c = ε̃_c / ε_x^unif. Requires the functional to have correlation.
+expr::Expr CorrelationEnhancement(const functionals::Functional& f);
+
+/// F_x = ε̃_x / ε_x^unif. Requires the functional to have exchange.
+expr::Expr ExchangeEnhancement(const functionals::Functional& f);
+
+/// F_xc = F_x + F_c. Requires both parts.
+expr::Expr XcEnhancement(const functionals::Functional& f);
+
+/// ∂F_c/∂rs, computed symbolically.
+expr::Expr DFcDrs(const functionals::Functional& f);
+
+/// ∂²F_c/∂rs², computed symbolically.
+expr::Expr D2FcDrs2(const functionals::Functional& f);
+
+/// F_c(∞) ≈ F_c|rs=100 — the paper's finite surrogate for the rs → ∞ limit
+/// (following Pederson & Burke). A function of s (and α) only.
+expr::Expr FcAtInfinity(const functionals::Functional& f);
+
+}  // namespace xcv::conditions

@@ -1,0 +1,258 @@
+#include "expr/bool_expr.h"
+
+#include <unordered_set>
+
+#include "expr/eval.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+class BoolNode {
+ public:
+  BoolExpr::Kind kind = BoolExpr::Kind::kTrue;
+  Expr atom;          // kAtom
+  Rel rel = Rel::kLe; // kAtom
+  std::vector<BoolExpr> children;  // kAnd/kOr
+};
+
+BoolExpr::Kind BoolExpr::kind() const { return node_->kind; }
+
+const Expr& BoolExpr::atom() const {
+  XCV_CHECK(node_->kind == Kind::kAtom);
+  return node_->atom;
+}
+
+Rel BoolExpr::rel() const {
+  XCV_CHECK(node_->kind == Kind::kAtom);
+  return node_->rel;
+}
+
+const std::vector<BoolExpr>& BoolExpr::children() const {
+  XCV_CHECK(node_->kind == Kind::kAnd || node_->kind == Kind::kOr);
+  return node_->children;
+}
+
+namespace {
+BoolExpr MakeNode(std::shared_ptr<const BoolNode> n) {
+  return BoolExpr(std::move(n));
+}
+}  // namespace
+
+BoolExpr BoolExpr::True() {
+  auto n = std::make_shared<BoolNode>();
+  n->kind = Kind::kTrue;
+  return MakeNode(std::move(n));
+}
+
+BoolExpr BoolExpr::False() {
+  auto n = std::make_shared<BoolNode>();
+  n->kind = Kind::kFalse;
+  return MakeNode(std::move(n));
+}
+
+BoolExpr BoolExpr::Atom(Expr e, Rel rel) {
+  XCV_CHECK(!e.IsNull());
+  if (e.IsConstant()) {
+    const double v = e.ConstantValue();
+    const bool truth = rel == Rel::kLe ? v <= 0.0 : v < 0.0;
+    return truth ? True() : False();
+  }
+  auto n = std::make_shared<BoolNode>();
+  n->kind = Kind::kAtom;
+  n->atom = std::move(e);
+  n->rel = rel;
+  return MakeNode(std::move(n));
+}
+
+BoolExpr BoolExpr::Le(const Expr& a, const Expr& b) {
+  return Atom(Sub(a, b), Rel::kLe);
+}
+BoolExpr BoolExpr::Lt(const Expr& a, const Expr& b) {
+  return Atom(Sub(a, b), Rel::kLt);
+}
+BoolExpr BoolExpr::Ge(const Expr& a, const Expr& b) { return Le(b, a); }
+BoolExpr BoolExpr::Gt(const Expr& a, const Expr& b) { return Lt(b, a); }
+
+BoolExpr BoolExpr::And(std::vector<BoolExpr> conjuncts) {
+  std::vector<BoolExpr> flat;
+  for (const BoolExpr& c : conjuncts) {
+    XCV_CHECK(!c.IsNull());
+    switch (c.kind()) {
+      case Kind::kTrue: break;
+      case Kind::kFalse: return False();
+      case Kind::kAnd:
+        for (const BoolExpr& g : c.children()) flat.push_back(g);
+        break;
+      default: flat.push_back(c);
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  auto n = std::make_shared<BoolNode>();
+  n->kind = Kind::kAnd;
+  n->children = std::move(flat);
+  return MakeNode(std::move(n));
+}
+
+BoolExpr BoolExpr::Or(std::vector<BoolExpr> disjuncts) {
+  std::vector<BoolExpr> flat;
+  for (const BoolExpr& c : disjuncts) {
+    XCV_CHECK(!c.IsNull());
+    switch (c.kind()) {
+      case Kind::kFalse: break;
+      case Kind::kTrue: return True();
+      case Kind::kOr:
+        for (const BoolExpr& g : c.children()) flat.push_back(g);
+        break;
+      default: flat.push_back(c);
+    }
+  }
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  auto n = std::make_shared<BoolNode>();
+  n->kind = Kind::kOr;
+  n->children = std::move(flat);
+  return MakeNode(std::move(n));
+}
+
+BoolExpr BoolExpr::Not(const BoolExpr& b) {
+  XCV_CHECK(!b.IsNull());
+  switch (b.kind()) {
+    case Kind::kTrue: return False();
+    case Kind::kFalse: return True();
+    case Kind::kAtom:
+      // ¬(e ≤ 0) == -e < 0;  ¬(e < 0) == -e ≤ 0.
+      return Atom(Neg(b.atom()), b.rel() == Rel::kLe ? Rel::kLt : Rel::kLe);
+    case Kind::kAnd: {
+      std::vector<BoolExpr> neg;
+      neg.reserve(b.children().size());
+      for (const BoolExpr& c : b.children()) neg.push_back(Not(c));
+      return Or(std::move(neg));
+    }
+    case Kind::kOr: {
+      std::vector<BoolExpr> neg;
+      neg.reserve(b.children().size());
+      for (const BoolExpr& c : b.children()) neg.push_back(Not(c));
+      return And(std::move(neg));
+    }
+  }
+  XCV_CHECK_MSG(false, "unhandled kind in Not");
+  return BoolExpr();
+}
+
+std::string BoolExpr::ToString() const {
+  if (IsNull()) return "<null>";
+  switch (kind()) {
+    case Kind::kTrue: return "true";
+    case Kind::kFalse: return "false";
+    case Kind::kAtom:
+      return "(" + atom().ToString() + (rel() == Rel::kLe ? " <= 0" : " < 0") +
+             ")";
+    case Kind::kAnd: {
+      std::string s = "(and";
+      for (const BoolExpr& c : children()) s += " " + c.ToString();
+      return s + ")";
+    }
+    case Kind::kOr: {
+      std::string s = "(or";
+      for (const BoolExpr& c : children()) s += " " + c.ToString();
+      return s + ")";
+    }
+  }
+  return "<?>";
+}
+
+bool EvalBoolWithSlack(const BoolExpr& b, std::span<const double> env,
+                       double slack) {
+  XCV_CHECK(!b.IsNull());
+  switch (b.kind()) {
+    case BoolExpr::Kind::kTrue: return true;
+    case BoolExpr::Kind::kFalse: return false;
+    case BoolExpr::Kind::kAtom: {
+      const double v = EvalDouble(b.atom(), env);
+      // NaN fails both comparisons — an out-of-domain point satisfies no
+      // atom, matching dReal's semantics on undefined terms.
+      return b.rel() == Rel::kLe ? v <= slack : v < slack;
+    }
+    case BoolExpr::Kind::kAnd:
+      for (const BoolExpr& c : b.children())
+        if (!EvalBoolWithSlack(c, env, slack)) return false;
+      return true;
+    case BoolExpr::Kind::kOr:
+      for (const BoolExpr& c : b.children())
+        if (EvalBoolWithSlack(c, env, slack)) return true;
+      return false;
+  }
+  XCV_CHECK_MSG(false, "unhandled kind in EvalBool");
+  return false;
+}
+
+bool EvalBool(const BoolExpr& b, std::span<const double> env) {
+  return EvalBoolWithSlack(b, env, 0.0);
+}
+
+bool CertainlyTrue(const BoolExpr& b, std::span<const Interval> box) {
+  XCV_CHECK(!b.IsNull());
+  switch (b.kind()) {
+    case BoolExpr::Kind::kTrue: return true;
+    case BoolExpr::Kind::kFalse: return false;
+    case BoolExpr::Kind::kAtom: {
+      const Interval v = EvalInterval(b.atom(), box);
+      if (v.IsEmpty()) return false;  // nowhere defined — cannot certify
+      return b.rel() == Rel::kLe ? v.hi() <= 0.0 : v.hi() < 0.0;
+    }
+    case BoolExpr::Kind::kAnd:
+      for (const BoolExpr& c : b.children())
+        if (!CertainlyTrue(c, box)) return false;
+      return true;
+    case BoolExpr::Kind::kOr:
+      for (const BoolExpr& c : b.children())
+        if (CertainlyTrue(c, box)) return true;
+      return false;
+  }
+  return false;
+}
+
+bool CertainlyFalse(const BoolExpr& b, std::span<const Interval> box) {
+  XCV_CHECK(!b.IsNull());
+  switch (b.kind()) {
+    case BoolExpr::Kind::kTrue: return false;
+    case BoolExpr::Kind::kFalse: return true;
+    case BoolExpr::Kind::kAtom: {
+      const Interval v = EvalInterval(b.atom(), box);
+      if (v.IsEmpty()) return false;
+      return b.rel() == Rel::kLe ? v.lo() > 0.0 : v.lo() >= 0.0;
+    }
+    case BoolExpr::Kind::kAnd:
+      for (const BoolExpr& c : b.children())
+        if (CertainlyFalse(c, box)) return true;
+      return false;
+    case BoolExpr::Kind::kOr:
+      for (const BoolExpr& c : b.children())
+        if (!CertainlyFalse(c, box)) return false;
+      return true;
+  }
+  return false;
+}
+
+std::vector<BoolExpr> CollectAtoms(const BoolExpr& b) {
+  XCV_CHECK(!b.IsNull());
+  std::vector<BoolExpr> atoms;
+  auto walk = [&](auto&& self, const BoolExpr& x) -> void {
+    switch (x.kind()) {
+      case BoolExpr::Kind::kAtom:
+        atoms.push_back(x);
+        return;
+      case BoolExpr::Kind::kAnd:
+      case BoolExpr::Kind::kOr:
+        for (const BoolExpr& c : x.children()) self(self, c);
+        return;
+      default:
+        return;
+    }
+  };
+  walk(walk, b);
+  return atoms;
+}
+
+}  // namespace xcv::expr

@@ -1,0 +1,254 @@
+// Smart constructors: local simplification at build time.
+//
+// The rewrites here are value-preserving over the reals on the expression's
+// natural domain (no rewrites like (a^p)^q → a^{pq} that change domains),
+// because the solver's soundness depends on the built expression denoting
+// the same function the caller wrote down.
+#include <algorithm>
+#include <cmath>
+
+#include "expr/expr.h"
+#include "expr/intern.h"
+#include "interval/lambert_w.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+namespace {
+
+Expr MakeNode(Op op, std::vector<Expr> children, Rel rel = Rel::kLe) {
+  return NodeInterner::Instance().Intern(op, rel, 0.0, -1, "",
+                                         std::move(children));
+}
+
+bool IsConst(const Expr& e, double v) {
+  return e.IsConstant() && e.ConstantValue() == v;
+}
+
+// Canonical child order for commutative n-ary ops: constants first, then by
+// interned id. Improves hash-consing hit rate.
+void SortCommutative(std::vector<Expr>& children) {
+  std::stable_sort(children.begin(), children.end(),
+                   [](const Expr& a, const Expr& b) {
+                     if (a.IsConstant() != b.IsConstant())
+                       return a.IsConstant();
+                     return a.id() < b.id();
+                   });
+}
+
+}  // namespace
+
+Expr Add(std::vector<Expr> terms) {
+  std::vector<Expr> flat;
+  double const_sum = 0.0;
+  bool has_const = false;
+  for (const Expr& t : terms) {
+    XCV_CHECK_MSG(!t.IsNull(), "null term in Add");
+    if (t.op() == Op::kAdd) {
+      for (const Expr& c : t.node().children()) {
+        if (c.IsConstant()) {
+          const_sum += c.ConstantValue();
+          has_const = true;
+        } else {
+          flat.push_back(c);
+        }
+      }
+    } else if (t.IsConstant()) {
+      const_sum += t.ConstantValue();
+      has_const = true;
+    } else {
+      flat.push_back(t);
+    }
+  }
+  if (has_const && const_sum != 0.0)
+    flat.push_back(Expr::Constant(const_sum));
+  if (flat.empty()) return Expr::Constant(0.0);
+  if (flat.size() == 1) return flat[0];
+  SortCommutative(flat);
+  return MakeNode(Op::kAdd, std::move(flat));
+}
+
+Expr Add(const Expr& a, const Expr& b) { return Add(std::vector<Expr>{a, b}); }
+
+Expr Sub(const Expr& a, const Expr& b) { return Add(a, Neg(b)); }
+
+Expr Mul(std::vector<Expr> factors) {
+  std::vector<Expr> flat;
+  double const_prod = 1.0;
+  bool has_const = false;
+  for (const Expr& f : factors) {
+    XCV_CHECK_MSG(!f.IsNull(), "null factor in Mul");
+    if (f.op() == Op::kMul) {
+      for (const Expr& c : f.node().children()) {
+        if (c.IsConstant()) {
+          const_prod *= c.ConstantValue();
+          has_const = true;
+        } else {
+          flat.push_back(c);
+        }
+      }
+    } else if (f.IsConstant()) {
+      const_prod *= f.ConstantValue();
+      has_const = true;
+    } else {
+      flat.push_back(f);
+    }
+  }
+  if (has_const && const_prod == 0.0) return Expr::Constant(0.0);
+  if (has_const && const_prod != 1.0)
+    flat.push_back(Expr::Constant(const_prod));
+  if (flat.empty()) return Expr::Constant(1.0);
+  if (flat.size() == 1) return flat[0];
+  SortCommutative(flat);
+  return MakeNode(Op::kMul, std::move(flat));
+}
+
+Expr Mul(const Expr& a, const Expr& b) { return Mul(std::vector<Expr>{a, b}); }
+
+Expr Neg(const Expr& a) {
+  if (a.IsConstant()) return Expr::Constant(-a.ConstantValue());
+  return Mul(Expr::Constant(-1.0), a);
+}
+
+Expr Div(const Expr& a, const Expr& b) {
+  XCV_CHECK(!a.IsNull() && !b.IsNull());
+  if (a.IsConstant() && b.IsConstant() && b.ConstantValue() != 0.0)
+    return Expr::Constant(a.ConstantValue() / b.ConstantValue());
+  if (IsConst(b, 1.0)) return a;
+  if (IsConst(b, -1.0)) return Neg(a);
+  if (IsConst(a, 0.0)) return a;  // 0/b == 0 wherever b != 0
+  return MakeNode(Op::kDiv, {a, b});
+}
+
+Expr Pow(const Expr& a, const Expr& b) {
+  XCV_CHECK(!a.IsNull() && !b.IsNull());
+  if (b.IsConstant()) {
+    const double p = b.ConstantValue();
+    if (p == 0.0) return Expr::Constant(1.0);
+    if (p == 1.0) return a;
+    if (a.IsConstant()) return Expr::Constant(std::pow(a.ConstantValue(), p));
+  }
+  return MakeNode(Op::kPow, {a, b});
+}
+
+Expr Pow(const Expr& a, double b) { return Pow(a, Expr::Constant(b)); }
+
+Expr Min(const Expr& a, const Expr& b) {
+  if (a == b) return a;
+  if (a.IsConstant() && b.IsConstant())
+    return Expr::Constant(std::fmin(a.ConstantValue(), b.ConstantValue()));
+  return MakeNode(Op::kMin, {a, b});
+}
+
+Expr Max(const Expr& a, const Expr& b) {
+  if (a == b) return a;
+  if (a.IsConstant() && b.IsConstant())
+    return Expr::Constant(std::fmax(a.ConstantValue(), b.ConstantValue()));
+  return MakeNode(Op::kMax, {a, b});
+}
+
+namespace {
+template <typename F>
+Expr Unary(Op op, const Expr& a, F fold) {
+  XCV_CHECK(!a.IsNull());
+  if (a.IsConstant()) return Expr::Constant(fold(a.ConstantValue()));
+  return MakeNode(op, {a});
+}
+}  // namespace
+
+Expr ExpE(const Expr& a) {
+  return Unary(Op::kExp, a, [](double v) { return std::exp(v); });
+}
+
+Expr LogE(const Expr& a) {
+  if (a.op() == Op::kExp) return a.node().children()[0];  // log(exp x) == x
+  return Unary(Op::kLog, a, [](double v) { return std::log(v); });
+}
+
+Expr SqrtE(const Expr& a) {
+  return Unary(Op::kSqrt, a, [](double v) { return std::sqrt(v); });
+}
+
+Expr CbrtE(const Expr& a) {
+  return Unary(Op::kCbrt, a, [](double v) { return std::cbrt(v); });
+}
+
+Expr SinE(const Expr& a) {
+  return Unary(Op::kSin, a, [](double v) { return std::sin(v); });
+}
+
+Expr CosE(const Expr& a) {
+  return Unary(Op::kCos, a, [](double v) { return std::cos(v); });
+}
+
+Expr AtanE(const Expr& a) {
+  return Unary(Op::kAtan, a, [](double v) { return std::atan(v); });
+}
+
+Expr TanhE(const Expr& a) {
+  return Unary(Op::kTanh, a, [](double v) { return std::tanh(v); });
+}
+
+Expr AbsE(const Expr& a) {
+  return Unary(Op::kAbs, a, [](double v) { return std::fabs(v); });
+}
+
+Expr LambertW0E(const Expr& a) {
+  return Unary(Op::kLambertW, a, [](double v) { return LambertW0(v); });
+}
+
+Expr Ite(const Expr& lhs, Rel rel, const Expr& rhs, const Expr& t,
+         const Expr& f) {
+  XCV_CHECK(!lhs.IsNull() && !rhs.IsNull() && !t.IsNull() && !f.IsNull());
+  if (t == f) return t;
+  if (lhs.IsConstant() && rhs.IsConstant()) {
+    const double l = lhs.ConstantValue(), r = rhs.ConstantValue();
+    const bool cond = rel == Rel::kLe ? l <= r : l < r;
+    return cond ? t : f;
+  }
+  return NodeInterner::Instance().Intern(Op::kIte, rel, 0.0, -1, "",
+                                         {lhs, rhs, t, f});
+}
+
+std::string OpName(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kVar: return "var";
+    case Op::kAdd: return "add";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kPow: return "pow";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kNeg: return "neg";
+    case Op::kExp: return "exp";
+    case Op::kLog: return "log";
+    case Op::kSqrt: return "sqrt";
+    case Op::kCbrt: return "cbrt";
+    case Op::kSin: return "sin";
+    case Op::kCos: return "cos";
+    case Op::kAtan: return "atan";
+    case Op::kTanh: return "tanh";
+    case Op::kAbs: return "abs";
+    case Op::kLambertW: return "lambertw";
+    case Op::kIte: return "ite";
+  }
+  return "unknown";
+}
+
+bool IsTranscendental(Op op) {
+  switch (op) {
+    case Op::kExp:
+    case Op::kLog:
+    case Op::kSin:
+    case Op::kCos:
+    case Op::kAtan:
+    case Op::kTanh:
+    case Op::kLambertW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace xcv::expr

@@ -1,0 +1,190 @@
+#include "expr/compile.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "interval/lambert_w.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+namespace {
+
+class Compiler {
+ public:
+  Tape Run(const Expr& root) {
+    Visit(root);
+    for (auto& [index, slot] : var_slots_)
+      tape_.num_env_slots = std::max(tape_.num_env_slots, index + 1);
+    tape_.var_slot.assign(static_cast<std::size_t>(tape_.num_env_slots), -1);
+    for (auto& [index, slot] : var_slots_)
+      tape_.var_slot[static_cast<std::size_t>(index)] = slot;
+    return std::move(tape_);
+  }
+
+ private:
+  std::int32_t Visit(const Expr& e) {
+    auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+
+    const Node& n = e.node();
+    const auto& ch = n.children();
+    // Children first (topological order).
+    std::vector<std::int32_t> slots;
+    slots.reserve(ch.size());
+    for (const Expr& c : ch) slots.push_back(Visit(c));
+
+    Instr instr;
+    instr.op = n.op();
+    instr.rel = n.rel();
+    instr.value = n.value();
+    instr.var = n.var_index();
+    if (slots.size() > 0) instr.a = slots[0];
+    if (slots.size() > 1) instr.b = slots[1];
+    if (slots.size() > 2) instr.c = slots[2];
+    if (slots.size() > 3) instr.d = slots[3];
+    // kAdd/kMul may have arbitrary arity; kIte uses exactly a..d.
+    if ((n.op() == Op::kAdd || n.op() == Op::kMul) && slots.size() > 2)
+      instr.rest.assign(slots.begin() + 2, slots.end());
+
+    const auto slot = static_cast<std::int32_t>(tape_.instrs.size());
+    tape_.instrs.push_back(std::move(instr));
+    memo_.emplace(e.id(), slot);
+    if (n.op() == Op::kVar) var_slots_[n.var_index()] = slot;
+    return slot;
+  }
+
+  Tape tape_;
+  std::unordered_map<std::uint32_t, std::int32_t> memo_;
+  std::unordered_map<int, std::int32_t> var_slots_;
+};
+
+}  // namespace
+
+Tape Compile(const Expr& e) {
+  XCV_CHECK(!e.IsNull());
+  return Compiler().Run(e);
+}
+
+double EvalTape(const Tape& tape, std::span<const double> env,
+                TapeScratch& scratch) {
+  auto& v = scratch.values;
+  v.resize(tape.size());
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    const Instr& ins = tape.instrs[i];
+    switch (ins.op) {
+      case Op::kConst:
+        v[i] = ins.value;
+        break;
+      case Op::kVar:
+        XCV_CHECK_MSG(ins.var >= 0 &&
+                          static_cast<std::size_t>(ins.var) < env.size(),
+                      "tape variable index " << ins.var
+                                             << " outside environment");
+        v[i] = env[static_cast<std::size_t>(ins.var)];
+        break;
+      case Op::kAdd: {
+        double s = v[ins.a] + v[ins.b];
+        for (auto r : ins.rest) s += v[r];
+        v[i] = s;
+        break;
+      }
+      case Op::kMul: {
+        double p = v[ins.a] * v[ins.b];
+        for (auto r : ins.rest) p *= v[r];
+        v[i] = p;
+        break;
+      }
+      case Op::kDiv: v[i] = v[ins.a] / v[ins.b]; break;
+      case Op::kPow: v[i] = std::pow(v[ins.a], v[ins.b]); break;
+      case Op::kMin: v[i] = std::fmin(v[ins.a], v[ins.b]); break;
+      case Op::kMax: v[i] = std::fmax(v[ins.a], v[ins.b]); break;
+      case Op::kNeg: v[i] = -v[ins.a]; break;
+      case Op::kExp: v[i] = std::exp(v[ins.a]); break;
+      case Op::kLog: v[i] = std::log(v[ins.a]); break;
+      case Op::kSqrt: v[i] = std::sqrt(v[ins.a]); break;
+      case Op::kCbrt: v[i] = std::cbrt(v[ins.a]); break;
+      case Op::kSin: v[i] = std::sin(v[ins.a]); break;
+      case Op::kCos: v[i] = std::cos(v[ins.a]); break;
+      case Op::kAtan: v[i] = std::atan(v[ins.a]); break;
+      case Op::kTanh: v[i] = std::tanh(v[ins.a]); break;
+      case Op::kAbs: v[i] = std::fabs(v[ins.a]); break;
+      case Op::kLambertW: v[i] = LambertW0(v[ins.a]); break;
+      case Op::kIte: {
+        const bool cond = ins.rel == Rel::kLe ? v[ins.a] <= v[ins.b]
+                                              : v[ins.a] < v[ins.b];
+        v[i] = cond ? v[ins.c] : v[ins.d];
+        break;
+      }
+    }
+  }
+  return v.back();
+}
+
+Interval EvalTapeIntervalForward(const Tape& tape,
+                                 std::span<const Interval> box,
+                                 TapeScratch& scratch) {
+  auto& v = scratch.intervals;
+  v.assign(tape.size(), Interval::Empty());
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    const Instr& ins = tape.instrs[i];
+    switch (ins.op) {
+      case Op::kConst:
+        v[i] = Interval(ins.value);
+        break;
+      case Op::kVar:
+        XCV_CHECK_MSG(ins.var >= 0 &&
+                          static_cast<std::size_t>(ins.var) < box.size(),
+                      "tape variable index " << ins.var << " outside box");
+        v[i] = box[static_cast<std::size_t>(ins.var)];
+        break;
+      case Op::kAdd: {
+        Interval s = v[ins.a] + v[ins.b];
+        for (auto r : ins.rest) s = s + v[r];
+        v[i] = s;
+        break;
+      }
+      case Op::kMul: {
+        Interval p = v[ins.a] * v[ins.b];
+        for (auto r : ins.rest) p = p * v[r];
+        v[i] = p;
+        break;
+      }
+      case Op::kDiv: v[i] = v[ins.a] / v[ins.b]; break;
+      case Op::kPow: v[i] = Pow(v[ins.a], v[ins.b]); break;
+      case Op::kMin: v[i] = Min(v[ins.a], v[ins.b]); break;
+      case Op::kMax: v[i] = Max(v[ins.a], v[ins.b]); break;
+      case Op::kNeg: v[i] = -v[ins.a]; break;
+      case Op::kExp: v[i] = Exp(v[ins.a]); break;
+      case Op::kLog: v[i] = Log(v[ins.a]); break;
+      case Op::kSqrt: v[i] = Sqrt(v[ins.a]); break;
+      case Op::kCbrt: v[i] = Cbrt(v[ins.a]); break;
+      case Op::kSin: v[i] = Sin(v[ins.a]); break;
+      case Op::kCos: v[i] = Cos(v[ins.a]); break;
+      case Op::kAtan: v[i] = Atan(v[ins.a]); break;
+      case Op::kTanh: v[i] = Tanh(v[ins.a]); break;
+      case Op::kAbs: v[i] = Abs(v[ins.a]); break;
+      case Op::kLambertW: v[i] = LambertW0(v[ins.a]); break;
+      case Op::kIte: {
+        const Interval l = v[ins.a], r = v[ins.b];
+        const bool can_true =
+            ins.rel == Rel::kLe ? PossiblyLe(l, r) : PossiblyLt(l, r);
+        const bool can_false =
+            ins.rel == Rel::kLe ? PossiblyLt(r, l) : PossiblyLe(r, l);
+        Interval out = Interval::Empty();
+        if (can_true) out = out.Hull(v[ins.c]);
+        if (can_false) out = out.Hull(v[ins.d]);
+        v[i] = out;
+        break;
+      }
+    }
+  }
+  return v.back();
+}
+
+Interval EvalTapeInterval(const Tape& tape, std::span<const Interval> box,
+                          TapeScratch& scratch) {
+  return EvalTapeIntervalForward(tape, box, scratch);
+}
+
+}  // namespace xcv::expr

@@ -1,0 +1,68 @@
+// Tape compilation: flattens an expression DAG into SSA-style instructions
+// in topological order.
+//
+// The tape is the solver's working representation. Forward interval
+// evaluation fills one slot per instruction; the HC4-revise contractor then
+// walks the tape backward, narrowing child slots from parent slots. Repeated
+// double evaluation (PB grid baseline) also runs on the tape to avoid
+// hash-map memoization per point.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "expr/expr.h"
+#include "interval/interval.h"
+
+namespace xcv::expr {
+
+/// One instruction; operands a..d are slot indices of earlier instructions
+/// (-1 when unused). The instruction's own result lives in the slot with the
+/// instruction's index.
+struct Instr {
+  Op op = Op::kConst;
+  Rel rel = Rel::kLe;       // kIte only
+  double value = 0.0;       // kConst payload
+  int var = -1;             // kVar payload: environment index
+  std::int32_t a = -1, b = -1, c = -1, d = -1;
+  /// Extra operands for n-ary add/mul beyond the first two (slot indices).
+  std::vector<std::int32_t> rest;
+};
+
+/// A compiled expression. Immutable after Compile().
+struct Tape {
+  std::vector<Instr> instrs;   // topological order; root is the last slot
+  int num_env_slots = 0;       // max variable index + 1
+  std::vector<std::int32_t> var_slot;  // var index -> slot, -1 if absent
+
+  int root() const { return static_cast<int>(instrs.size()) - 1; }
+  std::size_t size() const { return instrs.size(); }
+};
+
+/// Compiles `e` into a tape. Each distinct DAG node becomes exactly one
+/// instruction.
+Tape Compile(const Expr& e);
+
+/// Scratch buffers reusable across evaluations (avoids reallocation in hot
+/// loops).
+struct TapeScratch {
+  std::vector<double> values;
+  std::vector<Interval> intervals;
+};
+
+/// Double evaluation of the tape at `env`. Resizes `scratch` as needed.
+double EvalTape(const Tape& tape, std::span<const double> env,
+                TapeScratch& scratch);
+
+/// Sound interval evaluation of the tape over `box`.
+Interval EvalTapeInterval(const Tape& tape, std::span<const Interval> box,
+                          TapeScratch& scratch);
+
+/// Interval evaluation that leaves the per-slot enclosures in
+/// `scratch.intervals` (the forward phase of HC4-revise).
+Interval EvalTapeIntervalForward(const Tape& tape,
+                                 std::span<const Interval> box,
+                                 TapeScratch& scratch);
+
+}  // namespace xcv::expr

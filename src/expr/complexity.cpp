@@ -1,0 +1,115 @@
+// Structural metrics used to reproduce the paper's complexity claims
+// (§I: "over 300 operations" for PBE correlation, "over 1000" for SCAN).
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "expr/expr.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+namespace {
+
+constexpr std::uint64_t kCountCap = std::numeric_limits<std::uint64_t>::max() / 4;
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  return std::min(kCountCap, a + std::min(kCountCap, b));
+}
+
+void CollectNodes(const Expr& e, std::unordered_set<std::uint32_t>& seen,
+                  std::vector<const Node*>& nodes) {
+  if (!seen.insert(e.id()).second) return;
+  nodes.push_back(e.get());
+  for (const Expr& c : e.node().children()) CollectNodes(c, seen, nodes);
+}
+
+}  // namespace
+
+std::size_t OpCountDag(const Expr& e) {
+  XCV_CHECK(!e.IsNull());
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<const Node*> nodes;
+  CollectNodes(e, seen, nodes);
+  std::size_t ops = 0;
+  for (const Node* n : nodes) {
+    if (n->op() == Op::kConst || n->op() == Op::kVar) continue;
+    // n-ary sums/products count as (arity - 1) binary operations, matching
+    // what generated scalar code would contain.
+    if (n->op() == Op::kAdd || n->op() == Op::kMul)
+      ops += n->children().size() - 1;
+    else
+      ++ops;
+  }
+  return ops;
+}
+
+std::size_t OpCountTree(const Expr& e) {
+  XCV_CHECK(!e.IsNull());
+  std::unordered_map<std::uint32_t, std::uint64_t> memo;
+  // Recursive with memo: count of fully expanded tree.
+  auto count = [&](auto&& self, const Expr& x) -> std::uint64_t {
+    auto it = memo.find(x.id());
+    if (it != memo.end()) return it->second;
+    const Node& n = x.node();
+    std::uint64_t c = 0;
+    if (n.op() != Op::kConst && n.op() != Op::kVar) {
+      c = (n.op() == Op::kAdd || n.op() == Op::kMul)
+              ? n.children().size() - 1
+              : 1;
+      for (const Expr& ch : n.children())
+        c = SaturatingAdd(c, self(self, ch));
+    }
+    memo.emplace(x.id(), c);
+    return c;
+  };
+  std::uint64_t total = count(count, e);
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total, std::numeric_limits<std::size_t>::max()));
+}
+
+std::size_t Depth(const Expr& e) {
+  XCV_CHECK(!e.IsNull());
+  std::unordered_map<std::uint32_t, std::size_t> memo;
+  auto depth = [&](auto&& self, const Expr& x) -> std::size_t {
+    auto it = memo.find(x.id());
+    if (it != memo.end()) return it->second;
+    std::size_t d = 0;
+    for (const Expr& c : x.node().children())
+      d = std::max(d, self(self, c));
+    d += 1;
+    memo.emplace(x.id(), d);
+    return d;
+  };
+  return depth(depth, e);
+}
+
+std::vector<Expr> FreeVariables(const Expr& e) {
+  XCV_CHECK(!e.IsNull());
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<const Node*> nodes;
+  CollectNodes(e, seen, nodes);
+  std::map<int, Expr> by_index;
+  for (const Node* n : nodes)
+    if (n->op() == Op::kVar)
+      by_index.emplace(n->var_index(),
+                       Expr::Variable(n->var_name(), n->var_index()));
+  std::vector<Expr> vars;
+  vars.reserve(by_index.size());
+  for (auto& [idx, v] : by_index) vars.push_back(v);
+  return vars;
+}
+
+bool HasTranscendental(const Expr& e) {
+  XCV_CHECK(!e.IsNull());
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<const Node*> nodes;
+  CollectNodes(e, seen, nodes);
+  for (const Node* n : nodes)
+    if (IsTranscendental(n->op())) return true;
+  return false;
+}
+
+}  // namespace xcv::expr

@@ -1,0 +1,101 @@
+#include "expr/eval.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "interval/lambert_w.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+namespace {
+
+class DoubleEvaluator {
+ public:
+  explicit DoubleEvaluator(std::span<const double> env) : env_(env) {}
+
+  double Eval(const Expr& e) {
+    auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+    double v = Compute(e);
+    memo_.emplace(e.id(), v);
+    return v;
+  }
+
+ private:
+  double Compute(const Expr& e) {
+    const Node& n = e.node();
+    const auto& ch = n.children();
+    switch (n.op()) {
+      case Op::kConst:
+        return n.value();
+      case Op::kVar:
+        XCV_CHECK_MSG(n.var_index() >= 0 &&
+                          static_cast<std::size_t>(n.var_index()) < env_.size(),
+                      "variable '" << n.var_name() << "' (index "
+                                   << n.var_index()
+                                   << ") outside environment of size "
+                                   << env_.size());
+        return env_[static_cast<std::size_t>(n.var_index())];
+      case Op::kAdd: {
+        double s = 0.0;
+        for (const Expr& c : ch) s += Eval(c);
+        return s;
+      }
+      case Op::kMul: {
+        double p = 1.0;
+        for (const Expr& c : ch) p *= Eval(c);
+        return p;
+      }
+      case Op::kDiv:
+        return Eval(ch[0]) / Eval(ch[1]);
+      case Op::kPow:
+        return std::pow(Eval(ch[0]), Eval(ch[1]));
+      case Op::kMin:
+        return std::fmin(Eval(ch[0]), Eval(ch[1]));
+      case Op::kMax:
+        return std::fmax(Eval(ch[0]), Eval(ch[1]));
+      case Op::kNeg:
+        return -Eval(ch[0]);
+      case Op::kExp:
+        return std::exp(Eval(ch[0]));
+      case Op::kLog:
+        return std::log(Eval(ch[0]));
+      case Op::kSqrt:
+        return std::sqrt(Eval(ch[0]));
+      case Op::kCbrt:
+        return std::cbrt(Eval(ch[0]));
+      case Op::kSin:
+        return std::sin(Eval(ch[0]));
+      case Op::kCos:
+        return std::cos(Eval(ch[0]));
+      case Op::kAtan:
+        return std::atan(Eval(ch[0]));
+      case Op::kTanh:
+        return std::tanh(Eval(ch[0]));
+      case Op::kAbs:
+        return std::fabs(Eval(ch[0]));
+      case Op::kLambertW:
+        return LambertW0(Eval(ch[0]));
+      case Op::kIte: {
+        const double l = Eval(ch[0]), r = Eval(ch[1]);
+        const bool cond = n.rel() == Rel::kLe ? l <= r : l < r;
+        return cond ? Eval(ch[2]) : Eval(ch[3]);
+      }
+    }
+    XCV_CHECK_MSG(false, "unhandled op in EvalDouble");
+    return 0.0;
+  }
+
+  std::span<const double> env_;
+  std::unordered_map<std::uint32_t, double> memo_;
+};
+
+}  // namespace
+
+double EvalDouble(const Expr& e, std::span<const double> env) {
+  XCV_CHECK(!e.IsNull());
+  return DoubleEvaluator(env).Eval(e);
+}
+
+}  // namespace xcv::expr

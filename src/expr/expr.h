@@ -1,0 +1,150 @@
+// Immutable, hash-consed symbolic expressions.
+//
+// Expr is a value type wrapping a shared pointer to an interned Node.
+// Structural identity implies pointer identity (hash-consing), which keeps
+// DAGs compact: SCAN's correlation energy and its second derivative share
+// enormous subtrees. Every Node carries a process-unique id used as a memo
+// key by the evaluators, the differentiator, and the tape compiler.
+//
+// Construction goes through smart factories that apply cheap local
+// simplifications (constant folding, neutral/absorbing elements, add/mul
+// flattening), so clients can write formulas naturally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/op.h"
+
+namespace xcv::expr {
+
+class Node;
+
+/// Handle to an interned expression node. Cheap to copy; equality is
+/// structural (== pointer identity thanks to hash-consing).
+class Expr {
+ public:
+  /// Null handle; most APIs reject it. Use the factories below.
+  Expr() = default;
+
+  bool IsNull() const { return node_ == nullptr; }
+  const Node& node() const { return *node_; }
+  const Node* get() const { return node_.get(); }
+
+  /// Process-unique id of the interned node.
+  std::uint32_t id() const;
+
+  Op op() const;
+  bool IsConstant() const;
+  bool IsVariable() const;
+  /// Constant value; requires IsConstant().
+  double ConstantValue() const;
+
+  bool operator==(const Expr& other) const { return node_ == other.node_; }
+  bool operator!=(const Expr& other) const { return node_ != other.node_; }
+
+  /// Human-readable infix form.
+  std::string ToString() const;
+
+  // ---- Leaf factories ----
+  static Expr Constant(double v);
+  /// Variable with evaluation-environment slot `index` (>= 0).
+  static Expr Variable(const std::string& name, int index);
+
+ private:
+  friend class NodeInterner;
+  explicit Expr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+/// Interned DAG node. Immutable after construction.
+class Node {
+ public:
+  Op op() const { return op_; }
+  Rel rel() const { return rel_; }
+  double value() const { return value_; }
+  int var_index() const { return var_index_; }
+  const std::string& var_name() const { return var_name_; }
+  const std::vector<Expr>& children() const { return children_; }
+  std::uint32_t id() const { return id_; }
+
+ private:
+  friend class NodeInterner;
+  Op op_ = Op::kConst;
+  Rel rel_ = Rel::kLe;       // meaningful for kIte only
+  double value_ = 0.0;       // kConst payload
+  int var_index_ = -1;       // kVar payload
+  std::string var_name_;     // kVar payload
+  std::vector<Expr> children_;
+  std::uint32_t id_ = 0;
+};
+
+// ---- Smart constructors (builder.cpp) ---------------------------------------
+
+Expr Add(std::vector<Expr> terms);
+Expr Add(const Expr& a, const Expr& b);
+Expr Sub(const Expr& a, const Expr& b);
+Expr Mul(std::vector<Expr> factors);
+Expr Mul(const Expr& a, const Expr& b);
+Expr Div(const Expr& a, const Expr& b);
+Expr Neg(const Expr& a);
+/// a^b. Constant exponents fold through the usual identities.
+Expr Pow(const Expr& a, const Expr& b);
+Expr Pow(const Expr& a, double b);
+Expr Min(const Expr& a, const Expr& b);
+Expr Max(const Expr& a, const Expr& b);
+Expr ExpE(const Expr& a);
+Expr LogE(const Expr& a);
+Expr SqrtE(const Expr& a);
+Expr CbrtE(const Expr& a);
+Expr SinE(const Expr& a);
+Expr CosE(const Expr& a);
+Expr AtanE(const Expr& a);
+Expr TanhE(const Expr& a);
+Expr AbsE(const Expr& a);
+Expr LambertW0E(const Expr& a);
+/// if (lhs rel rhs) then t else f.
+Expr Ite(const Expr& lhs, Rel rel, const Expr& rhs, const Expr& t,
+         const Expr& f);
+
+// Operator sugar.
+inline Expr operator+(const Expr& a, const Expr& b) { return Add(a, b); }
+inline Expr operator-(const Expr& a, const Expr& b) { return Sub(a, b); }
+inline Expr operator*(const Expr& a, const Expr& b) { return Mul(a, b); }
+inline Expr operator/(const Expr& a, const Expr& b) { return Div(a, b); }
+inline Expr operator-(const Expr& a) { return Neg(a); }
+inline Expr operator+(const Expr& a, double b) { return Add(a, Expr::Constant(b)); }
+inline Expr operator-(const Expr& a, double b) { return Sub(a, Expr::Constant(b)); }
+inline Expr operator*(const Expr& a, double b) { return Mul(a, Expr::Constant(b)); }
+inline Expr operator/(const Expr& a, double b) { return Div(a, Expr::Constant(b)); }
+inline Expr operator+(double a, const Expr& b) { return Add(Expr::Constant(a), b); }
+inline Expr operator-(double a, const Expr& b) { return Sub(Expr::Constant(a), b); }
+inline Expr operator*(double a, const Expr& b) { return Mul(Expr::Constant(a), b); }
+inline Expr operator/(double a, const Expr& b) { return Div(Expr::Constant(a), b); }
+
+// ---- Analyses ----------------------------------------------------------------
+
+/// d expr / d var, computed symbolically on the DAG (derivative.cpp).
+/// `var` must be a kVar expression. kIte differentiates branch-wise; kAbs
+/// uses sign(x)·x' away from 0 (the conditions never differentiate |·| at 0).
+Expr Differentiate(const Expr& e, const Expr& var);
+
+/// Replaces every occurrence of variable `var` by `replacement`.
+Expr Substitute(const Expr& e, const Expr& var, const Expr& replacement);
+
+/// Number of non-leaf operations in the DAG, counted per distinct node
+/// (shared subexpressions count once) — the paper's "operation count".
+std::size_t OpCountDag(const Expr& e);
+/// Operation count of the fully expanded tree (shared nodes counted each
+/// time they appear). This matches counting ops in generated code.
+std::size_t OpCountTree(const Expr& e);
+/// Longest root-to-leaf path.
+std::size_t Depth(const Expr& e);
+/// Distinct variables appearing in `e`, sorted by index.
+std::vector<Expr> FreeVariables(const Expr& e);
+/// True if any transcendental op appears.
+bool HasTranscendental(const Expr& e);
+
+}  // namespace xcv::expr

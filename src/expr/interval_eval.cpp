@@ -1,0 +1,103 @@
+#include <unordered_map>
+
+#include "expr/eval.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+namespace {
+
+class IntervalEvaluator {
+ public:
+  explicit IntervalEvaluator(std::span<const Interval> box) : box_(box) {}
+
+  Interval Eval(const Expr& e) {
+    auto it = memo_.find(e.id());
+    if (it != memo_.end()) return it->second;
+    Interval v = Compute(e);
+    memo_.emplace(e.id(), v);
+    return v;
+  }
+
+ private:
+  Interval Compute(const Expr& e) {
+    const Node& n = e.node();
+    const auto& ch = n.children();
+    switch (n.op()) {
+      case Op::kConst:
+        return Interval(n.value());
+      case Op::kVar:
+        XCV_CHECK_MSG(n.var_index() >= 0 &&
+                          static_cast<std::size_t>(n.var_index()) < box_.size(),
+                      "variable '" << n.var_name() << "' (index "
+                                   << n.var_index() << ") outside box of size "
+                                   << box_.size());
+        return box_[static_cast<std::size_t>(n.var_index())];
+      case Op::kAdd: {
+        Interval s(0.0);
+        for (const Expr& c : ch) s = s + Eval(c);
+        return s;
+      }
+      case Op::kMul: {
+        Interval p(1.0);
+        for (const Expr& c : ch) p = p * Eval(c);
+        return p;
+      }
+      case Op::kDiv:
+        return Eval(ch[0]) / Eval(ch[1]);
+      case Op::kPow:
+        return Pow(Eval(ch[0]), Eval(ch[1]));
+      case Op::kMin:
+        return Min(Eval(ch[0]), Eval(ch[1]));
+      case Op::kMax:
+        return Max(Eval(ch[0]), Eval(ch[1]));
+      case Op::kNeg:
+        return -Eval(ch[0]);
+      case Op::kExp:
+        return Exp(Eval(ch[0]));
+      case Op::kLog:
+        return Log(Eval(ch[0]));
+      case Op::kSqrt:
+        return Sqrt(Eval(ch[0]));
+      case Op::kCbrt:
+        return Cbrt(Eval(ch[0]));
+      case Op::kSin:
+        return Sin(Eval(ch[0]));
+      case Op::kCos:
+        return Cos(Eval(ch[0]));
+      case Op::kAtan:
+        return Atan(Eval(ch[0]));
+      case Op::kTanh:
+        return Tanh(Eval(ch[0]));
+      case Op::kAbs:
+        return Abs(Eval(ch[0]));
+      case Op::kLambertW:
+        return LambertW0(Eval(ch[0]));
+      case Op::kIte: {
+        const Interval l = Eval(ch[0]), r = Eval(ch[1]);
+        const bool can_true =
+            n.rel() == Rel::kLe ? PossiblyLe(l, r) : PossiblyLt(l, r);
+        const bool can_false =
+            n.rel() == Rel::kLe ? PossiblyLt(r, l) : PossiblyLe(r, l);
+        Interval out = Interval::Empty();
+        if (can_true) out = out.Hull(Eval(ch[2]));
+        if (can_false) out = out.Hull(Eval(ch[3]));
+        return out;
+      }
+    }
+    XCV_CHECK_MSG(false, "unhandled op in EvalInterval");
+    return Interval::Empty();
+  }
+
+  std::span<const Interval> box_;
+  std::unordered_map<std::uint32_t, Interval> memo_;
+};
+
+}  // namespace
+
+Interval EvalInterval(const Expr& e, std::span<const Interval> box) {
+  XCV_CHECK(!e.IsNull());
+  return IntervalEvaluator(box).Eval(e);
+}
+
+}  // namespace xcv::expr

@@ -1,0 +1,68 @@
+// AM05: Armiento & Mattsson, PRB 72, 085108 (2005). A non-empirical GGA
+// that interpolates between the uniform gas (interior) and the Airy gas
+// (surface) regimes. The Airy-gas "local Airy approximation" factor uses
+// the Lambert W function — the reason three AM05 conditions time out in the
+// paper's evaluation (Table I).
+#include <cmath>
+
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+
+namespace xcv::functionals {
+
+using expr::Expr;
+
+namespace {
+
+// Regime interpolation X(s) = 1/(1 + α s²), shared by exchange and
+// correlation.
+Expr InterpolationX() {
+  const double alpha = 2.804;
+  const Expr s = VarS();
+  return 1.0 / (1.0 + alpha * s * s);
+}
+
+Expr Am05EpsX() {
+  const double c = 0.7168;
+  const double D = 28.23705740248932;  // Airy-gas fit constant
+
+  const Expr s = VarS();
+  // ξ(s) = ( (3/2) W0( s^{3/2} / (2√6) ) )^{2/3}
+  const Expr w_arg = expr::Pow(s, 1.5) / (2.0 * std::sqrt(6.0));
+  const Expr csi =
+      expr::Pow(1.5 * expr::LambertW0E(w_arg), 2.0 / 3.0);
+  // F_b(s) = (π/3) s / ( ξ (D + ξ²)^{1/4} )
+  const Expr fb = (M_PI / 3.0) * s /
+                  (csi * expr::Pow(Expr::Constant(D) + csi * csi, 0.25));
+  // F_LAA(s) = (1 + c s²) / (1 + c s² / F_b). The raw form is 0/0 at s = 0
+  // (like the LibXC implementation, which screens small gradients); the
+  // limit is 1, so guard the axis with an explicit branch.
+  const Expr flaa_raw = (1.0 + c * s * s) / (1.0 + c * s * s / fb);
+  const Expr flaa = expr::Ite(s, expr::Rel::kLe, Expr::Constant(1e-12),
+                              Expr::Constant(1.0), flaa_raw);
+  const Expr X = InterpolationX();
+  const Expr fx = X + (1.0 - X) * flaa;
+  return EpsXUnif() * fx;
+}
+
+Expr Am05EpsC() {
+  // ε_c = ε_c^PW92(rs) [ X(s) + γ (1 - X(s)) ],  γ = 0.8098.
+  const double gamma = 0.8098;
+  const Expr X = InterpolationX();
+  return EpsCPw92() * (X + gamma * (1.0 - X));
+}
+
+}  // namespace
+
+Functional MakeAm05() {
+  Functional f;
+  f.name = "AM05";
+  f.family = Family::kGga;
+  f.design = Design::kNonEmpirical;
+  f.eps_x = Am05EpsX();
+  f.eps_c = Am05EpsC();
+  f.num_inputs = 2;
+  return f;
+}
+
+}  // namespace xcv::functionals

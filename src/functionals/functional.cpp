@@ -1,0 +1,54 @@
+#include "functionals/functional.h"
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace xcv::functionals {
+
+std::string FamilyName(Family family) {
+  switch (family) {
+    case Family::kLda: return "LDA";
+    case Family::kGga: return "GGA";
+    case Family::kMetaGga: return "meta-GGA";
+  }
+  return "?";
+}
+
+std::string DesignName(Design design) {
+  switch (design) {
+    case Design::kEmpirical: return "empirical";
+    case Design::kNonEmpirical: return "non-empirical";
+  }
+  return "?";
+}
+
+expr::Expr Functional::EpsXc() const {
+  XCV_CHECK_MSG(HasExchange() && HasCorrelation(),
+                "EpsXc requires both exchange and correlation parts ('"
+                    << name << "' lacks one)");
+  return expr::Add(eps_x, eps_c);
+}
+
+const std::vector<Functional>& PaperFunctionals() {
+  static const std::vector<Functional>* functionals =
+      new std::vector<Functional>{MakePbe(), MakeLyp(), MakeAm05(),
+                                  MakeScan(), MakeVwnRpa()};
+  return *functionals;
+}
+
+const std::vector<Functional>& ExtensionFunctionals() {
+  static const std::vector<Functional>* functionals =
+      new std::vector<Functional>{MakePbeSol(), MakeRScan()};
+  return *functionals;
+}
+
+const Functional* FindFunctional(const std::string& name) {
+  const std::string key = ToLower(name);
+  for (const Functional& f : PaperFunctionals())
+    if (ToLower(f.name) == key) return &f;
+  for (const Functional& f : ExtensionFunctionals())
+    if (ToLower(f.name) == key) return &f;
+  return nullptr;
+}
+
+}  // namespace xcv::functionals

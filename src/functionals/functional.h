@@ -1,0 +1,88 @@
+// Functional descriptor and registry — the role LibXC plays in the paper.
+//
+// Each Functional carries the symbolic energy-per-particle expressions
+// ε̃_x(rs, s[, α]) and/or ε̃_c(rs, s[, α]) built from the published closed
+// forms. The verifier and the PB grid baseline both consume these
+// expressions, exactly as XCVerifier and Pederson–Burke both consume the
+// LibXC implementations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace xcv::functionals {
+
+/// Rung of Jacob's ladder covered by this repo.
+enum class Family { kLda, kGga, kMetaGga };
+
+/// Design category per the paper's §I.
+enum class Design { kEmpirical, kNonEmpirical };
+
+std::string FamilyName(Family family);
+std::string DesignName(Design design);
+
+/// A density functional approximation (spin-unpolarized form).
+struct Functional {
+  std::string name;
+  Family family = Family::kLda;
+  Design design = Design::kNonEmpirical;
+  /// Exchange energy per particle ε̃_x; null Expr if the functional has no
+  /// exchange component (LYP, VWN RPA — correlation-only in this study).
+  expr::Expr eps_x;
+  /// Correlation energy per particle ε̃_c; never null for the five DFAs
+  /// studied here.
+  expr::Expr eps_c;
+  /// Number of inputs: 1 (rs), 2 (rs, s), or 3 (rs, s, α).
+  int num_inputs = 2;
+
+  bool HasExchange() const { return !eps_x.IsNull(); }
+  bool HasCorrelation() const { return !eps_c.IsNull(); }
+  /// ε̃_xc = ε̃_x + ε̃_c (requires both parts).
+  expr::Expr EpsXc() const;
+};
+
+// ---- Builders (one translation unit per functional) --------------------------
+
+/// Slater/LDA exchange energy per particle ε_x^unif(rs) = -Cx/rs.
+expr::Expr EpsXUnif();
+
+/// PW92 correlation energy per particle at ζ = 0 (the LDA correlation
+/// reference used inside PBE, AM05 and SCAN).
+expr::Expr EpsCPw92();
+
+/// PBE (Perdew–Burke–Ernzerhof 1996), non-empirical GGA.
+Functional MakePbe();
+/// LYP (Lee–Yang–Parr 1988) correlation, empirical GGA (closed-shell
+/// gradient-only form of Miehlich et al.).
+Functional MakeLyp();
+/// AM05 (Armiento–Mattsson 2005), non-empirical GGA (LambertW Airy factor).
+Functional MakeAm05();
+/// SCAN (Sun–Ruzsinszky–Perdew 2015), non-empirical meta-GGA.
+Functional MakeScan();
+/// VWN RPA (Vosko–Wilk 1980, RPA parameterization), LDA correlation.
+Functional MakeVwnRpa();
+
+// Extension functionals beyond the paper's five (its §VI names the
+// SCAN-regularization progression as the natural next target).
+
+/// PBEsol (Perdew et al. 2008): PBE with restored slowly-varying-gas
+/// gradient coefficients (μ = 10/81, β = 0.046).
+Functional MakePbeSol();
+/// rSCAN (Bartók & Yates 2019): SCAN with regularized α and polynomial
+/// interpolation switches — the numerically-stabilized SCAN variant.
+Functional MakeRScan();
+
+/// All five DFAs evaluated in the paper, in Table I column order:
+/// PBE, LYP, AM05, SCAN, VWN RPA.
+const std::vector<Functional>& PaperFunctionals();
+
+/// The extension functionals: PBEsol, rSCAN.
+const std::vector<Functional>& ExtensionFunctionals();
+
+/// Case-insensitive lookup across PaperFunctionals() and
+/// ExtensionFunctionals(); nullptr if unknown.
+const Functional* FindFunctional(const std::string& name);
+
+}  // namespace xcv::functionals

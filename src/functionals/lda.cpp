@@ -1,0 +1,66 @@
+// LDA-rung pieces: Slater exchange, PW92 correlation (the ε_c^unif
+// reference), and the VWN RPA correlation functional.
+#include <cmath>
+
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+
+namespace xcv::functionals {
+
+using expr::Expr;
+
+Expr EpsXUnif() {
+  return Expr::Constant(-SlaterCx()) / VarRs();
+}
+
+Expr EpsCPw92() {
+  // Perdew & Wang 1992, ζ = 0 parameterization:
+  //   ε_c = -2A(1 + α1 rs) ln[1 + 1/(2A(β1 √rs + β2 rs + β3 rs^{3/2} + β4 rs²))]
+  const double A = 0.0310907;
+  const double alpha1 = 0.21370;
+  const double beta1 = 7.5957;
+  const double beta2 = 3.5876;
+  const double beta3 = 1.6382;
+  const double beta4 = 0.49294;
+
+  const Expr rs = VarRs();
+  const Expr sqrt_rs = expr::SqrtE(rs);
+  const Expr poly = beta1 * sqrt_rs + beta2 * rs +
+                    beta3 * rs * sqrt_rs + beta4 * rs * rs;
+  const Expr inner = 1.0 + 1.0 / (2.0 * A * poly);
+  return -2.0 * A * (1.0 + alpha1 * rs) * expr::LogE(inner);
+}
+
+Functional MakeVwnRpa() {
+  // Vosko, Wilk & Nusair 1980, RPA fit, paramagnetic (ζ = 0):
+  //   ε_c = A { ln(x²/X(x)) + (2b/Q) atan(Q/(2x+b))
+  //             - (b x0/X(x0)) [ ln((x-x0)²/X(x))
+  //                              + (2(b+2x0)/Q) atan(Q/(2x+b)) ] }
+  // with x = √rs, X(x) = x² + b x + c, Q = √(4c - b²).
+  const double A = 0.0310907;
+  const double x0 = -0.409286;
+  const double b = 13.0720;
+  const double c = 42.7198;
+  const double Q = std::sqrt(4.0 * c - b * b);
+  const double Xx0 = x0 * x0 + b * x0 + c;
+
+  const Expr x = expr::SqrtE(VarRs());
+  const Expr Xx = x * x + b * x + Expr::Constant(c);
+  const Expr at = expr::AtanE(Expr::Constant(Q) / (2.0 * x + b));
+  const Expr term1 = expr::LogE(x * x / Xx);
+  const Expr term2 = (2.0 * b / Q) * at;
+  const Expr term3 =
+      (b * x0 / Xx0) *
+      (expr::LogE((x - x0) * (x - x0) / Xx) + (2.0 * (b + 2.0 * x0) / Q) * at);
+  const Expr eps_c = Expr::Constant(A) * (term1 + term2 - term3);
+
+  Functional f;
+  f.name = "VWN_RPA";
+  f.family = Family::kLda;
+  f.design = Design::kNonEmpirical;
+  f.eps_c = eps_c;
+  f.num_inputs = 1;
+  return f;
+}
+
+}  // namespace xcv::functionals

@@ -1,0 +1,60 @@
+// LYP: Lee, Yang & Parr, PRB 37, 785 (1988), in the gradient-only form of
+// Miehlich, Savin, Stoll & Preuss (CPL 157, 200, 1989), reduced to the
+// closed-shell (spin-unpolarized) case:
+//
+//   e_c(n, |∇n|²) = -a n / (1 + d n^{-1/3})
+//                   - a b ω(n) [ C_F n^{14/3} - ((3 + 7δ)/72) n² |∇n|² ]
+//   ω(n) = e^{-c n^{-1/3}} n^{-11/3} / (1 + d n^{-1/3})
+//   δ(n) = c n^{-1/3} + d n^{-1/3} / (1 + d n^{-1/3})
+//   C_F  = (3/10)(3π²)^{2/3}
+//
+// (e_c is energy per volume; ε̃_c = e_c / n.) The positive gradient term is
+// what drives LYP's Ec-non-positivity violations at large s — the paper
+// finds counterexamples for every applicable condition (Table I, Fig. 2).
+#include <cmath>
+
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+
+namespace xcv::functionals {
+
+using expr::Expr;
+
+namespace {
+
+Expr LypEpsC() {
+  const double a = 0.04918;
+  const double b = 0.132;
+  const double c = 0.2533;
+  const double d = 0.349;
+  const double cf = 0.3 * std::pow(3.0 * M_PI * M_PI, 2.0 / 3.0);
+
+  const Expr n = Density();
+  const Expr grad2 = GradDensitySquared();
+  // n^{-1/3} = (4π/3)^{1/3} rs — use the rs form directly (exact and keeps
+  // the DAG smaller than cbrt(1/n)).
+  const Expr n13 = Expr::Constant(RsFactor()) * VarRs();
+
+  const Expr denom = 1.0 + d * n13;
+  const Expr delta = c * n13 + d * n13 / denom;
+  const Expr omega = expr::ExpE(-c * n13) * expr::Pow(n, -11.0 / 3.0) / denom;
+
+  const Expr bracket = Expr::Constant(cf) * expr::Pow(n, 14.0 / 3.0) -
+                       ((3.0 + 7.0 * delta) / 72.0) * n * n * grad2;
+  const Expr e_c = -a * n / denom - a * b * omega * bracket;
+  return e_c / n;
+}
+
+}  // namespace
+
+Functional MakeLyp() {
+  Functional f;
+  f.name = "LYP";
+  f.family = Family::kGga;
+  f.design = Design::kEmpirical;
+  f.eps_c = LypEpsC();
+  f.num_inputs = 2;
+  return f;
+}
+
+}  // namespace xcv::functionals

@@ -1,0 +1,68 @@
+// PBE: Perdew, Burke & Ernzerhof, PRL 77, 3865 (1996). Spin-unpolarized
+// (ζ = 0, φ = 1) closed forms in (rs, s).
+#include <cmath>
+
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+
+namespace xcv::functionals {
+
+using expr::Expr;
+
+namespace {
+
+Expr PbeEpsX(double mu) {
+  // F_x(s) = 1 + κ - κ / (1 + μ s²/κ);  ε_x = ε_x^unif F_x.
+  const double kappa = 0.804;
+  const Expr s = VarS();
+  const Expr fx =
+      1.0 + kappa - kappa / (1.0 + (mu / kappa) * s * s);
+  return EpsXUnif() * fx;
+}
+
+Expr PbeEpsC(double beta) {
+  // ε_c = ε_c^PW92(rs) + H(rs, t),
+  // H = γ ln[1 + (β/γ) t² (1 + A t²)/(1 + A t² + A² t⁴)],
+  // A = (β/γ) / (exp(-ε_c^PW92/γ) - 1),  γ = (1 - ln 2)/π².
+  const double gamma = (1.0 - std::log(2.0)) / (M_PI * M_PI);
+
+  const Expr eps_lda = EpsCPw92();
+  const Expr t2 = TSquared();
+  const Expr expfac = expr::ExpE(-eps_lda / gamma) - 1.0;
+  const Expr A = Expr::Constant(beta / gamma) / expfac;
+  const Expr At2 = A * t2;
+  const Expr numer = 1.0 + At2;
+  const Expr denom = 1.0 + At2 + At2 * At2;
+  const Expr H = Expr::Constant(gamma) *
+                 expr::LogE(1.0 + (beta / gamma) * t2 * numer / denom);
+  return eps_lda + H;
+}
+
+}  // namespace
+
+Functional MakePbe() {
+  Functional f;
+  f.name = "PBE";
+  f.family = Family::kGga;
+  f.design = Design::kNonEmpirical;
+  f.eps_x = PbeEpsX(/*mu=*/0.2195149727645171);
+  f.eps_c = PbeEpsC(/*beta=*/0.06672455060314922);
+  f.num_inputs = 2;
+  return f;
+}
+
+Functional MakePbeSol() {
+  // PBEsol (Perdew et al., PRL 100, 136406 (2008)): PBE's form with the
+  // gradient coefficients restored to the slowly-varying-gas values —
+  // μ = 10/81 (the exact second-order exchange coefficient) and β = 0.046.
+  Functional f;
+  f.name = "PBEsol";
+  f.family = Family::kGga;
+  f.design = Design::kNonEmpirical;
+  f.eps_x = PbeEpsX(/*mu=*/10.0 / 81.0);
+  f.eps_c = PbeEpsC(/*beta=*/0.046);
+  f.num_inputs = 2;
+  return f;
+}
+
+}  // namespace xcv::functionals

@@ -1,0 +1,261 @@
+// SCAN: Sun, Ruzsinszky & Perdew, PRL 115, 036402 (2015) — the "strongly
+// constrained and appropriately normed" meta-GGA, built to satisfy all 17
+// known exact constraints.
+//
+// Implementation form. Unlike the GGA builders (which use the reduced
+// (rs, s) closed forms), this builder mirrors the structure of the LibXC
+// implementation that the paper verifies: a meta-GGA implementation receives
+// the raw density quantities (n, σ = |∇n|², τ) and *recomputes* the
+// dimensionless variables internally:
+//
+//     n        = 3/(4π rs³)
+//     σ        = 4 k_F² n² s²              (k_F recomputed as (3π²n)^{1/3})
+//     τ_W      = σ/(8n),  τ_unif = (3/10)(3π²)^{2/3} n^{5/3}
+//     τ        = α τ_unif + τ_W            (input reconstruction)
+//     α_impl   = (τ - τ_W)/τ_unif
+//     s_impl   = √σ / (2 (3π²)^{1/3} n^{4/3})
+//     rs_impl  = (3/(4π n))^{1/3}
+//
+// Pointwise these round-trip to (rs, s, α) up to floating-point noise, so
+// double evaluation (the PB grid) is unaffected. For interval reasoning the
+// round-trip decorrelates the variables — exactly the implementation-induced
+// hardness that makes dReal time out on every SCAN condition in the paper
+// (§IV-B, §VI-A), on top of SCAN's >1000-operation body with nested
+// exp/log and the piecewise α-switch at α = 1.
+#include <cmath>
+
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+
+namespace xcv::functionals {
+
+using expr::Expr;
+using expr::Rel;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// The raw density quantities a meta-GGA implementation works with.
+struct RawInputs {
+  Expr n;        // density
+  Expr sigma;    // |∇n|²
+  Expr rs_impl;  // (3/(4πn))^{1/3}
+  Expr s_impl;   // √σ/(2 (3π²)^{1/3} n^{4/3})
+  Expr alpha_impl;
+};
+
+RawInputs BuildRawInputs() {
+  const Expr rs = VarRs();
+  const Expr s = VarS();
+  const Expr alpha = VarAlpha();
+
+  RawInputs raw;
+  raw.n = Expr::Constant(3.0 / (4.0 * kPi)) / expr::Pow(rs, 3.0);
+  // k_F from n (not from rs): this is what an implementation does.
+  const Expr kf = expr::CbrtE(Expr::Constant(3.0 * kPi * kPi) * raw.n);
+  const Expr grad = 2.0 * kf * raw.n * s;
+  raw.sigma = grad * grad;
+
+  const Expr tau_unif = Expr::Constant(0.3) *
+                        expr::Pow(Expr::Constant(3.0 * kPi * kPi), 2.0 / 3.0) *
+                        expr::Pow(raw.n, 5.0 / 3.0);
+  const Expr tau_w = raw.sigma / (8.0 * raw.n);
+  const Expr tau = alpha * tau_unif + tau_w;
+
+  raw.alpha_impl = (tau - tau_w) / tau_unif;
+  raw.s_impl =
+      expr::SqrtE(raw.sigma) /
+      (2.0 * expr::CbrtE(Expr::Constant(3.0 * kPi * kPi)) *
+       expr::Pow(raw.n, 4.0 / 3.0));
+  raw.rs_impl =
+      expr::CbrtE(Expr::Constant(3.0 / (4.0 * kPi)) / raw.n);
+  return raw;
+}
+
+// Piecewise α-interpolation switch evaluated on the implementation's α:
+//   f(α) = exp(-c1 α/(1-α))  for α < 1;  0 at α = 1;  -d exp(c2/(1-α)) else.
+Expr AlphaSwitch(const Expr& alpha, double c1, double c2, double d) {
+  const Expr one = Expr::Constant(1.0);
+  const Expr branch_lt = expr::ExpE(-c1 * alpha / (one - alpha));
+  const Expr branch_gt =
+      Expr::Constant(-d) * expr::ExpE(Expr::Constant(c2) / (one - alpha));
+  return expr::Ite(alpha, Rel::kLt, one, branch_lt,
+                   expr::Ite(alpha, Rel::kLe, one, Expr::Constant(0.0),
+                             branch_gt));
+}
+
+// rSCAN's regularized iso-orbital indicator (Bartók & Yates, JCP 150,
+// 161101 (2019)): τ_unif is offset by τ_r and α is mapped through
+// α' = α³/(α² + α_r), taming the τ → 0 and α → 1 pathologies.
+Expr RegularizedAlpha(const Expr& alpha_impl) {
+  const double alpha_r = 1e-3;
+  // The α̃ regularization of τ_unif is absorbed into alpha_impl upstream
+  // (see MakeRScan); this applies the α'-map.
+  return expr::Pow(alpha_impl, 3.0) /
+         (alpha_impl * alpha_impl + Expr::Constant(alpha_r));
+}
+
+// rSCAN's smooth replacement for the α-switch: a degree-7 polynomial on
+// α' < 2.5 that matches the SCAN switch's value and derivatives at α' = 0
+// and at the crossover, and SCAN's decaying branch beyond.
+Expr PolynomialSwitch(const Expr& alpha, const double (&coeffs)[8],
+                      double c2, double d) {
+  Expr poly = Expr::Constant(coeffs[0]);
+  Expr power = alpha;
+  for (int i = 1; i < 8; ++i) {
+    poly = poly + Expr::Constant(coeffs[i]) * power;
+    power = power * alpha;
+  }
+  const Expr branch_gt =
+      Expr::Constant(-d) *
+      expr::ExpE(Expr::Constant(c2) / (1.0 - alpha));
+  return expr::Ite(alpha, Rel::kLt, Expr::Constant(2.5), poly, branch_gt);
+}
+
+constexpr double kRscanFxCoeffs[8] = {
+    1.0, -0.667, -0.4445555, -0.663086601049,
+    1.451297044490, -0.887998041597, 0.234528941479, -0.023185843322};
+constexpr double kRscanFcCoeffs[8] = {
+    1.0, -0.64, -0.4352, -1.535685604549,
+    3.061560252175, -1.915710236206, 0.516884468372, -0.051848879792};
+
+// Exchange body shared by SCAN and rSCAN: `alpha` is the (possibly
+// regularized) iso-orbital indicator, `fx` the interpolation switch.
+Expr ScanEpsX(const RawInputs& raw, const Expr& alpha, const Expr& fx) {
+  const double k1 = 0.065;
+  const double mu_ak = 10.0 / 81.0;
+  const double b2 = std::sqrt(5913.0 / 405000.0);
+  const double b1 = (511.0 / 13500.0) / (2.0 * b2);
+  const double b3 = 0.5;
+  const double b4 = mu_ak * mu_ak / k1 - 1606.0 / 18225.0 - b1 * b1;
+  const double a1 = 4.9479;
+  const double h0x = 1.174;
+
+  const Expr s = raw.s_impl;
+  const Expr s2 = s * s;
+  const Expr one_minus_alpha = 1.0 - alpha;
+
+  // x(s, α) — gradient + α mixing entering h1x.
+  const Expr term_b4 =
+      (b4 / mu_ak) * s2 * expr::ExpE(-(std::fabs(b4) / mu_ak) * s2);
+  const Expr mix =
+      b1 * s2 + b2 * one_minus_alpha *
+                    expr::ExpE(-b3 * one_minus_alpha * one_minus_alpha);
+  const Expr x = mu_ak * s2 * (1.0 + term_b4) + mix * mix;
+
+  const Expr h1x = 1.0 + k1 - k1 / (1.0 + x / k1);
+  // g_x(s) = 1 - exp(-a1/√s): unity at s = 0, decays at large s.
+  const Expr gx = 1.0 - expr::ExpE(Expr::Constant(-a1) / expr::SqrtE(s));
+  const Expr fx_total = (h1x + fx * (Expr::Constant(h0x) - h1x)) * gx;
+  // ε_x^unif recomputed from n, as the implementation does.
+  const Expr eps_x_unif =
+      Expr::Constant(-0.75 * std::cbrt(3.0 / kPi)) * expr::CbrtE(raw.n);
+  return eps_x_unif * fx_total;
+}
+
+// PW92 ε_c(rs) with rs = the implementation's rs.
+Expr Pw92At(const Expr& rs) {
+  const double A = 0.0310907;
+  const double alpha1 = 0.21370;
+  const double beta1 = 7.5957;
+  const double beta2 = 3.5876;
+  const double beta3 = 1.6382;
+  const double beta4 = 0.49294;
+  const Expr sqrt_rs = expr::SqrtE(rs);
+  const Expr poly = beta1 * sqrt_rs + beta2 * rs + beta3 * rs * sqrt_rs +
+                    beta4 * rs * rs;
+  return -2.0 * A * (1.0 + alpha1 * rs) *
+         expr::LogE(1.0 + 1.0 / (2.0 * A * poly));
+}
+
+// Correlation body shared by SCAN and rSCAN.
+Expr ScanEpsC(const RawInputs& raw, const Expr& fc) {
+  const double b1c = 0.0285764;
+  const double b2c = 0.0889;
+  const double b3c = 0.125541;
+  const double chi_inf = 0.12802585262625815;
+  const double gamma = 0.031091;
+
+  const Expr rs = raw.rs_impl;
+  const Expr s = raw.s_impl;
+  const Expr s2 = s * s;
+
+  // --- ε_c^0: the α → 0 (single-orbital) limit -----------------------------
+  const Expr eps_lda0 =
+      Expr::Constant(-b1c) / (1.0 + b2c * expr::SqrtE(rs) + b3c * rs);
+  const Expr w0 = expr::ExpE(-eps_lda0 / b1c) - 1.0;
+  const Expr ginf = expr::Pow(1.0 + 4.0 * chi_inf * s2, -0.25);
+  const Expr h0 =
+      Expr::Constant(b1c) * expr::LogE(1.0 + w0 * (1.0 - ginf));
+  const Expr eps_c0 = eps_lda0 + h0;
+
+  // --- ε_c^1: the α ≈ 1 (slowly-varying) limit ------------------------------
+  const Expr eps_pw92 = Pw92At(rs);
+  const Expr w1 = expr::ExpE(-eps_pw92 / gamma) - 1.0;
+  const Expr beta_rs = 0.066725 * (1.0 + 0.1 * rs) / (1.0 + 0.1778 * rs);
+  // t² from the raw quantities: t = |∇n| / (2 k_s n), k_s² = 4 k_F/π.
+  const Expr kf = expr::CbrtE(Expr::Constant(3.0 * kPi * kPi) * raw.n);
+  const Expr ks2 = 4.0 * kf / kPi;
+  const Expr t2 = raw.sigma / (4.0 * ks2 * raw.n * raw.n);
+  const Expr y = beta_rs / (gamma * w1) * t2;
+  const Expr gy = expr::Pow(1.0 + 4.0 * y, -0.25);
+  const Expr h1 =
+      Expr::Constant(gamma) * expr::LogE(1.0 + w1 * (1.0 - gy));
+  const Expr eps_c1 = eps_pw92 + h1;
+
+  return eps_c1 + fc * (eps_c0 - eps_c1);
+}
+
+}  // namespace
+
+Functional MakeScan() {
+  const RawInputs raw = BuildRawInputs();
+  Functional f;
+  f.name = "SCAN";
+  f.family = Family::kMetaGga;
+  f.design = Design::kNonEmpirical;
+  f.eps_x = ScanEpsX(raw, raw.alpha_impl,
+                     AlphaSwitch(raw.alpha_impl, /*c1=*/0.667, /*c2=*/0.8,
+                                 /*d=*/1.24));
+  f.eps_c = ScanEpsC(raw, AlphaSwitch(raw.alpha_impl, /*c1=*/0.64,
+                                      /*c2=*/1.5, /*d=*/0.7));
+  f.num_inputs = 3;
+  return f;
+}
+
+Functional MakeRScan() {
+  // rSCAN: SCAN with (i) τ_unif regularized by τ_r = 1e-4 in the α
+  // denominator, (ii) α mapped through α' = α³/(α² + 1e-3), and (iii) the
+  // discontinuous exp-switches replaced by degree-7 polynomials below
+  // α' = 2.5. This is the paper's §VI-A pointer: the SCAN-family
+  // progression designed to remove SCAN's numerical pathologies.
+  RawInputs raw = BuildRawInputs();
+  const double tau_r = 1e-4;
+  // Rebuild α̃ with the regularized denominator, then apply the α'-map.
+  {
+    constexpr double pi = 3.14159265358979323846;
+    const Expr tau_unif =
+        Expr::Constant(0.3) *
+        expr::Pow(Expr::Constant(3.0 * pi * pi), 2.0 / 3.0) *
+        expr::Pow(raw.n, 5.0 / 3.0);
+    const Expr tau_w = raw.sigma / (8.0 * raw.n);
+    const Expr tau = VarAlpha() * tau_unif + tau_w;
+    const Expr alpha_tilde =
+        (tau - tau_w) / (tau_unif + Expr::Constant(tau_r));
+    raw.alpha_impl = RegularizedAlpha(alpha_tilde);
+  }
+  Functional f;
+  f.name = "rSCAN";
+  f.family = Family::kMetaGga;
+  f.design = Design::kNonEmpirical;
+  f.eps_x = ScanEpsX(raw, raw.alpha_impl,
+                     PolynomialSwitch(raw.alpha_impl, kRscanFxCoeffs,
+                                      /*c2=*/0.8, /*d=*/1.24));
+  f.eps_c = ScanEpsC(raw, PolynomialSwitch(raw.alpha_impl, kRscanFcCoeffs,
+                                           /*c2=*/1.5, /*d=*/0.7));
+  f.num_inputs = 3;
+  return f;
+}
+
+}  // namespace xcv::functionals

@@ -1,0 +1,47 @@
+#include "functionals/variables.h"
+
+#include <cmath>
+
+namespace xcv::functionals {
+
+using expr::Expr;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Expr VarRs() { return Expr::Variable("rs", kRsIndex); }
+Expr VarS() { return Expr::Variable("s", kSIndex); }
+Expr VarAlpha() { return Expr::Variable("alpha", kAlphaIndex); }
+
+double KFRsConstant() { return std::cbrt(9.0 * kPi / 4.0); }
+
+double RsFactor() { return std::cbrt(4.0 * kPi / 3.0); }
+
+double SlaterCx() {
+  return 0.75 * std::cbrt(9.0 / (4.0 * kPi * kPi));
+}
+
+Expr Density() {
+  const Expr rs = VarRs();
+  return Expr::Constant(3.0 / (4.0 * kPi)) / expr::Pow(rs, 3.0);
+}
+
+Expr GradDensitySquared() {
+  // |∇n| = 2 k_F n s with k_F = KFRs / rs.
+  const Expr rs = VarRs();
+  const Expr s = VarS();
+  const Expr n = Density();
+  const Expr kf = Expr::Constant(KFRsConstant()) / rs;
+  const Expr grad = 2.0 * kf * n * s;
+  return grad * grad;
+}
+
+Expr TSquared() {
+  const Expr rs = VarRs();
+  const Expr s = VarS();
+  const double c = (kPi / 4.0) * KFRsConstant();
+  return Expr::Constant(c) * s * s / rs;
+}
+
+}  // namespace xcv::functionals

@@ -1,0 +1,49 @@
+// Canonical input variables and density-gradient helper expressions.
+//
+// Following Pederson & Burke (and the paper's §II), spin-unpolarized DFAs
+// are expressed in terms of:
+//   rs    — Wigner-Seitz radius, rs = (4πn/3)^{-1/3}          (variable 0)
+//   s     — reduced density gradient, s = |∇n| / (2 (3π²)^{1/3} n^{4/3})
+//                                                              (variable 1)
+//   alpha — iso-orbital indicator α = (τ - τ_W)/τ_unif, meta-GGAs only
+//                                                              (variable 2)
+// All quantities are in Hartree atomic units.
+#pragma once
+
+#include "expr/expr.h"
+
+namespace xcv::functionals {
+
+/// Environment slot indices for the canonical variables.
+inline constexpr int kRsIndex = 0;
+inline constexpr int kSIndex = 1;
+inline constexpr int kAlphaIndex = 2;
+
+/// The Wigner-Seitz radius variable (slot 0).
+expr::Expr VarRs();
+/// The reduced gradient variable (slot 1).
+expr::Expr VarS();
+/// The iso-orbital indicator variable (slot 2).
+expr::Expr VarAlpha();
+
+/// Electron density n(rs) = 3 / (4π rs³).
+expr::Expr Density();
+
+/// |∇n|² expressed through (rs, s): |∇n|² = 4 k_F² n² s²,
+/// k_F = (3π² n)^{1/3} = (9π/4)^{1/3} / rs.
+expr::Expr GradDensitySquared();
+
+/// t² = (π/4)(9π/4)^{1/3} s²/rs — the square of the PBE correlation
+/// gradient variable t = |∇n|/(2 k_s n) at ζ = 0.
+expr::Expr TSquared();
+
+/// Numeric constants shared by the functional builders.
+/// (9π/4)^{1/3}: k_F rs product.
+double KFRsConstant();
+/// (4π/3)^{1/3}: n^{-1/3} = cbrt(4π/3) · rs.
+double RsFactor();
+/// Slater exchange coefficient: ε_x^unif = -Cx / rs with
+/// Cx = (3/4)(9/(4π²))^{1/3} ≈ 0.458165.
+double SlaterCx();
+
+}  // namespace xcv::functionals

@@ -1,0 +1,88 @@
+#include "gridsearch/grid.h"
+
+#include "support/check.h"
+
+namespace xcv::gridsearch {
+
+Grid::Grid(std::vector<Axis> axes) : axes_(std::move(axes)) {
+  XCV_CHECK_MSG(!axes_.empty() && axes_.size() <= 3,
+                "grids are 1-3 dimensional");
+  for (const Axis& a : axes_) {
+    XCV_CHECK_MSG(a.n >= 1, "axis needs at least one point");
+    XCV_CHECK_MSG(a.lo <= a.hi, "axis bounds out of order");
+    total_ *= a.n;
+  }
+  strides_.assign(axes_.size(), 1);
+  for (std::size_t d = axes_.size(); d-- > 1;)
+    strides_[d - 1] = strides_[d] * axes_[d].n;
+}
+
+std::size_t Grid::Index(std::span<const std::size_t> coords) const {
+  XCV_CHECK(coords.size() == axes_.size());
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    XCV_DCHECK(coords[d] < axes_[d].n);
+    idx += coords[d] * strides_[d];
+  }
+  return idx;
+}
+
+std::vector<std::size_t> Grid::Coords(std::size_t index) const {
+  XCV_DCHECK(index < total_);
+  std::vector<std::size_t> coords(axes_.size());
+  for (std::size_t d = 0; d < axes_.size(); ++d) {
+    coords[d] = index / strides_[d];
+    index %= strides_[d];
+  }
+  return coords;
+}
+
+std::vector<double> Grid::Point(std::size_t index) const {
+  const auto coords = Coords(index);
+  std::vector<double> p(axes_.size());
+  for (std::size_t d = 0; d < axes_.size(); ++d)
+    p[d] = axes_[d].At(coords[d]);
+  return p;
+}
+
+std::vector<double> EvaluateOnGrid(const Grid& grid, const expr::Tape& tape) {
+  std::vector<double> out(grid.TotalPoints());
+  expr::TapeScratch scratch;
+  std::vector<double> env(std::max<std::size_t>(
+      grid.Rank(), static_cast<std::size_t>(tape.num_env_slots)));
+  for (std::size_t i = 0; i < grid.TotalPoints(); ++i) {
+    const auto p = grid.Point(i);
+    for (std::size_t d = 0; d < p.size(); ++d) env[d] = p[d];
+    out[i] = expr::EvalTape(tape, env, scratch);
+  }
+  return out;
+}
+
+std::vector<double> NumericalGradient(const Grid& grid,
+                                      const std::vector<double>& values,
+                                      std::size_t dim) {
+  XCV_CHECK(values.size() == grid.TotalPoints());
+  XCV_CHECK(dim < grid.Rank());
+  const Axis& axis = grid.axis(dim);
+  XCV_CHECK_MSG(axis.n >= 2, "gradient needs at least two points");
+  const double h = axis.Step();
+
+  // Stride of one step along `dim`.
+  std::size_t stride = 1;
+  for (std::size_t d = grid.Rank(); d-- > dim + 1;) stride *= grid.axis(d).n;
+
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t pos = (i / stride) % axis.n;
+    if (pos == 0) {
+      out[i] = (values[i + stride] - values[i]) / h;
+    } else if (pos == axis.n - 1) {
+      out[i] = (values[i] - values[i - stride]) / h;
+    } else {
+      out[i] = (values[i + stride] - values[i - stride]) / (2.0 * h);
+    }
+  }
+  return out;
+}
+
+}  // namespace xcv::gridsearch

@@ -1,0 +1,60 @@
+// Dense rectilinear grids with numpy-style numerical gradients — the
+// numerical substrate of the Pederson–Burke baseline (paper §IV-A: the grid
+// "is used to numerically compute the limits and gradients necessary for
+// the conditions using the NumPy package").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "expr/compile.h"
+#include "interval/interval.h"
+
+namespace xcv::gridsearch {
+
+/// Uniformly spaced 1-D axis over [lo, hi] with n >= 2 points.
+struct Axis {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t n = 2;
+
+  double Step() const { return (hi - lo) / static_cast<double>(n - 1); }
+  double At(std::size_t i) const {
+    return lo + Step() * static_cast<double>(i);
+  }
+};
+
+/// Dense values over up to three axes (rs × s × α); trailing axes of size 1
+/// collapse the dimensionality (LDA = rs only).
+class Grid {
+ public:
+  Grid(std::vector<Axis> axes);
+
+  std::size_t Rank() const { return axes_.size(); }
+  const Axis& axis(std::size_t d) const { return axes_[d]; }
+  std::size_t TotalPoints() const { return total_; }
+
+  /// Row-major linear index.
+  std::size_t Index(std::span<const std::size_t> coords) const;
+  /// Coordinates of a linear index.
+  std::vector<std::size_t> Coords(std::size_t index) const;
+  /// Physical point of a linear index (one value per axis).
+  std::vector<double> Point(std::size_t index) const;
+
+ private:
+  std::vector<Axis> axes_;
+  std::vector<std::size_t> strides_;
+  std::size_t total_ = 1;
+};
+
+/// Evaluates a compiled expression at every grid point. The environment
+/// passed to the tape has one slot per axis (axis d = variable index d).
+std::vector<double> EvaluateOnGrid(const Grid& grid, const expr::Tape& tape);
+
+/// Central-difference partial derivative along `dim` (one-sided at the
+/// edges) — the numpy.gradient scheme PB relies on.
+std::vector<double> NumericalGradient(const Grid& grid,
+                                      const std::vector<double>& values,
+                                      std::size_t dim);
+
+}  // namespace xcv::gridsearch

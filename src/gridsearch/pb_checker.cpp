@@ -1,0 +1,119 @@
+#include "gridsearch/pb_checker.h"
+
+#include <cmath>
+
+#include "conditions/enhancement.h"
+#include "expr/compile.h"
+#include "support/check.h"
+#include "support/stopwatch.h"
+
+namespace xcv::gridsearch {
+
+using conditions::ConditionId;
+using conditions::ConditionInfo;
+using expr::Expr;
+using functionals::Functional;
+
+namespace {
+
+// Evaluates `e` for every (s, α) combination of `grid` with rs pinned to
+// `rs_value`, broadcast back to full grid layout.
+std::vector<double> EvaluateAtRs(const Grid& grid, const Expr& e,
+                                 double rs_value) {
+  const expr::Tape tape = expr::Compile(e);
+  expr::TapeScratch scratch;
+  std::vector<double> env(std::max<std::size_t>(
+      grid.Rank(), static_cast<std::size_t>(tape.num_env_slots)));
+  std::vector<double> out(grid.TotalPoints());
+  for (std::size_t i = 0; i < grid.TotalPoints(); ++i) {
+    const auto p = grid.Point(i);
+    env[0] = rs_value;
+    for (std::size_t d = 1; d < p.size(); ++d) env[d] = p[d];
+    out[i] = expr::EvalTape(tape, env, scratch);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<PbResult> RunPbCheck(const Functional& f,
+                                   const ConditionInfo& cond,
+                                   const PbOptions& options) {
+  if (!conditions::Applies(cond, f)) return std::nullopt;
+  Stopwatch watch;
+
+  std::vector<Axis> axes{{1e-4, 5.0, options.n_rs}};
+  if (f.num_inputs >= 2) axes.push_back({0.0, 5.0, options.n_s});
+  if (f.num_inputs >= 3) axes.push_back({0.0, 5.0, options.n_alpha});
+  Grid grid(std::move(axes));
+
+  // Enhancement factors on the grid; derivatives via central differences
+  // (this is precisely where PB differs from the verifier, which computes
+  // them symbolically).
+  const Expr fc_expr = conditions::CorrelationEnhancement(f);
+  const std::vector<double> fc =
+      EvaluateOnGrid(grid, expr::Compile(fc_expr));
+  const std::vector<double> dfc = NumericalGradient(grid, fc, 0);
+
+  std::vector<double> d2fc, fxc, fc_inf;
+  if (cond.id == ConditionId::kUcMonotonicity)
+    d2fc = NumericalGradient(grid, dfc, 0);
+  if (cond.needs_exchange)
+    fxc = EvaluateOnGrid(grid, expr::Compile(conditions::XcEnhancement(f)));
+  if (cond.id == ConditionId::kTcUpperBound)
+    fc_inf = EvaluateAtRs(grid, fc_expr, options.rs_infinity);
+
+  PbResult result{.violated = std::vector<std::uint8_t>(grid.TotalPoints(), 0),
+                  .grid = grid};
+
+  std::size_t violations = 0;
+  std::vector<Interval> bounds(grid.Rank(), Interval::Empty());
+  for (std::size_t i = 0; i < grid.TotalPoints(); ++i) {
+    const double rs = grid.Point(i)[0];
+    // Residual > 0 means the condition is violated at this point.
+    double residual;
+    switch (cond.id) {
+      case ConditionId::kEcNonPositivity:
+        residual = -fc[i];
+        break;
+      case ConditionId::kEcScalingInequality:
+        residual = -dfc[i];
+        break;
+      case ConditionId::kUcMonotonicity:
+        residual = -(rs * d2fc[i] + 2.0 * dfc[i]);
+        break;
+      case ConditionId::kLiebOxfordBound:
+        residual = fxc[i] + rs * dfc[i] - conditions::kLiebOxford;
+        break;
+      case ConditionId::kLiebOxfordExtension:
+        residual = fxc[i] - conditions::kLiebOxford;
+        break;
+      case ConditionId::kTcUpperBound:
+        residual = rs * dfc[i] - (fc_inf[i] - fc[i]);
+        break;
+      case ConditionId::kConjecturedTcBound:
+        residual = rs * dfc[i] - fc[i];
+        break;
+    }
+    // Non-finite residuals (outside a function's numeric domain) do not
+    // count as violations, matching NaN comparison semantics in the NumPy
+    // pipeline PB used.
+    if (std::isfinite(residual) && residual > options.tolerance) {
+      result.violated[i] = 1;
+      ++violations;
+      const auto p = grid.Point(i);
+      for (std::size_t d = 0; d < grid.Rank(); ++d)
+        bounds[d] = bounds[d].Hull(Interval(p[d]));
+    }
+  }
+
+  result.any_violation = violations > 0;
+  result.violation_fraction =
+      static_cast<double>(violations) /
+      static_cast<double>(grid.TotalPoints());
+  result.violation_bounds = std::move(bounds);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace xcv::gridsearch

@@ -1,0 +1,190 @@
+// Interval enclosures of the elementary functions used by density functional
+// approximations: powers, exp/log, trig (SCAN-adjacent work uses none, but
+// the expression language supports them), tanh, abs, and Lambert W.
+#include <algorithm>
+#include <cmath>
+
+#include "interval/interval.h"
+#include "interval/lambert_w.h"
+#include "support/check.h"
+
+namespace xcv {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kPi = 3.14159265358979323846;
+
+// libm results are faithful to ~1 ulp on glibc; widen by 2 to be safe.
+constexpr int kLibmUlps = 2;
+
+// Monotone increasing f applied endpoint-wise with outward widening.
+template <typename F>
+Interval MonotoneUp(const Interval& a, F f) {
+  if (a.IsEmpty()) return a;
+  return WidenUlps(Interval(f(a.lo()), f(a.hi())), kLibmUlps);
+}
+}  // namespace
+
+Interval Sqr(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  const double l = std::fabs(a.lo()), h = std::fabs(a.hi());
+  double lo = a.ContainsZero() ? 0.0 : std::fmin(l, h);
+  double hi = std::fmax(l, h);
+  return Widen(Interval(lo * lo, hi * hi)).Intersect(Interval::NonNegative());
+}
+
+Interval Sqrt(const Interval& a) {
+  Interval d = a.Intersect(Interval::NonNegative());
+  if (d.IsEmpty()) return d;
+  // sqrt is correctly rounded; widen by one ulp anyway for uniformity.
+  return Widen(Interval(std::sqrt(d.lo()), std::sqrt(d.hi())));
+}
+
+Interval Cbrt(const Interval& a) {
+  return MonotoneUp(a, [](double v) { return std::cbrt(v); });
+}
+
+Interval Exp(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  Interval r = WidenUlps(Interval(std::exp(a.lo()), std::exp(a.hi())),
+                         kLibmUlps);
+  // exp is nonnegative; the widening must not cross zero.
+  return r.Intersect(Interval::NonNegative());
+}
+
+Interval Log(const Interval& a) {
+  Interval d = a.Intersect(Interval(0.0, kInf));
+  if (d.IsEmpty()) return d;
+  double lo = d.lo() == 0.0 ? -kInf : std::log(d.lo());
+  double hi = std::log(d.hi());
+  return WidenUlps(Interval(lo, hi), kLibmUlps);
+}
+
+Interval Atan(const Interval& a) {
+  Interval r = MonotoneUp(a, [](double v) { return std::atan(v); });
+  return r.Intersect(Interval(-kPi / 2 - 1e-15, kPi / 2 + 1e-15));
+}
+
+Interval Tanh(const Interval& a) {
+  Interval r = MonotoneUp(a, [](double v) { return std::tanh(v); });
+  return r.Intersect(Interval(-1.0, 1.0));
+}
+
+Interval Abs(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  if (a.lo() >= 0.0) return a;
+  if (a.hi() <= 0.0) return -a;
+  return Interval(0.0, std::fmax(-a.lo(), a.hi()));
+}
+
+Interval Min(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  return Interval(std::fmin(a.lo(), b.lo()), std::fmin(a.hi(), b.hi()));
+}
+
+Interval Max(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  return Interval(std::fmax(a.lo(), b.lo()), std::fmax(a.hi(), b.hi()));
+}
+
+namespace {
+
+// Range of sin over [lo, hi] via quarter-period analysis.
+Interval SinCore(double lo, double hi) {
+  if (hi - lo >= 2.0 * kPi) return Interval(-1.0, 1.0);
+  // Normalize lo into [0, 2pi).
+  double k = std::floor(lo / (2.0 * kPi));
+  double a = lo - k * 2.0 * kPi;
+  double b = hi - k * 2.0 * kPi;  // b - a == hi - lo < 2pi, a in [0, 2pi)
+  auto contains = [&](double angle) {
+    // Does [a, b] contain angle + 2pi*m for some integer m >= 0?
+    return (angle >= a && angle <= b) ||
+           (angle + 2.0 * kPi >= a && angle + 2.0 * kPi <= b);
+  };
+  double smin = std::fmin(std::sin(a), std::sin(b));
+  double smax = std::fmax(std::sin(a), std::sin(b));
+  if (contains(kPi / 2.0)) smax = 1.0;
+  if (contains(3.0 * kPi / 2.0)) smin = -1.0;
+  return Interval(smin, smax);
+}
+
+}  // namespace
+
+Interval Sin(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  if (!a.IsBounded()) return Interval(-1.0, 1.0);
+  Interval r = WidenUlps(SinCore(a.lo(), a.hi()), kLibmUlps + 2);
+  return r.Intersect(Interval(-1.0, 1.0));
+}
+
+Interval Cos(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  return Sin(a + Interval(kPi / 2.0)).Hull(
+      Sin(a + WidenUlps(Interval(kPi / 2.0), 2)));
+}
+
+Interval PowInt(const Interval& a, long long n) {
+  if (a.IsEmpty()) return a;
+  if (n == 0) return Interval(1.0);
+  if (n < 0) return 1.0 / PowInt(a, -n);
+  if (n == 1) return a;
+  if (n % 2 == 0) {
+    // Even power: symmetric, minimum 0 if the interval straddles zero.
+    Interval m = Abs(a);
+    double lo = std::pow(m.lo(), static_cast<double>(n));
+    double hi = std::pow(m.hi(), static_cast<double>(n));
+    return WidenUlps(Interval(lo, hi), kLibmUlps).Intersect(
+        Interval::NonNegative());
+  }
+  // Odd power: monotone increasing.
+  double lo = std::pow(a.lo(), static_cast<double>(n));
+  double hi = std::pow(a.hi(), static_cast<double>(n));
+  if (std::isnan(lo)) lo = -kInf;
+  if (std::isnan(hi)) hi = kInf;
+  return WidenUlps(Interval(lo, hi), kLibmUlps);
+}
+
+Interval Pow(const Interval& a, double p) {
+  if (a.IsEmpty()) return a;
+  if (p == std::floor(p) && std::fabs(p) < 1e15)
+    return PowInt(a, static_cast<long long>(p));
+  // Non-integer exponent: real-valued only for base >= 0.
+  Interval d = a.Intersect(Interval::NonNegative());
+  if (d.IsEmpty()) return d;
+  double plo = std::pow(d.lo(), p);
+  double phi = std::pow(d.hi(), p);
+  if (p < 0.0) {
+    std::swap(plo, phi);  // decreasing on (0, inf)
+    if (d.lo() == 0.0) phi = kInf;
+  }
+  if (std::isnan(plo)) plo = 0.0;
+  if (std::isnan(phi)) phi = kInf;
+  Interval r = WidenUlps(Interval(plo, phi), kLibmUlps);
+  return r.Intersect(Interval::NonNegative());
+}
+
+Interval Pow(const Interval& a, const Interval& y) {
+  if (a.IsEmpty() || y.IsEmpty()) return Interval::Empty();
+  if (y.IsPoint()) return Pow(a, y.lo());
+  // General case via exp(y log a); domain a > 0, with the a=0 edge giving 0
+  // when y > 0.
+  Interval d = a.Intersect(Interval::NonNegative());
+  if (d.IsEmpty()) return d;
+  Interval r = Exp(y * Log(d));
+  if (d.lo() == 0.0 && y.hi() > 0.0) r = r.Hull(Interval(0.0));
+  return r;
+}
+
+Interval LambertW0(const Interval& a) {
+  Interval d = a.Intersect(Interval(kMinusInvE, kInf));
+  if (d.IsEmpty()) return d;
+  // W0 is monotone increasing on its domain.
+  double lo = xcv::LambertW0(d.lo());
+  double hi = xcv::LambertW0(d.hi());
+  if (std::isnan(lo)) lo = -1.0;  // branch-point roundoff
+  if (std::isnan(hi)) hi = -1.0;
+  Interval r = WidenUlps(Interval(lo, hi), 4);
+  return r.Intersect(Interval(-1.0, kInf));
+}
+
+}  // namespace xcv

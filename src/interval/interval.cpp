@@ -1,0 +1,181 @@
+#include "interval/interval.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace xcv {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Multiplication endpoint with the IEEE convention 0 * inf = 0 (the zero
+// operand is an exact zero of the factor, so the true product bound is 0).
+double MulEndpoint(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+}  // namespace
+
+double Interval::Midpoint() const {
+  XCV_DCHECK(!IsEmpty());
+  if (IsEntire()) return 0.0;
+  if (lo_ == -kInf) return std::min(hi_ - 1.0, -1e300);
+  if (hi_ == kInf) return std::max(lo_ + 1.0, 1e300);
+  double m = 0.5 * (lo_ + hi_);
+  if (!std::isfinite(m)) m = 0.5 * lo_ + 0.5 * hi_;
+  return std::clamp(m, lo_, hi_);
+}
+
+double Interval::Mag() const {
+  if (IsEmpty()) return 0.0;
+  return std::fmax(std::fabs(lo_), std::fabs(hi_));
+}
+
+void Interval::Bisect(Interval* left, Interval* right) const {
+  XCV_CHECK(!IsEmpty());
+  XCV_CHECK_MSG(!IsPoint(), "cannot bisect a point interval");
+  double m = Midpoint();
+  // Guard against midpoint collapsing onto an endpoint for tiny intervals.
+  if (m <= lo_) m = NextUp(lo_);
+  if (m >= hi_) m = NextDown(hi_);
+  *left = Interval(lo_, m);
+  *right = Interval(m, hi_);
+}
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "[empty]";
+  std::ostringstream os;
+  os.precision(12);
+  os << "[" << lo_ << ", " << hi_ << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+double NextDown(double v) {
+  if (v == -kInf) return v;
+  return std::nextafter(v, -kInf);
+}
+
+double NextUp(double v) {
+  if (v == kInf) return v;
+  return std::nextafter(v, kInf);
+}
+
+Interval Widen(const Interval& iv) {
+  if (iv.IsEmpty()) return iv;
+  return Interval(NextDown(iv.lo()), NextUp(iv.hi()));
+}
+
+Interval WidenUlps(const Interval& iv, int ulps) {
+  if (iv.IsEmpty()) return iv;
+  double lo = iv.lo(), hi = iv.hi();
+  for (int i = 0; i < ulps; ++i) {
+    lo = NextDown(lo);
+    hi = NextUp(hi);
+  }
+  return Interval(lo, hi);
+}
+
+Interval operator+(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo() + b.lo();
+  double hi = a.hi() + b.hi();
+  // -inf + inf never occurs within one endpoint pair of valid intervals:
+  // lo endpoints can both be -inf (sum -inf, fine) etc. But mixed infinite
+  // endpoints of opposite signs (a.lo=-inf, b.lo=+inf) cannot happen since
+  // b.lo=+inf implies b empty or b.hi=+inf and b=[+inf,+inf] is not valid
+  // for our constructors except via explicit infinities; guard anyway.
+  if (std::isnan(lo)) lo = -kInf;
+  if (std::isnan(hi)) hi = kInf;
+  return Widen(Interval(lo, hi));
+}
+
+Interval operator-(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo() - b.hi();
+  double hi = a.hi() - b.lo();
+  if (std::isnan(lo)) lo = -kInf;
+  if (std::isnan(hi)) hi = kInf;
+  return Widen(Interval(lo, hi));
+}
+
+Interval operator-(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  return Interval(-a.hi(), -a.lo());
+}
+
+Interval operator*(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  const double p1 = MulEndpoint(a.lo(), b.lo());
+  const double p2 = MulEndpoint(a.lo(), b.hi());
+  const double p3 = MulEndpoint(a.hi(), b.lo());
+  const double p4 = MulEndpoint(a.hi(), b.hi());
+  double lo = std::fmin(std::fmin(p1, p2), std::fmin(p3, p4));
+  double hi = std::fmax(std::fmax(p1, p2), std::fmax(p3, p4));
+  return Widen(Interval(lo, hi));
+}
+
+Interval operator/(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  if (b.lo() == 0.0 && b.hi() == 0.0) return Interval::Empty();
+  if (b.ContainsZero()) {
+    if (b.lo() == 0.0) {
+      // Divisor in (0, b.hi()]: result diverges toward ±inf as y→0+.
+      double lo = a.lo() < 0.0 ? -kInf : NextDown(a.lo() / b.hi());
+      double hi = a.hi() > 0.0 ? kInf : NextUp(a.hi() / b.hi());
+      if (std::isnan(lo)) lo = -kInf;  // 0/0 endpoint
+      if (std::isnan(hi)) hi = kInf;
+      return Interval(lo, hi);
+    }
+    if (b.hi() == 0.0) {
+      // Divisor in [b.lo(), 0): a/b == -(a / (-b)) with -b in (0, -b.lo()].
+      return -(a / Interval(0.0, -b.lo()));
+    }
+    return Interval::Entire();  // zero interior to the divisor
+  }
+  const double q1 = a.lo() / b.lo();
+  const double q2 = a.lo() / b.hi();
+  const double q3 = a.hi() / b.lo();
+  const double q4 = a.hi() / b.hi();
+  double lo = std::fmin(std::fmin(q1, q2), std::fmin(q3, q4));
+  double hi = std::fmax(std::fmax(q1, q2), std::fmax(q3, q4));
+  if (std::isnan(lo) || std::isnan(hi)) return Interval::Entire();
+  return Widen(Interval(lo, hi));
+}
+
+Interval operator+(const Interval& a, double b) { return a + Interval(b); }
+Interval operator-(const Interval& a, double b) { return a - Interval(b); }
+Interval operator*(const Interval& a, double b) { return a * Interval(b); }
+Interval operator/(const Interval& a, double b) { return a / Interval(b); }
+Interval operator+(double a, const Interval& b) { return Interval(a) + b; }
+Interval operator-(double a, const Interval& b) { return Interval(a) - b; }
+Interval operator*(double a, const Interval& b) { return Interval(a) * b; }
+Interval operator/(double a, const Interval& b) { return Interval(a) / b; }
+
+bool CertainlyLe(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return true;
+  return a.hi() <= b.lo();
+}
+
+bool CertainlyLt(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return true;
+  return a.hi() < b.lo();
+}
+
+bool PossiblyLe(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  return a.lo() <= b.hi();
+}
+
+bool PossiblyLt(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  return a.lo() < b.hi();
+}
+
+}  // namespace xcv

@@ -1,0 +1,192 @@
+// Outward-rounded interval arithmetic.
+//
+// This is the numeric substrate of the delta-SAT solver (the dReal
+// substitute): every forward evaluation used for UNSAT/"verified" verdicts
+// goes through these enclosures. Results are conservative: the true range of
+// the operation over the inputs is always contained in the returned interval.
+//
+// Outward rounding is implemented by widening each computed endpoint by one
+// ulp (a few ulps for libm transcendentals, whose results are faithful but
+// not correctly rounded). This is slightly wider than directed-rounding-mode
+// arithmetic but portable and branch-free.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace xcv {
+
+/// A closed interval [lo, hi] of reals, possibly unbounded (±inf endpoints)
+/// or empty. NaN endpoints never appear in valid intervals.
+class Interval {
+ public:
+  /// Default-constructs the empty interval.
+  Interval() : lo_(1.0), hi_(0.0) {}
+
+  /// Degenerate interval [v, v]. NaN produces the empty interval.
+  explicit Interval(double v) : Interval(v, v) {}
+
+  /// Interval [lo, hi]. If lo > hi or either bound is NaN, the interval is
+  /// empty.
+  Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!(lo_ <= hi_)) {  // catches NaN as well
+      lo_ = 1.0;
+      hi_ = 0.0;
+    }
+  }
+
+  static Interval Empty() { return Interval(); }
+  static Interval Entire() {
+    return Interval(-std::numeric_limits<double>::infinity(),
+                    std::numeric_limits<double>::infinity());
+  }
+  static Interval NonNegative() {
+    return Interval(0.0, std::numeric_limits<double>::infinity());
+  }
+  static Interval NonPositive() {
+    return Interval(-std::numeric_limits<double>::infinity(), 0.0);
+  }
+
+  bool IsEmpty() const { return lo_ > hi_; }
+  bool IsEntire() const {
+    return lo_ == -std::numeric_limits<double>::infinity() &&
+           hi_ == std::numeric_limits<double>::infinity();
+  }
+  bool IsPoint() const { return lo_ == hi_; }
+  bool IsBounded() const {
+    return !IsEmpty() && std::isfinite(lo_) && std::isfinite(hi_);
+  }
+
+  /// Lower bound. Meaningless if empty.
+  double lo() const { return lo_; }
+  /// Upper bound. Meaningless if empty.
+  double hi() const { return hi_; }
+
+  /// Width hi-lo (0 for points, +inf for unbounded, NaN never). Empty: 0.
+  double Width() const { return IsEmpty() ? 0.0 : hi_ - lo_; }
+
+  /// A finite representative point (clamped midpoint). Requires non-empty.
+  double Midpoint() const;
+
+  /// Magnitude: max |x| over the interval. Empty: 0.
+  double Mag() const;
+
+  bool Contains(double v) const { return !IsEmpty() && lo_ <= v && v <= hi_; }
+  bool ContainsZero() const { return Contains(0.0); }
+
+  /// True if this interval is a subset of `other` (empty ⊆ anything).
+  bool SubsetOf(const Interval& other) const {
+    if (IsEmpty()) return true;
+    if (other.IsEmpty()) return false;
+    return other.lo_ <= lo_ && hi_ <= other.hi_;
+  }
+
+  /// True if the intervals share at least one point.
+  bool Intersects(const Interval& other) const {
+    return !IsEmpty() && !other.IsEmpty() && lo_ <= other.hi_ &&
+           other.lo_ <= hi_;
+  }
+
+  /// Set intersection.
+  Interval Intersect(const Interval& other) const {
+    if (IsEmpty() || other.IsEmpty()) return Empty();
+    return Interval(std::fmax(lo_, other.lo_), std::fmin(hi_, other.hi_));
+  }
+
+  /// Convex hull (smallest interval containing both).
+  Interval Hull(const Interval& other) const {
+    if (IsEmpty()) return other;
+    if (other.IsEmpty()) return *this;
+    return Interval(std::fmin(lo_, other.lo_), std::fmax(hi_, other.hi_));
+  }
+
+  /// Exact equality of representation (empty == empty).
+  bool operator==(const Interval& other) const {
+    if (IsEmpty() && other.IsEmpty()) return true;
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  /// Splits at the midpoint into two halves covering *this.
+  /// Requires a non-empty, non-point interval.
+  void Bisect(Interval* left, Interval* right) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_, hi_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+// ---- Rounding helpers -------------------------------------------------------
+
+/// Next double below v (identity on -inf).
+double NextDown(double v);
+/// Next double above v (identity on +inf).
+double NextUp(double v);
+/// [NextDown(lo), NextUp(hi)] — one-ulp outward widening.
+Interval Widen(const Interval& iv);
+/// Outward widening by `ulps` steps on each side (for libm enclosures).
+Interval WidenUlps(const Interval& iv, int ulps);
+
+// ---- Arithmetic -------------------------------------------------------------
+
+Interval operator+(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a);
+Interval operator*(const Interval& a, const Interval& b);
+/// Division. If 0 is interior to `b`, the result is the entire line (the
+/// solver splits such boxes rather than reasoning about unions).
+Interval operator/(const Interval& a, const Interval& b);
+
+Interval operator+(const Interval& a, double b);
+Interval operator-(const Interval& a, double b);
+Interval operator*(const Interval& a, double b);
+Interval operator/(const Interval& a, double b);
+Interval operator+(double a, const Interval& b);
+Interval operator-(double a, const Interval& b);
+Interval operator*(double a, const Interval& b);
+Interval operator/(double a, const Interval& b);
+
+// ---- Elementary functions (in functions.cpp) --------------------------------
+
+Interval Sqr(const Interval& a);
+/// sqrt over a∩[0,∞); empty if a < 0 everywhere.
+Interval Sqrt(const Interval& a);
+/// Cube root (defined on all reals).
+Interval Cbrt(const Interval& a);
+Interval Exp(const Interval& a);
+/// log over a∩(0,∞); empty if a ≤ 0 everywhere. lo endpoint 0 maps to -inf.
+Interval Log(const Interval& a);
+Interval Sin(const Interval& a);
+Interval Cos(const Interval& a);
+Interval Atan(const Interval& a);
+Interval Tanh(const Interval& a);
+Interval Abs(const Interval& a);
+Interval Min(const Interval& a, const Interval& b);
+Interval Max(const Interval& a, const Interval& b);
+/// x^n for integer n (handles negative bases and exponents).
+Interval PowInt(const Interval& a, long long n);
+/// x^p for real p: domain restricted to x ≥ 0 unless p is integral.
+Interval Pow(const Interval& a, double p);
+/// x^y with interval exponent: exp(y·log x), domain x > 0 (plus the x=0 edge
+/// when y > 0).
+Interval Pow(const Interval& a, const Interval& y);
+/// Principal branch of the Lambert W function on a∩[-1/e, ∞).
+Interval LambertW0(const Interval& a);
+
+// ---- Relational predicates ---------------------------------------------------
+
+/// Certainly a ≤ b: every pair (x∈a, y∈b) satisfies x ≤ y. Empty → true.
+bool CertainlyLe(const Interval& a, const Interval& b);
+/// Certainly a < b.
+bool CertainlyLt(const Interval& a, const Interval& b);
+/// Possibly a ≤ b: some pair satisfies x ≤ y. Empty → false.
+bool PossiblyLe(const Interval& a, const Interval& b);
+/// Possibly a < b.
+bool PossiblyLt(const Interval& a, const Interval& b);
+
+}  // namespace xcv

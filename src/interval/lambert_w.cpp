@@ -1,0 +1,59 @@
+#include "interval/lambert_w.h"
+
+#include <cmath>
+#include <limits>
+
+namespace xcv {
+
+namespace {
+
+// Halley's method on f(w) = w e^w - x. Quadratic-plus convergence; the
+// initial guesses below put us within the basin everywhere on [-1/e, inf).
+double Halley(double x, double w) {
+  for (int i = 0; i < 64; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    if (f == 0.0) return w;
+    const double wp1 = w + 1.0;
+    const double denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+    const double step = f / denom;
+    const double next = w - step;
+    if (next == w || std::fabs(step) <= 1e-17 * (1.0 + std::fabs(next)))
+      return next;
+    w = next;
+  }
+  return w;
+}
+
+}  // namespace
+
+double LambertW0(double x) {
+  if (std::isnan(x)) return x;
+  if (x < kMinusInvE) {
+    // Allow a hair of slack for x computed as -1/e with roundoff.
+    if (x > kMinusInvE * (1.0 + 1e-12))
+      return -1.0;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x == 0.0) return 0.0;
+  if (std::isinf(x)) return x;
+
+  double w;
+  if (x < -0.3) {
+    // Near the branch point use the series in p = sqrt(2(1 + e x)).
+    const double p = std::sqrt(2.0 * (1.0 + kE * x));
+    w = -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p;
+  } else if (x < 2.0) {
+    // Padé-flavoured guess around 0: W(x) ≈ x(1 + ...)^{-1} — a plain
+    // x/(1+x) is inside the Halley basin here.
+    w = x / (1.0 + x);
+  } else {
+    // Asymptotic: W(x) ≈ ln x - ln ln x for large x.
+    const double l1 = std::log(x);
+    const double l2 = std::log(l1);
+    w = l1 - l2 + l2 / l1;
+  }
+  return Halley(x, w);
+}
+
+}  // namespace xcv

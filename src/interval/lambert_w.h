@@ -1,0 +1,15 @@
+// Principal branch W0 of the Lambert W function (w e^w = x, w ≥ -1),
+// needed by the AM05 exchange functional's Airy-gas factor.
+#pragma once
+
+namespace xcv {
+
+/// W0(x) for x ≥ -1/e. Returns NaN outside the domain.
+/// Accurate to ~2 ulp via Halley iteration from a piecewise initial guess.
+double LambertW0(double x);
+
+/// exp(1) and -1/e as correctly rounded constants.
+inline constexpr double kE = 2.718281828459045235360287;
+inline constexpr double kMinusInvE = -0.36787944117144232159553;
+
+}  // namespace xcv

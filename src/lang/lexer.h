@@ -1,0 +1,46 @@
+// Tokenizer for XCLang, the small functional math language this repo uses
+// where the paper used Maple source run through CodeGeneration and a Python
+// symbolic-execution engine. XCLang covers exactly what DFA definitions
+// need: arithmetic, powers, elementary functions, named definitions
+// (non-recursive, inlined), let-bindings, and if/then/else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <stdexcept>
+
+namespace xcv::lang {
+
+/// Raised for lexical and syntax errors; the message carries line:column.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class TokenKind {
+  kNumber,
+  kIdent,
+  kPlus, kMinus, kStar, kSlash, kCaret,
+  kLParen, kRParen, kComma, kSemicolon, kAssign,
+  kLe, kLt, kGe, kGt,
+  kKwDef, kKwLet, kKwIf, kKwThen, kKwElse,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier name or literal spelling
+  double number = 0;  // kNumber payload
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`. '#' starts a comment to end of line.
+/// Throws ParseError on an unexpected character or malformed number.
+std::vector<Token> Tokenize(const std::string& source);
+
+/// Printable token-kind name for diagnostics.
+std::string TokenKindName(TokenKind kind);
+
+}  // namespace xcv::lang

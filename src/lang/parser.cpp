@@ -1,0 +1,301 @@
+#include "lang/parser.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "support/check.h"
+
+namespace xcv::lang {
+
+namespace {
+
+using expr::Expr;
+using expr::Rel;
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEulerE = 2.71828182845904523536;
+
+struct FunctionDef {
+  std::vector<std::string> params;
+  std::vector<Token> body;  // token slice of the body expression
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Bindings& bindings)
+      : tokens_(std::move(tokens)), bindings_(bindings) {}
+
+  Expr ParseProgramTop() {
+    while (Peek().kind == TokenKind::kKwDef ||
+           Peek().kind == TokenKind::kKwLet) {
+      if (Peek().kind == TokenKind::kKwDef)
+        ParseDef();
+      else
+        ParseLet();
+    }
+    Expr result = ParseExpr();
+    Expect(TokenKind::kEof);
+    return result;
+  }
+
+  Expr ParseExpressionTop() {
+    Expr result = ParseExpr();
+    Expect(TokenKind::kEof);
+    return result;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+
+  const Token& Expect(TokenKind kind) {
+    const Token& t = Peek();
+    if (t.kind != kind)
+      Fail(t, "expected " + TokenKindName(kind) + ", found " +
+                  TokenKindName(t.kind));
+    return Advance();
+  }
+
+  [[noreturn]] void Fail(const Token& at, const std::string& what) const {
+    std::ostringstream os;
+    os << at.line << ":" << at.column << ": " << what;
+    throw ParseError(os.str());
+  }
+
+  void ParseDef() {
+    Expect(TokenKind::kKwDef);
+    const Token name = Expect(TokenKind::kIdent);
+    if (functions_.count(name.text) || lets_.count(name.text))
+      Fail(name, "redefinition of '" + name.text + "'");
+    FunctionDef def;
+    Expect(TokenKind::kLParen);
+    if (Peek().kind != TokenKind::kRParen) {
+      def.params.push_back(Expect(TokenKind::kIdent).text);
+      while (Accept(TokenKind::kComma))
+        def.params.push_back(Expect(TokenKind::kIdent).text);
+    }
+    Expect(TokenKind::kRParen);
+    Expect(TokenKind::kAssign);
+    // Capture the body as a token slice ending at ';' — bodies are re-parsed
+    // per call site with the argument bindings (inlining).
+    const std::size_t body_begin = pos_;
+    int depth = 0;
+    while (true) {
+      const Token& t = Peek();
+      if (t.kind == TokenKind::kEof)
+        Fail(t, "unterminated 'def' body (missing ';')");
+      if (t.kind == TokenKind::kSemicolon && depth == 0) break;
+      if (t.kind == TokenKind::kLParen) ++depth;
+      if (t.kind == TokenKind::kRParen) --depth;
+      Advance();
+    }
+    def.body.assign(tokens_.begin() + static_cast<std::ptrdiff_t>(body_begin),
+                    tokens_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    def.body.push_back(Token{TokenKind::kEof, "<eof>", 0.0,
+                             Peek().line, Peek().column});
+    Expect(TokenKind::kSemicolon);
+    functions_.emplace(name.text, std::move(def));
+  }
+
+  void ParseLet() {
+    Expect(TokenKind::kKwLet);
+    const Token name = Expect(TokenKind::kIdent);
+    if (functions_.count(name.text) || lets_.count(name.text))
+      Fail(name, "redefinition of '" + name.text + "'");
+    Expect(TokenKind::kAssign);
+    Expr value = ParseExpr();
+    Expect(TokenKind::kSemicolon);
+    lets_.emplace(name.text, value);
+  }
+
+  Expr ParseExpr() {
+    if (Peek().kind == TokenKind::kKwIf) return ParseIf();
+    return ParseAdditive();
+  }
+
+  Expr ParseIf() {
+    Expect(TokenKind::kKwIf);
+    Expr lhs = ParseAdditive();
+    const Token& op = Advance();
+    Rel rel;
+    bool swapped = false;
+    switch (op.kind) {
+      case TokenKind::kLe: rel = Rel::kLe; break;
+      case TokenKind::kLt: rel = Rel::kLt; break;
+      case TokenKind::kGe: rel = Rel::kLe; swapped = true; break;
+      case TokenKind::kGt: rel = Rel::kLt; swapped = true; break;
+      default:
+        Fail(op, "expected comparison operator in 'if' condition");
+    }
+    Expr rhs = ParseAdditive();
+    Expect(TokenKind::kKwThen);
+    Expr then_branch = ParseExpr();
+    Expect(TokenKind::kKwElse);
+    Expr else_branch = ParseExpr();
+    if (swapped) std::swap(lhs, rhs);
+    return expr::Ite(lhs, rel, rhs, then_branch, else_branch);
+  }
+
+  Expr ParseAdditive() {
+    Expr left = ParseMultiplicative();
+    while (true) {
+      if (Accept(TokenKind::kPlus))
+        left = left + ParseMultiplicative();
+      else if (Accept(TokenKind::kMinus))
+        left = left - ParseMultiplicative();
+      else
+        return left;
+    }
+  }
+
+  Expr ParseMultiplicative() {
+    Expr left = ParseUnary();
+    while (true) {
+      if (Accept(TokenKind::kStar))
+        left = left * ParseUnary();
+      else if (Accept(TokenKind::kSlash))
+        left = left / ParseUnary();
+      else
+        return left;
+    }
+  }
+
+  Expr ParseUnary() {
+    if (Accept(TokenKind::kMinus)) return -ParseUnary();
+    return ParsePower();
+  }
+
+  Expr ParsePower() {
+    Expr base = ParseAtom();
+    if (Accept(TokenKind::kCaret)) return expr::Pow(base, ParseUnary());
+    return base;
+  }
+
+  Expr ParseAtom() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kNumber:
+        Advance();
+        return Expr::Constant(t.number);
+      case TokenKind::kLParen: {
+        Advance();
+        Expr inner = ParseExpr();
+        Expect(TokenKind::kRParen);
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        const Token name = t;
+        Advance();
+        if (Peek().kind == TokenKind::kLParen) return ParseCall(name);
+        return ResolveName(name);
+      }
+      default:
+        Fail(t, "expected expression, found " + TokenKindName(t.kind));
+    }
+  }
+
+  Expr ResolveName(const Token& name) {
+    if (auto it = locals_.find(name.text); it != locals_.end())
+      return it->second;
+    if (auto it = lets_.find(name.text); it != lets_.end()) return it->second;
+    if (auto it = bindings_.find(name.text); it != bindings_.end())
+      return it->second;
+    if (name.text == "pi") return Expr::Constant(kPi);
+    if (name.text == "euler_e") return Expr::Constant(kEulerE);
+    Fail(name, "unknown identifier '" + name.text + "'");
+  }
+
+  Expr ParseCall(const Token& name) {
+    Expect(TokenKind::kLParen);
+    std::vector<Expr> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      args.push_back(ParseExpr());
+      while (Accept(TokenKind::kComma)) args.push_back(ParseExpr());
+    }
+    Expect(TokenKind::kRParen);
+
+    auto need = [&](std::size_t n) {
+      if (args.size() != n)
+        Fail(name, "'" + name.text + "' expects " + std::to_string(n) +
+                       " argument(s), got " + std::to_string(args.size()));
+    };
+    const std::string& f = name.text;
+    if (f == "exp") { need(1); return expr::ExpE(args[0]); }
+    if (f == "log") { need(1); return expr::LogE(args[0]); }
+    if (f == "sqrt") { need(1); return expr::SqrtE(args[0]); }
+    if (f == "cbrt") { need(1); return expr::CbrtE(args[0]); }
+    if (f == "sin") { need(1); return expr::SinE(args[0]); }
+    if (f == "cos") { need(1); return expr::CosE(args[0]); }
+    if (f == "atan") { need(1); return expr::AtanE(args[0]); }
+    if (f == "tanh") { need(1); return expr::TanhE(args[0]); }
+    if (f == "abs") { need(1); return expr::AbsE(args[0]); }
+    if (f == "lambertw") { need(1); return expr::LambertW0E(args[0]); }
+    if (f == "min") { need(2); return expr::Min(args[0], args[1]); }
+    if (f == "max") { need(2); return expr::Max(args[0], args[1]); }
+    if (f == "pow") { need(2); return expr::Pow(args[0], args[1]); }
+
+    auto it = functions_.find(f);
+    if (it == functions_.end())
+      Fail(name, "unknown function '" + f + "'");
+    const FunctionDef& def = it->second;
+    need(def.params.size());
+    if (inlining_.count(f))
+      Fail(name, "recursive call to '" + f + "' is not allowed");
+
+    // Inline: parse the captured body with parameters bound to argument
+    // expressions. Lexical scoping: the body sees lets/defs/bindings plus
+    // its own parameters (not the caller's locals).
+    inlining_.insert(f);
+    std::map<std::string, Expr> saved_locals;
+    saved_locals.swap(locals_);
+    for (std::size_t i = 0; i < args.size(); ++i)
+      locals_.emplace(def.params[i], args[i]);
+    // Recursive descent over the body tokens with a sub-parser sharing
+    // state: simplest correct approach is to swap the token stream.
+    std::vector<Token> saved_tokens;
+    saved_tokens.swap(tokens_);
+    tokens_ = def.body;
+    const std::size_t saved_pos = pos_;
+    pos_ = 0;
+    Expr result = ParseExpr();
+    Expect(TokenKind::kEof);
+    tokens_.swap(saved_tokens);
+    pos_ = saved_pos;
+    locals_.swap(saved_locals);
+    inlining_.erase(f);
+    return result;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  const Bindings& bindings_;
+  std::map<std::string, FunctionDef> functions_;
+  std::map<std::string, Expr> lets_;
+  std::map<std::string, Expr> locals_;
+  std::set<std::string> inlining_;
+};
+
+}  // namespace
+
+expr::Expr ParseExpression(const std::string& source,
+                           const Bindings& bindings) {
+  return Parser(Tokenize(source), bindings).ParseExpressionTop();
+}
+
+expr::Expr ParseProgram(const std::string& source, const Bindings& bindings) {
+  return Parser(Tokenize(source), bindings).ParseProgramTop();
+}
+
+}  // namespace xcv::lang

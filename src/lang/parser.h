@@ -1,0 +1,46 @@
+// XCLang parser and lowering to the expression DAG.
+//
+// This plays the role of the paper's XCEncoder front half: it takes a
+// textual functional definition (the analogue of Maple-generated code) and
+// produces the solver-ready symbolic expression. `def` functions are
+// non-recursive and inlined at call sites — the same "symbolic execution of
+// non-recursive calls" the paper describes for its Python subset.
+//
+// Grammar (EBNF):
+//   program   := { def | let } expr
+//   def       := "def" IDENT "(" [ IDENT { "," IDENT } ] ")" "=" expr ";"
+//   let       := "let" IDENT "=" expr ";"
+//   expr      := "if" cond "then" expr "else" expr | additive
+//   cond      := additive ("<=" | "<" | ">=" | ">") additive
+//   additive  := multiplicative { ("+" | "-") multiplicative }
+//   multiplicative := unary { ("*" | "/") unary }
+//   unary     := "-" unary | power
+//   power     := atom [ "^" unary ]          (right associative)
+//   atom      := NUMBER | IDENT | IDENT "(" args ")" | "(" expr ")"
+//
+// Builtin functions: exp, log, sqrt, cbrt, sin, cos, atan, tanh, abs,
+// lambertw, min, max, pow. Builtin constants: pi, euler_e.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "expr/expr.h"
+#include "lang/lexer.h"
+
+namespace xcv::lang {
+
+/// Free-variable/constant bindings visible to the parsed source. Typically
+/// {"rs": Expr::Variable("rs",0), "s": Expr::Variable("s",1)}.
+using Bindings = std::map<std::string, expr::Expr>;
+
+/// Parses a single expression (no defs/lets). Throws ParseError on syntax
+/// errors or unknown identifiers.
+expr::Expr ParseExpression(const std::string& source,
+                           const Bindings& bindings);
+
+/// Parses a whole program: any number of `def`/`let` statements followed by
+/// one result expression.
+expr::Expr ParseProgram(const std::string& source, const Bindings& bindings);
+
+}  // namespace xcv::lang

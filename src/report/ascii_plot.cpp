@@ -1,0 +1,144 @@
+#include "report/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace xcv::report {
+
+using solver::Box;
+using verifier::RegionStatus;
+using verifier::VerificationReport;
+
+namespace {
+
+char StatusChar(RegionStatus status) {
+  switch (status) {
+    case RegionStatus::kVerified: return '.';
+    case RegionStatus::kCounterexample: return '#';
+    case RegionStatus::kInconclusive: return '?';
+    case RegionStatus::kTimeout: return 'T';
+  }
+  return ' ';
+}
+
+std::string AxisFooter(const Interval& x_range, const Interval& y_range,
+                       int width) {
+  std::ostringstream os;
+  os << "x: rs in " << x_range.ToString() << ", y: s in "
+     << y_range.ToString() << "\n";
+  std::string lo = FormatDouble(x_range.lo(), 3);
+  std::string hi = FormatDouble(x_range.hi(), 3);
+  os << lo
+     << std::string(
+            std::max<int>(1, width - static_cast<int>(lo.size() + hi.size())),
+            ' ')
+     << hi << "\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string PlotRegions(const VerificationReport& report, const Box& domain,
+                        const PlotOptions& options) {
+  XCV_CHECK(options.x_dim < domain.size());
+  XCV_CHECK(options.y_dim < domain.size() || domain.size() == 1);
+  const bool has_y = domain.size() > 1;
+  const Interval xr = domain[options.x_dim];
+  const Interval yr = has_y ? domain[options.y_dim] : Interval(0.0, 1.0);
+
+  std::ostringstream os;
+  std::vector<std::string> rows;
+  std::vector<double> point(domain.size());
+  // Slice extra dimensions at their midpoints.
+  for (std::size_t d = 0; d < domain.size(); ++d)
+    point[d] = domain[d].Midpoint();
+
+  for (int row = 0; row < options.height; ++row) {
+    std::string line(static_cast<std::size_t>(options.width), ' ');
+    // Top row = largest y.
+    const double fy =
+        1.0 - (static_cast<double>(row) + 0.5) / options.height;
+    if (has_y) point[options.y_dim] = yr.lo() + fy * yr.Width();
+    for (int col = 0; col < options.width; ++col) {
+      const double fx = (static_cast<double>(col) + 0.5) / options.width;
+      point[options.x_dim] = xr.lo() + fx * xr.Width();
+      // Find the leaf containing the sample point; later leaves win ties on
+      // shared boundaries (harmless).
+      char c = ' ';
+      for (const auto& leaf : report.leaves) {
+        if (leaf.box.Contains(point)) {
+          c = StatusChar(leaf.status);
+          break;
+        }
+      }
+      line[static_cast<std::size_t>(col)] = c;
+    }
+    rows.push_back(std::move(line));
+  }
+
+  // Overlay validated witnesses as 'x'.
+  for (const auto& w : report.witnesses) {
+    if (w.size() != domain.size()) continue;
+    const double fx = (w[options.x_dim] - xr.lo()) / xr.Width();
+    const double fy =
+        has_y ? (w[options.y_dim] - yr.lo()) / yr.Width() : 0.5;
+    const int col = std::clamp(
+        static_cast<int>(fx * options.width), 0, options.width - 1);
+    const int row = std::clamp(
+        static_cast<int>((1.0 - fy) * options.height), 0,
+        options.height - 1);
+    rows[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = 'x';
+  }
+
+  for (const std::string& r : rows) os << "|" << r << "|\n";
+  os << AxisFooter(xr, yr, options.width + 2);
+  if (options.show_legend)
+    os << "legend: '.' verified  '#' counterexample  '?' inconclusive  "
+          "'T' timeout  'x' witness\n";
+  return os.str();
+}
+
+std::string PlotPbGrid(const gridsearch::PbResult& result,
+                       const PlotOptions& options) {
+  const gridsearch::Grid& grid = result.grid;
+  const bool has_y = grid.Rank() > 1;
+  const auto& ax = grid.axis(options.x_dim);
+  const gridsearch::Axis ay =
+      has_y ? grid.axis(options.y_dim) : gridsearch::Axis{0.0, 1.0, 1};
+
+  std::ostringstream os;
+  for (int row = 0; row < options.height; ++row) {
+    os << "|";
+    const double fy =
+        1.0 - (static_cast<double>(row) + 0.5) / options.height;
+    for (int col = 0; col < options.width; ++col) {
+      const double fx = (static_cast<double>(col) + 0.5) / options.width;
+      // Nearest grid point in each plotted dimension; other dims take their
+      // middle index.
+      std::vector<std::size_t> coords(grid.Rank());
+      for (std::size_t d = 0; d < grid.Rank(); ++d)
+        coords[d] = grid.axis(d).n / 2;
+      coords[options.x_dim] = std::min<std::size_t>(
+          ax.n - 1,
+          static_cast<std::size_t>(std::lround(fx * (ax.n - 1))));
+      if (has_y)
+        coords[options.y_dim] = std::min<std::size_t>(
+            ay.n - 1,
+            static_cast<std::size_t>(std::lround(fy * (ay.n - 1))));
+      const std::size_t idx = grid.Index(coords);
+      os << (result.violated[idx] ? '#' : '.');
+    }
+    os << "|\n";
+  }
+  os << AxisFooter(Interval(ax.lo, ax.hi), Interval(ay.lo, ay.hi),
+                   options.width + 2);
+  if (options.show_legend)
+    os << "legend: '.' passes  '#' violates (PB grid check)\n";
+  return os.str();
+}
+
+}  // namespace xcv::report

@@ -1,0 +1,38 @@
+// Terminal renderings of the paper's region figures (Figs. 1 and 2):
+// rs on the horizontal axis, s on the vertical axis (s increases upward).
+//
+// Verifier maps (bottom rows of the figures):
+//   '.' verified   '#' counterexample region   '?' inconclusive
+//   'T' timeout    'x' a validated witness point
+// PB maps (top rows):
+//   '.' grid point passes   '#' grid point violates
+#pragma once
+
+#include <string>
+
+#include "gridsearch/pb_checker.h"
+#include "solver/box.h"
+#include "verifier/region.h"
+
+namespace xcv::report {
+
+struct PlotOptions {
+  int width = 64;   // character columns
+  int height = 24;  // character rows
+  /// Axis indices to plot (defaults: rs horizontal, s vertical).
+  std::size_t x_dim = 0;
+  std::size_t y_dim = 1;
+  /// For 3-D domains: remaining dimensions are sliced at their midpoint.
+  bool show_legend = true;
+};
+
+/// Renders the leaf partition of a verification run.
+std::string PlotRegions(const verifier::VerificationReport& report,
+                        const solver::Box& domain,
+                        const PlotOptions& options = {});
+
+/// Renders a PB grid-check result.
+std::string PlotPbGrid(const gridsearch::PbResult& result,
+                       const PlotOptions& options = {});
+
+}  // namespace xcv::report

@@ -1,0 +1,67 @@
+#include "report/consistency.h"
+
+namespace xcv::report {
+
+using verifier::Verdict;
+
+std::string ConsistencySymbol(Consistency c) {
+  switch (c) {
+    case Consistency::kConsistent: return "J";
+    case Consistency::kNotInconsistent: return "J*";
+    case Consistency::kUnknown: return "?";
+    case Consistency::kNotApplicable: return "−";
+    case Consistency::kMismatch: return "!";
+  }
+  return "?";
+}
+
+Consistency Compare(const std::optional<gridsearch::PbResult>& pb,
+                    const verifier::VerificationReport& verification) {
+  if (!pb.has_value()) return Consistency::kNotApplicable;
+
+  const Verdict verdict = verification.Summarize();
+  if (verdict == Verdict::kUnknown) return Consistency::kUnknown;
+
+  const bool verifier_found = verdict == Verdict::kCounterexample;
+  if (!pb->any_violation && !verifier_found)
+    return Consistency::kNotInconsistent;
+
+  if (pb->any_violation && verifier_found) {
+    // Consistent when the verifier's validated witnesses fall inside (a
+    // slightly padded) bounding box of PB's violating grid points.
+    std::size_t inside = 0;
+    for (const auto& w : verification.witnesses) {
+      bool ok = true;
+      for (std::size_t d = 0; d < pb->violation_bounds.size() && d < w.size();
+           ++d) {
+        const Interval& b = pb->violation_bounds[d];
+        const double pad =
+            0.05 * (pb->grid.axis(d).hi - pb->grid.axis(d).lo) +
+            2.0 * pb->grid.axis(d).Step();
+        if (w[d] < b.lo() - pad || w[d] > b.hi() + pad) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++inside;
+    }
+    // Majority of witnesses in the PB region → consistent.
+    return 2 * inside >= verification.witnesses.size()
+               ? Consistency::kConsistent
+               : Consistency::kMismatch;
+  }
+
+  // One method finds a violation the other excludes. If the verifier fully
+  // verified the domain while PB flags points (or vice versa), that is a
+  // real discrepancy worth surfacing.
+  if (pb->any_violation && verdict == Verdict::kVerified)
+    return Consistency::kMismatch;
+  if (pb->any_violation) {
+    // Verifier partially verified and found nothing, PB found violations —
+    // the violation may sit in a timed-out region: not inconsistent.
+    return Consistency::kNotInconsistent;
+  }
+  return Consistency::kMismatch;  // verifier found CE, PB found none
+}
+
+}  // namespace xcv::report

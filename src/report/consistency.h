@@ -1,0 +1,41 @@
+// Table II logic: comparing PB grid-search results with the verifier's.
+//
+// Paper legend:
+//   J  (kConsistent)       — PB's counterexample regions agree with the
+//                            verifier's (both find violations, in
+//                            overlapping parts of the domain).
+//   J* (kNotInconsistent)  — neither method finds a violation (the verifier
+//                            may have verified everything or partially
+//                            timed out; nothing contradicts PB).
+//   ?  (kUnknown)          — verifier timed out everywhere; no comparison.
+//   −  (kNotApplicable)    — condition does not apply to the DFA.
+//   kMismatch              — genuine disagreement (one finds a violation
+//                            where the other excludes it). Never occurs in
+//                            the paper; kept because detecting it is the
+//                            point of the comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gridsearch/pb_checker.h"
+#include "verifier/region.h"
+
+namespace xcv::report {
+
+enum class Consistency {
+  kConsistent,       // J
+  kNotInconsistent,  // J*
+  kUnknown,          // ?
+  kNotApplicable,    // −
+  kMismatch,         // !
+};
+
+std::string ConsistencySymbol(Consistency c);
+
+/// Compares one DFA-condition pair. `pb` is nullopt when the condition does
+/// not apply (then the verifier report is ignored).
+Consistency Compare(const std::optional<gridsearch::PbResult>& pb,
+                    const verifier::VerificationReport& verification);
+
+}  // namespace xcv::report

@@ -1,0 +1,42 @@
+#include "report/csv.h"
+
+#include "support/strings.h"
+
+namespace xcv::report {
+
+void WriteRegionsCsv(const verifier::VerificationReport& report,
+                     std::ostream& os) {
+  os << "status";
+  if (!report.leaves.empty()) {
+    for (std::size_t d = 0; d < report.leaves.front().box.size(); ++d)
+      os << ",dim" << d << "_lo,dim" << d << "_hi";
+  }
+  os << ",witness\n";
+  for (const auto& leaf : report.leaves) {
+    os << verifier::RegionStatusName(leaf.status);
+    for (std::size_t d = 0; d < leaf.box.size(); ++d)
+      os << "," << FormatDouble(leaf.box[d].lo(), 9) << ","
+         << FormatDouble(leaf.box[d].hi(), 9);
+    os << ",";
+    for (std::size_t d = 0; d < leaf.witness.size(); ++d) {
+      if (d) os << ";";
+      os << FormatDouble(leaf.witness[d], 9);
+    }
+    os << "\n";
+  }
+}
+
+void WritePbViolationsCsv(const gridsearch::PbResult& result,
+                          std::ostream& os) {
+  os << "index";
+  for (std::size_t d = 0; d < result.grid.Rank(); ++d) os << ",dim" << d;
+  os << "\n";
+  for (std::size_t i = 0; i < result.violated.size(); ++i) {
+    if (!result.violated[i]) continue;
+    os << i;
+    for (double v : result.grid.Point(i)) os << "," << FormatDouble(v, 9);
+    os << "\n";
+  }
+}
+
+}  // namespace xcv::report

@@ -1,0 +1,20 @@
+// CSV export of verification artifacts for downstream plotting.
+#pragma once
+
+#include <ostream>
+
+#include "gridsearch/pb_checker.h"
+#include "verifier/region.h"
+
+namespace xcv::report {
+
+/// Writes the leaf partition: one row per leaf with box bounds, status and
+/// (for counterexamples) the witness coordinates.
+void WriteRegionsCsv(const verifier::VerificationReport& report,
+                     std::ostream& os);
+
+/// Writes the PB grid: one row per violating grid point.
+void WritePbViolationsCsv(const gridsearch::PbResult& result,
+                          std::ostream& os);
+
+}  // namespace xcv::report

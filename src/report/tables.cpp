@@ -1,0 +1,55 @@
+#include "report/tables.h"
+
+#include "support/check.h"
+#include "support/table.h"
+
+namespace xcv::report {
+
+std::string RenderTable1(
+    const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& column_labels,
+    const std::vector<std::vector<VerdictCell>>& cells) {
+  XCV_CHECK(cells.size() == row_labels.size());
+  TextTable table;
+  std::vector<std::string> header{"Local condition"};
+  header.insert(header.end(), column_labels.begin(), column_labels.end());
+  table.SetHeader(std::move(header));
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    XCV_CHECK(cells[r].size() == column_labels.size());
+    std::vector<std::string> row{row_labels[r]};
+    for (const VerdictCell& cell : cells[r])
+      row.push_back(verifier::VerdictSymbol(cell.verdict));
+    table.AddRow(std::move(row));
+  }
+  std::string out = table.Render();
+  out +=
+      "\nLegend: ✓ verified on entire domain; ✓* verified on part "
+      "(rest timeout/inconclusive);\n        ? timeout/inconclusive "
+      "everywhere; ✗ counterexample found; − not applicable.\n";
+  return out;
+}
+
+std::string RenderTable2(
+    const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& column_labels,
+    const std::vector<std::vector<Consistency>>& cells) {
+  XCV_CHECK(cells.size() == row_labels.size());
+  TextTable table;
+  std::vector<std::string> header{"Local condition"};
+  header.insert(header.end(), column_labels.begin(), column_labels.end());
+  table.SetHeader(std::move(header));
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    XCV_CHECK(cells[r].size() == column_labels.size());
+    std::vector<std::string> row{row_labels[r]};
+    for (Consistency c : cells[r]) row.push_back(ConsistencySymbol(c));
+    table.AddRow(std::move(row));
+  }
+  std::string out = table.Render();
+  out +=
+      "\nLegend: J results of PB are consistent with the verifier; J* not "
+      "inconsistent\n        (neither finds counterexamples); ? verifier "
+      "timed out; − not applicable; ! mismatch.\n";
+  return out;
+}
+
+}  // namespace xcv::report

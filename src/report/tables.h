@@ -1,0 +1,31 @@
+// Renderers for the paper's Table I (verifier verdicts) and Table II
+// (PB-vs-verifier consistency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/consistency.h"
+#include "verifier/region.h"
+
+namespace xcv::report {
+
+/// One Table I cell: verdict for a condition-DFA pair.
+struct VerdictCell {
+  verifier::Verdict verdict = verifier::Verdict::kNotApplicable;
+};
+
+/// Renders Table I. `row_labels` are condition names, `column_labels` are
+/// functional names; `cells[row][col]` in matching order.
+std::string RenderTable1(
+    const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& column_labels,
+    const std::vector<std::vector<VerdictCell>>& cells);
+
+/// Renders Table II with the J / J* / ? / − legend.
+std::string RenderTable2(
+    const std::vector<std::string>& row_labels,
+    const std::vector<std::string>& column_labels,
+    const std::vector<std::vector<Consistency>>& cells);
+
+}  // namespace xcv::report

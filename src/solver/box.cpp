@@ -1,0 +1,69 @@
+#include "solver/box.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace xcv::solver {
+
+bool Box::AnyEmpty() const {
+  for (const Interval& d : dims_)
+    if (d.IsEmpty()) return true;
+  return false;
+}
+
+double Box::MaxWidth() const {
+  double w = 0.0;
+  for (const Interval& d : dims_) w = std::fmax(w, d.Width());
+  return w;
+}
+
+std::size_t Box::WidestDim() const {
+  XCV_CHECK(!dims_.empty());
+  std::size_t best = 0;
+  double w = -1.0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].Width() > w) {
+      w = dims_[i].Width();
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> Box::Midpoint() const {
+  std::vector<double> p;
+  p.reserve(dims_.size());
+  for (const Interval& d : dims_) p.push_back(d.Midpoint());
+  return p;
+}
+
+std::pair<Box, Box> Box::Bisect(std::size_t dim) const {
+  XCV_CHECK(dim < dims_.size());
+  Interval left, right;
+  dims_[dim].Bisect(&left, &right);
+  Box a = *this, b = *this;
+  a.dims_[dim] = left;
+  b.dims_[dim] = right;
+  return {std::move(a), std::move(b)};
+}
+
+bool Box::Contains(std::span<const double> point) const {
+  if (point.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (!dims_[i].Contains(point[i])) return false;
+  return true;
+}
+
+std::string Box::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << " x ";
+    os << dims_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace xcv::solver

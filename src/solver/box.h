@@ -1,0 +1,50 @@
+// An axis-aligned box: one interval per solver variable.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "interval/interval.h"
+
+namespace xcv::solver {
+
+/// Interval vector indexed by variable index. Value type; cheap to copy for
+/// the dimensionalities used here (2–3 variables).
+class Box {
+ public:
+  Box() = default;
+  explicit Box(std::vector<Interval> dims) : dims_(std::move(dims)) {}
+
+  std::size_t size() const { return dims_.size(); }
+  const Interval& operator[](std::size_t i) const { return dims_[i]; }
+  Interval& operator[](std::size_t i) { return dims_[i]; }
+  std::span<const Interval> dims() const { return dims_; }
+
+  /// True if any dimension is the empty interval (box denotes ∅).
+  bool AnyEmpty() const;
+
+  /// Width of the widest dimension (0 for a point box).
+  double MaxWidth() const;
+
+  /// Index of the widest dimension. Requires size() > 0.
+  std::size_t WidestDim() const;
+
+  /// Geometric midpoint, one coordinate per dimension.
+  std::vector<double> Midpoint() const;
+
+  /// Splits dimension `dim` at its midpoint. Requires that dimension to be
+  /// non-empty and wider than a point.
+  std::pair<Box, Box> Bisect(std::size_t dim) const;
+
+  /// True if the point (sized like the box) lies inside every dimension.
+  bool Contains(std::span<const double> point) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+}  // namespace xcv::solver

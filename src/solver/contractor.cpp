@@ -1,0 +1,278 @@
+#include "solver/contractor.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace xcv::solver {
+
+namespace {
+
+using expr::Instr;
+using expr::Op;
+using expr::Rel;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kHalfPi = 1.57079632679489661923;
+
+// Signed p-th root for odd integer p: monotone increasing over all reals.
+Interval OddRoot(const Interval& z, long long p) {
+  if (z.IsEmpty()) return z;
+  auto root = [p](double v) {
+    if (std::isinf(v)) return v;
+    return v < 0.0 ? -std::pow(-v, 1.0 / static_cast<double>(p))
+                   : std::pow(v, 1.0 / static_cast<double>(p));
+  };
+  return WidenUlps(Interval(root(z.lo()), root(z.hi())), 2);
+}
+
+// tan over an interval strictly inside (-pi/2, pi/2); empty otherwise.
+Interval TanRestricted(const Interval& z) {
+  if (z.IsEmpty()) return z;
+  if (z.lo() <= -kHalfPi || z.hi() >= kHalfPi) return Interval::Entire();
+  return WidenUlps(Interval(std::tan(z.lo()), std::tan(z.hi())), 2);
+}
+
+// atanh over an interval inside (-1, 1); entire otherwise (no contraction).
+Interval AtanhRestricted(const Interval& z) {
+  if (z.IsEmpty()) return z;
+  if (z.lo() <= -1.0 || z.hi() >= 1.0) return Interval::Entire();
+  return WidenUlps(Interval(std::atanh(z.lo()), std::atanh(z.hi())), 2);
+}
+
+}  // namespace
+
+AtomContractor::AtomContractor(const expr::BoolExpr& atom)
+    : AtomContractor(atom.atom(), atom.rel()) {
+  // Delegating constructor does the work; kind checked by atom().
+}
+
+AtomContractor::AtomContractor(expr::Expr e, expr::Rel rel)
+    : expr_(std::move(e)), rel_(rel), tape_(expr::Compile(expr_)) {}
+
+Interval AtomContractor::Evaluate(const Box& box,
+                                  expr::TapeScratch& scratch) const {
+  return expr::EvalTapeInterval(tape_, box.dims(), scratch);
+}
+
+AtomContractor::Status AtomContractor::Classify(
+    const Box& box, expr::TapeScratch& scratch) const {
+  const Interval v = Evaluate(box, scratch);
+  if (v.IsEmpty()) return Status::kCertainlyFalse;  // nowhere defined
+  if (rel_ == Rel::kLe) {
+    if (v.hi() <= 0.0) return Status::kCertainlyTrue;
+    if (v.lo() > 0.0) return Status::kCertainlyFalse;
+  } else {
+    if (v.hi() < 0.0) return Status::kCertainlyTrue;
+    if (v.lo() >= 0.0) return Status::kCertainlyFalse;
+  }
+  return Status::kUnknown;
+}
+
+ContractOutcome AtomContractor::Contract(Box& box,
+                                         expr::TapeScratch& scratch) const {
+  const Interval root =
+      expr::EvalTapeIntervalForward(tape_, box.dims(), scratch);
+  if (root.IsEmpty()) return ContractOutcome::kEmpty;
+
+  // The constraint set is (-inf, 0]; for strict < the closure is the same,
+  // which is a sound over-approximation.
+  Interval narrowed = root.Intersect(Interval::NonPositive());
+  if (narrowed.IsEmpty()) return ContractOutcome::kEmpty;
+
+  auto& v = scratch.intervals;
+  v[static_cast<std::size_t>(tape_.root())] = narrowed;
+
+  // Reverse sweep. Because the tape is in topological order, every parent is
+  // processed before its children, so narrowings flow root-to-leaves.
+  // Projections from un-narrowed parents are expansive no-ops (sound).
+  std::vector<std::int32_t> operand_slots;
+  for (std::size_t k = tape_.size(); k-- > 0;) {
+    const Instr& ins = tape_.instrs[k];
+    const Interval z = v[k];
+    if (z.IsEmpty()) return ContractOutcome::kEmpty;
+    auto narrow = [&](std::int32_t slot, const Interval& projection) {
+      v[static_cast<std::size_t>(slot)] =
+          v[static_cast<std::size_t>(slot)].Intersect(projection);
+    };
+    switch (ins.op) {
+      case Op::kConst:
+        if (!z.Contains(ins.value)) return ContractOutcome::kEmpty;
+        break;
+      case Op::kVar:
+        break;  // handled after the sweep
+      case Op::kAdd: {
+        // Project each operand *position*: skip exactly one occurrence of
+        // the slot, so duplicated operands (x + x) are handled soundly.
+        operand_slots.clear();
+        operand_slots.push_back(ins.a);
+        operand_slots.push_back(ins.b);
+        operand_slots.insert(operand_slots.end(), ins.rest.begin(),
+                             ins.rest.end());
+        for (std::size_t p = 0; p < operand_slots.size(); ++p) {
+          Interval others(0.0);
+          for (std::size_t q = 0; q < operand_slots.size(); ++q)
+            if (q != p)
+              others = others +
+                       v[static_cast<std::size_t>(operand_slots[q])];
+          narrow(operand_slots[p], z - others);
+        }
+        break;
+      }
+      case Op::kMul: {
+        operand_slots.clear();
+        operand_slots.push_back(ins.a);
+        operand_slots.push_back(ins.b);
+        operand_slots.insert(operand_slots.end(), ins.rest.begin(),
+                             ins.rest.end());
+        for (std::size_t p = 0; p < operand_slots.size(); ++p) {
+          Interval others(1.0);
+          for (std::size_t q = 0; q < operand_slots.size(); ++q)
+            if (q != p)
+              others = others *
+                       v[static_cast<std::size_t>(operand_slots[q])];
+          if (!others.ContainsZero()) narrow(operand_slots[p], z / others);
+        }
+        break;
+      }
+      case Op::kDiv: {
+        // z = x / y  =>  x = z * y,  y = x / z.
+        narrow(ins.a, z * v[static_cast<std::size_t>(ins.b)]);
+        if (!z.ContainsZero())
+          narrow(ins.b, v[static_cast<std::size_t>(ins.a)] / z);
+        break;
+      }
+      case Op::kPow: {
+        const Instr& exp_ins = tape_.instrs[static_cast<std::size_t>(ins.b)];
+        if (exp_ins.op != Op::kConst) break;  // symbolic exponent: skip
+        const double p = exp_ins.value;
+        const Interval x = v[static_cast<std::size_t>(ins.a)];
+        if (p == std::floor(p) && std::fabs(p) < 1e15) {
+          const auto n = static_cast<long long>(p);
+          if (n % 2 != 0) {
+            // Odd power is a bijection on the reals.
+            if (n > 0)
+              narrow(ins.a, OddRoot(z, n));
+            else if (!z.ContainsZero())
+              narrow(ins.a, OddRoot(1.0 / z, -n));
+          } else if (n > 0) {
+            // Even power: |x| = z^{1/n}.
+            Interval r = Pow(z.Intersect(Interval::NonNegative()),
+                             1.0 / static_cast<double>(n));
+            if (r.IsEmpty()) return ContractOutcome::kEmpty;
+            narrow(ins.a, Interval(-r.hi(), r.hi()));
+          } else if (x.lo() >= 0.0 && !z.ContainsZero()) {
+            narrow(ins.a, Pow(1.0 / z, -1.0 / static_cast<double>(n)));
+          }
+        } else if (x.lo() >= 0.0) {
+          // Non-integer exponent: x >= 0 by domain; monotone in x.
+          Interval zz = z.Intersect(Interval::NonNegative());
+          if (zz.IsEmpty()) return ContractOutcome::kEmpty;
+          narrow(ins.a, Pow(zz, 1.0 / p));
+        }
+        break;
+      }
+      case Op::kMin: {
+        // z = min(x, y): both operands are >= z.lo; if one operand cannot
+        // attain the minimum, the other must equal z.
+        const Interval floor_iv(z.lo(), kInf);
+        const Interval x = v[static_cast<std::size_t>(ins.a)];
+        const Interval y = v[static_cast<std::size_t>(ins.b)];
+        narrow(ins.a, floor_iv);
+        narrow(ins.b, floor_iv);
+        if (y.lo() > z.hi()) narrow(ins.a, z);
+        if (x.lo() > z.hi()) narrow(ins.b, z);
+        break;
+      }
+      case Op::kMax: {
+        const Interval ceil_iv(-kInf, z.hi());
+        const Interval x = v[static_cast<std::size_t>(ins.a)];
+        const Interval y = v[static_cast<std::size_t>(ins.b)];
+        narrow(ins.a, ceil_iv);
+        narrow(ins.b, ceil_iv);
+        if (y.hi() < z.lo()) narrow(ins.a, z);
+        if (x.hi() < z.lo()) narrow(ins.b, z);
+        break;
+      }
+      case Op::kNeg:
+        narrow(ins.a, -z);
+        break;
+      case Op::kExp: {
+        Interval x = Log(z);
+        if (x.IsEmpty()) return ContractOutcome::kEmpty;  // z entirely < 0
+        narrow(ins.a, x);
+        break;
+      }
+      case Op::kLog:
+        narrow(ins.a, Exp(z));
+        break;
+      case Op::kSqrt: {
+        Interval zz = z.Intersect(Interval::NonNegative());
+        if (zz.IsEmpty()) return ContractOutcome::kEmpty;
+        narrow(ins.a, Sqr(zz));
+        break;
+      }
+      case Op::kCbrt:
+        narrow(ins.a, PowInt(z, 3));
+        break;
+      case Op::kSin:
+      case Op::kCos:
+        break;  // multivalued inverse: no contraction
+      case Op::kAtan:
+        narrow(ins.a, TanRestricted(z.Intersect(
+                          Interval(-kHalfPi - 1e-12, kHalfPi + 1e-12))));
+        break;
+      case Op::kTanh:
+        narrow(ins.a, AtanhRestricted(z.Intersect(Interval(-1.0, 1.0))));
+        break;
+      case Op::kAbs: {
+        Interval zz = z.Intersect(Interval::NonNegative());
+        if (zz.IsEmpty()) return ContractOutcome::kEmpty;
+        const Interval x = v[static_cast<std::size_t>(ins.a)];
+        Interval proj(-zz.hi(), zz.hi());
+        if (x.lo() >= 0.0) proj = zz;
+        else if (x.hi() <= 0.0) proj = -zz;
+        narrow(ins.a, proj);
+        break;
+      }
+      case Op::kLambertW: {
+        // z = W0(x)  =>  x = z e^z; W0 range is [-1, inf).
+        Interval zz = z.Intersect(Interval(-1.0, kInf));
+        if (zz.IsEmpty()) return ContractOutcome::kEmpty;
+        narrow(ins.a, WidenUlps(zz * Exp(zz), 2));
+        break;
+      }
+      case Op::kIte: {
+        // Contract the taken branch only when the condition is decided over
+        // the (forward) operand enclosures; otherwise no contraction.
+        const Interval l = v[static_cast<std::size_t>(ins.a)];
+        const Interval r = v[static_cast<std::size_t>(ins.b)];
+        const bool can_true =
+            ins.rel == Rel::kLe ? PossiblyLe(l, r) : PossiblyLt(l, r);
+        const bool can_false =
+            ins.rel == Rel::kLe ? PossiblyLt(r, l) : PossiblyLe(r, l);
+        if (can_true && !can_false) narrow(ins.c, z);
+        if (can_false && !can_true) narrow(ins.d, z);
+        break;
+      }
+    }
+  }
+
+  // Fold narrowed variable slots back into the box.
+  bool contracted = false;
+  for (std::size_t var = 0; var < tape_.var_slot.size(); ++var) {
+    const std::int32_t slot = tape_.var_slot[var];
+    if (slot < 0) continue;
+    const Interval before = box[var];
+    const Interval after = before.Intersect(v[static_cast<std::size_t>(slot)]);
+    if (after.IsEmpty()) return ContractOutcome::kEmpty;
+    if (after != before) {
+      box[var] = after;
+      contracted = true;
+    }
+  }
+  return contracted ? ContractOutcome::kContracted
+                    : ContractOutcome::kNoChange;
+}
+
+}  // namespace xcv::solver

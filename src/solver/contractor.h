@@ -1,0 +1,56 @@
+// HC4-revise contractor for a single atomic constraint "e rel 0".
+//
+// HC4 is the workhorse of interval-constraint-propagation solvers (dReal's
+// included): a forward sweep computes interval enclosures for every node of
+// the expression tape; the root enclosure is intersected with the constraint
+// set ((-inf, 0] for ≤); a backward sweep then pushes the narrowed interval
+// down through inverse operations, contracting the variable domains.
+//
+// Contraction is sound: no point of the box satisfying the constraint is
+// ever removed. Operations with no useful inverse (trig, ite, non-constant
+// exponents) simply do not contract — still sound.
+#pragma once
+
+#include "expr/bool_expr.h"
+#include "expr/compile.h"
+#include "expr/expr.h"
+#include "solver/box.h"
+
+namespace xcv::solver {
+
+/// Result of one contraction pass.
+enum class ContractOutcome {
+  kEmpty,       // box proven infeasible for the atom
+  kContracted,  // at least one variable domain narrowed
+  kNoChange,
+};
+
+/// Compiled contractor for the atom "expr rel 0".
+class AtomContractor {
+ public:
+  /// `atom` must be an atom-kind BoolExpr.
+  explicit AtomContractor(const expr::BoolExpr& atom);
+  AtomContractor(expr::Expr e, expr::Rel rel);
+
+  /// Interval enclosure of the atom's expression over `box` (forward only).
+  Interval Evaluate(const Box& box, expr::TapeScratch& scratch) const;
+
+  /// Atom truth status over a box, derived from Evaluate().
+  enum class Status { kCertainlyTrue, kCertainlyFalse, kUnknown };
+  Status Classify(const Box& box, expr::TapeScratch& scratch) const;
+
+  /// HC4-revise: narrows `box` in place to (a superset of) the subset
+  /// satisfying the atom. Returns kEmpty if the atom holds nowhere in `box`.
+  ContractOutcome Contract(Box& box, expr::TapeScratch& scratch) const;
+
+  const expr::Tape& tape() const { return tape_; }
+  expr::Rel rel() const { return rel_; }
+  const expr::Expr& atom_expr() const { return expr_; }
+
+ private:
+  expr::Expr expr_;
+  expr::Rel rel_;
+  expr::Tape tape_;
+};
+
+}  // namespace xcv::solver

@@ -1,0 +1,285 @@
+#include "solver/icp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "expr/eval.h"
+
+#include "support/check.h"
+
+namespace xcv::solver {
+
+using expr::BoolExpr;
+
+std::string SatKindName(SatKind kind) {
+  switch (kind) {
+    case SatKind::kUnsat: return "UNSAT";
+    case SatKind::kDeltaSat: return "delta-SAT";
+    case SatKind::kTimeout: return "TIMEOUT";
+  }
+  return "?";
+}
+
+DeltaSolver::DeltaSolver(expr::BoolExpr formula, SolverOptions options)
+    : formula_(std::move(formula)), options_(options) {
+  XCV_CHECK(!formula_.IsNull());
+  XCV_CHECK_MSG(options_.delta > 0.0, "delta must be positive");
+  skeleton_ = CompileFormula(formula_);
+  CollectRequiredAtoms(skeleton_, required_atoms_);
+  std::sort(required_atoms_.begin(), required_atoms_.end());
+  required_atoms_.erase(
+      std::unique(required_atoms_.begin(), required_atoms_.end()),
+      required_atoms_.end());
+}
+
+DeltaSolver::FNode DeltaSolver::CompileFormula(const BoolExpr& b) {
+  FNode node;
+  node.kind = b.kind();
+  switch (b.kind()) {
+    case BoolExpr::Kind::kTrue:
+    case BoolExpr::Kind::kFalse:
+      return node;
+    case BoolExpr::Kind::kAtom: {
+      // Deduplicate atoms by expression identity + relation.
+      for (std::size_t i = 0; i < contractors_.size(); ++i) {
+        if (contractors_[i].atom_expr() == b.atom() &&
+            contractors_[i].rel() == b.rel()) {
+          node.atom = static_cast<int>(i);
+          return node;
+        }
+      }
+      node.atom = static_cast<int>(contractors_.size());
+      contractors_.emplace_back(b.atom(), b.rel());
+      return node;
+    }
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr:
+      node.children.reserve(b.children().size());
+      for (const BoolExpr& c : b.children())
+        node.children.push_back(CompileFormula(c));
+      return node;
+  }
+  XCV_CHECK_MSG(false, "unhandled formula kind");
+  return node;
+}
+
+void DeltaSolver::CollectRequiredAtoms(const FNode& node,
+                                       std::vector<int>& out) const {
+  switch (node.kind) {
+    case BoolExpr::Kind::kAtom:
+      out.push_back(node.atom);
+      return;
+    case BoolExpr::Kind::kAnd:
+      for (const FNode& c : node.children) CollectRequiredAtoms(c, out);
+      return;
+    default:
+      return;  // atoms under Or are not necessary conditions
+  }
+}
+
+DeltaSolver::Tri DeltaSolver::EvaluateSkeleton(
+    const FNode& node, const std::vector<Tri>& atom_status) const {
+  switch (node.kind) {
+    case BoolExpr::Kind::kTrue: return Tri::kTrue;
+    case BoolExpr::Kind::kFalse: return Tri::kFalse;
+    case BoolExpr::Kind::kAtom:
+      return atom_status[static_cast<std::size_t>(node.atom)];
+    case BoolExpr::Kind::kAnd: {
+      Tri acc = Tri::kTrue;
+      for (const FNode& c : node.children) {
+        const Tri t = EvaluateSkeleton(c, atom_status);
+        if (t == Tri::kFalse) return Tri::kFalse;
+        if (t == Tri::kUnknown) acc = Tri::kUnknown;
+      }
+      return acc;
+    }
+    case BoolExpr::Kind::kOr: {
+      Tri acc = Tri::kFalse;
+      for (const FNode& c : node.children) {
+        const Tri t = EvaluateSkeleton(c, atom_status);
+        if (t == Tri::kTrue) return Tri::kTrue;
+        if (t == Tri::kUnknown) acc = Tri::kUnknown;
+      }
+      return acc;
+    }
+  }
+  return Tri::kUnknown;
+}
+
+bool DeltaSolver::ValidateModel(std::span<const double> model) const {
+  return expr::EvalBool(formula_, model);
+}
+
+CheckResult DeltaSolver::Check(const Box& domain) {
+  CheckResult result;
+  Stopwatch watch;
+  const Deadline deadline =
+      std::isfinite(options_.time_budget_seconds)
+          ? Deadline::After(options_.time_budget_seconds)
+          : Deadline::Never();
+
+  if (domain.AnyEmpty()) {
+    result.kind = SatKind::kUnsat;
+    result.stats.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // Model guessing: probe an interior lattice before any interval work.
+  if (options_.presample_points > 0) {
+    const std::size_t dims = domain.size();
+    const auto per_dim = static_cast<std::size_t>(std::max(
+        2.0, std::floor(std::pow(static_cast<double>(
+                                     options_.presample_points),
+                                 1.0 / static_cast<double>(dims)))));
+    std::size_t total = 1;
+    for (std::size_t d = 0; d < dims; ++d) total *= per_dim;
+    std::vector<double> point(dims);
+    for (std::size_t i = 0; i < total; ++i) {
+      std::size_t rest = i;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const std::size_t idx = rest % per_dim;
+        rest /= per_dim;
+        const double fraction =
+            (static_cast<double>(idx) + 0.5) / static_cast<double>(per_dim);
+        point[d] = domain[d].lo() + fraction * domain[d].Width();
+      }
+      if (expr::EvalBool(formula_, point)) {
+        result.kind = SatKind::kDeltaSat;
+        result.model = point;
+        std::vector<Interval> dims_iv;
+        dims_iv.reserve(dims);
+        for (double v : point) dims_iv.emplace_back(v);
+        result.model_box = Box(std::move(dims_iv));
+        result.stats.seconds = watch.ElapsedSeconds();
+        return result;
+      }
+    }
+  }
+
+  std::vector<Box> stack;
+  stack.push_back(domain);
+  std::vector<Tri> atom_status(contractors_.size(), Tri::kUnknown);
+  int invalid_candidates = 0;
+  std::vector<double> last_invalid_model;
+  Box last_invalid_box;
+
+  while (!stack.empty()) {
+    if (result.stats.nodes >= options_.max_nodes ||
+        (result.stats.nodes % 128 == 0 && deadline.Expired())) {
+      // Budget exhausted. A set-aside invalid candidate is still an
+      // unrefuted delta-box, which outranks a plain timeout.
+      if (invalid_candidates > 0) {
+        result.kind = SatKind::kDeltaSat;
+        result.model = std::move(last_invalid_model);
+        result.model_box = std::move(last_invalid_box);
+      } else {
+        result.kind = SatKind::kTimeout;
+      }
+      result.stats.seconds = watch.ElapsedSeconds();
+      return result;
+    }
+    Box box = std::move(stack.back());
+    stack.pop_back();
+    ++result.stats.nodes;
+
+    // 1) Classify every atom over the box; prune / accept by certainty.
+    for (std::size_t i = 0; i < contractors_.size(); ++i) {
+      switch (contractors_[i].Classify(box, scratch_)) {
+        case AtomContractor::Status::kCertainlyTrue:
+          atom_status[i] = Tri::kTrue;
+          break;
+        case AtomContractor::Status::kCertainlyFalse:
+          atom_status[i] = Tri::kFalse;
+          break;
+        case AtomContractor::Status::kUnknown:
+          atom_status[i] = Tri::kUnknown;
+          break;
+      }
+    }
+    const Tri truth = EvaluateSkeleton(skeleton_, atom_status);
+    if (truth == Tri::kFalse) {
+      ++result.stats.prunes;
+      continue;
+    }
+    if (truth == Tri::kTrue) {
+      // Certainly satisfiable: the midpoint is a genuine model.
+      result.kind = SatKind::kDeltaSat;
+      result.model = box.Midpoint();
+      result.model_box = std::move(box);
+      result.stats.seconds = watch.ElapsedSeconds();
+      return result;
+    }
+
+    // 2) Contract with necessary atoms (HC4 fixpoint rounds).
+    bool empty = false;
+    for (int round = 0; round < options_.contraction_rounds && !empty;
+         ++round) {
+      bool any = false;
+      for (int atom : required_atoms_) {
+        ++result.stats.contractions;
+        switch (contractors_[static_cast<std::size_t>(atom)].Contract(
+            box, scratch_)) {
+          case ContractOutcome::kEmpty:
+            empty = true;
+            break;
+          case ContractOutcome::kContracted:
+            any = true;
+            break;
+          case ContractOutcome::kNoChange:
+            break;
+        }
+        if (empty) break;
+      }
+      if (!any) break;
+    }
+    if (empty) {
+      ++result.stats.prunes;
+      continue;
+    }
+
+    // 3) Precision floor: delta-sat candidate on the (possibly contracted)
+    // box. If the midpoint fails exact validation, remember it but keep
+    // searching (bounded) for a genuinely satisfying box — this isolates
+    // counterexample corners without changing the delta semantics: when the
+    // rejection budget is exhausted, the invalid model is reported, which
+    // is the paper's "inconclusive" path.
+    if (box.MaxWidth() <= options_.delta) {
+      std::vector<double> model = box.Midpoint();
+      if (expr::EvalBool(formula_, model) ||
+          invalid_candidates >= options_.max_invalid_models) {
+        result.kind = SatKind::kDeltaSat;
+        result.model = std::move(model);
+        result.model_box = std::move(box);
+        result.stats.seconds = watch.ElapsedSeconds();
+        return result;
+      }
+      ++invalid_candidates;
+      last_invalid_model = std::move(model);
+      last_invalid_box = std::move(box);
+      continue;
+    }
+
+    // 4) Branch on the widest dimension (LIFO: depth-first).
+    auto [left, right] = box.Bisect(box.WidestDim());
+    stack.push_back(std::move(right));
+    stack.push_back(std::move(left));
+  }
+
+  // Stack exhausted. If invalid delta-sat candidates were set aside, the
+  // honest answer is still delta-sat (their boxes could not be refuted at
+  // precision delta); report the last one. Otherwise every box was pruned:
+  // UNSAT.
+  if (invalid_candidates > 0) {
+    result.kind = SatKind::kDeltaSat;
+    result.model = std::move(last_invalid_model);
+    result.model_box = std::move(last_invalid_box);
+  } else {
+    result.kind = SatKind::kUnsat;
+  }
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace xcv::solver

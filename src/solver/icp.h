@@ -1,0 +1,116 @@
+// Delta-complete satisfiability via interval constraint propagation and
+// branch-and-prune — the decision procedure at the core of dReal (Gao, Kong,
+// Clarke, CADE 2013), reimplemented over this repo's expression tapes.
+//
+// Semantics, matching the paper's use of dReal:
+//   * kUnsat     — the formula has no solution in the queried box. Sound:
+//                  backed entirely by outward-rounded interval arithmetic.
+//   * kDeltaSat  — the delta-weakened formula is satisfiable; a model
+//                  (point) is returned. The model may fail the *unweakened*
+//                  formula — callers must validate it (Algorithm 1's
+//                  valid(x)), and an invalid model is the paper's
+//                  "inconclusive" outcome.
+//   * kTimeout   — the resource budget (node expansions and/or wall clock)
+//                  was exhausted, mirroring the paper's 2-hour dReal limit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "expr/bool_expr.h"
+#include "solver/box.h"
+#include "solver/contractor.h"
+#include "support/stopwatch.h"
+
+namespace xcv::solver {
+
+/// Tuning knobs for one CheckSat call.
+struct SolverOptions {
+  /// Precision: boxes whose widest side is ≤ delta stop splitting and are
+  /// reported delta-sat (with their midpoint as the model).
+  double delta = 1e-3;
+  /// Branch-and-prune node budget; exceeded → kTimeout. This is the
+  /// deterministic analogue of the paper's wall-clock solver timeout.
+  std::uint64_t max_nodes = 200'000;
+  /// Optional wall-clock budget in seconds (infinity = unlimited).
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+  /// HC4 fixpoint rounds per node (0 disables contraction — the ablation
+  /// baseline of pure branch-and-prune).
+  int contraction_rounds = 2;
+  /// When a delta-box's midpoint fails exact validation, keep searching for
+  /// a genuinely satisfying box up to this many rejections before reporting
+  /// the (invalid) delta-sat model. 0 reproduces plain dReal behaviour
+  /// (return the first delta-sat candidate).
+  int max_invalid_models = 32;
+  /// Before branch-and-prune, probe a deterministic lattice of this many
+  /// points; a point that exactly satisfies the formula is returned as a
+  /// (genuine) model immediately. Sound — candidates are validated with
+  /// exact evaluation — and decouples counterexample discovery from the
+  /// delta-resolution crawl. 0 disables.
+  int presample_points = 225;
+};
+
+enum class SatKind { kUnsat, kDeltaSat, kTimeout };
+
+std::string SatKindName(SatKind kind);
+
+struct SolverStats {
+  std::uint64_t nodes = 0;         // boxes popped
+  std::uint64_t contractions = 0;  // HC4 passes executed
+  std::uint64_t prunes = 0;        // boxes discarded by certainty/emptiness
+  double seconds = 0.0;
+};
+
+struct CheckResult {
+  SatKind kind = SatKind::kTimeout;
+  /// Witness point for kDeltaSat (midpoint of the terminal box).
+  std::vector<double> model;
+  /// Terminal box for kDeltaSat.
+  Box model_box;
+  SolverStats stats;
+};
+
+/// Decision engine for one fixed formula, reusable across many boxes (the
+/// verifier calls Check once per subdomain). Not thread-safe; create one
+/// instance per worker thread.
+class DeltaSolver {
+ public:
+  /// `formula` is an NNF BoolExpr (True/False/atoms/and/or).
+  DeltaSolver(expr::BoolExpr formula, SolverOptions options);
+
+  /// Decides `formula` over `domain`.
+  CheckResult Check(const Box& domain);
+
+  const expr::BoolExpr& formula() const { return formula_; }
+  const SolverOptions& options() const { return options_; }
+
+  /// Validates a model against the exact (unweakened) formula using IEEE
+  /// double evaluation — Algorithm 1's valid(x).
+  bool ValidateModel(std::span<const double> model) const;
+
+ private:
+  // Formula skeleton over atom indices (atoms deduplicated by expression
+  // identity + relation).
+  struct FNode {
+    expr::BoolExpr::Kind kind;
+    int atom = -1;
+    std::vector<FNode> children;
+  };
+  enum class Tri { kTrue, kFalse, kUnknown };
+
+  FNode CompileFormula(const expr::BoolExpr& b);
+  Tri EvaluateSkeleton(const FNode& node,
+                       const std::vector<Tri>& atom_status) const;
+  void CollectRequiredAtoms(const FNode& node, std::vector<int>& out) const;
+
+  expr::BoolExpr formula_;
+  SolverOptions options_;
+  FNode skeleton_;
+  std::vector<AtomContractor> contractors_;  // one per distinct atom
+  std::vector<int> required_atoms_;  // atoms on every conjunctive path
+  expr::TapeScratch scratch_;
+};
+
+}  // namespace xcv::solver

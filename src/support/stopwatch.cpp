@@ -1,0 +1,4 @@
+#include "support/stopwatch.h"
+
+// Header-only; this translation unit exists so the library has a home for the
+// symbols if out-of-line definitions are ever needed.

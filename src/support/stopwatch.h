@@ -1,0 +1,62 @@
+// Wall-clock timing utilities: Stopwatch for measuring elapsed time and
+// Deadline for budgeted computations (the solver's per-call time limit).
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace xcv {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch at zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in monotonic time after which budgeted work should stop.
+/// A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  /// Never-expiring deadline.
+  Deadline() : expiry_(Clock::time_point::max()) {}
+
+  /// Deadline `seconds` from now. Negative values expire immediately.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline Never() { return Deadline(); }
+
+  bool Expired() const { return Clock::now() >= expiry_; }
+
+  /// Seconds remaining; +inf for a never-expiring deadline.
+  double RemainingSeconds() const {
+    if (expiry_ == Clock::time_point::max())
+      return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point expiry_;
+};
+
+}  // namespace xcv

@@ -1,0 +1,55 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace xcv {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::size_t DisplayWidth(const std::string& s) {
+  std::size_t n = 0;
+  for (unsigned char c : s) {
+    // Count UTF-8 lead bytes only (continuation bytes are 0b10xxxxxx).
+    if ((c & 0xC0) != 0x80) ++n;
+  }
+  return n;
+}
+
+std::string PadRight(const std::string& s, std::size_t width) {
+  std::size_t w = DisplayWidth(s);
+  if (w >= width) return s;
+  return s + std::string(width - w, ' ');
+}
+
+std::string PadLeft(const std::string& s, std::size_t width) {
+  std::size_t w = DisplayWidth(s);
+  if (w >= width) return s;
+  return std::string(width - w, ' ') + s;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace xcv

@@ -1,0 +1,32 @@
+// Small string formatting helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xcv {
+
+/// Formats `v` with `precision` significant digits (printf %.*g).
+std::string FormatDouble(double v, int precision = 6);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Pads `s` with spaces on the right to at least `width` display columns.
+/// Multi-byte UTF-8 sequences are counted as one column.
+std::string PadRight(const std::string& s, std::size_t width);
+
+/// Pads `s` with spaces on the left to at least `width` display columns.
+std::string PadLeft(const std::string& s, std::size_t width);
+
+/// Number of display columns in a UTF-8 string (counts code points, which is
+/// adequate for the box-drawing and check-mark glyphs used in reports).
+std::size_t DisplayWidth(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Lower-cases ASCII characters in `s`.
+std::string ToLower(std::string s);
+
+}  // namespace xcv

@@ -1,0 +1,48 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace xcv {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  XCV_CHECK_MSG(!header.empty(), "table header must be non-empty");
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  XCV_CHECK_MSG(row.size() == header_.size(),
+                "row has " << row.size() << " cells, header has "
+                           << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  XCV_CHECK_MSG(!header_.empty(), "render requires a header");
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = DisplayWidth(header_[c]);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += "  ";
+      // Left-align the first (label) column, center-ish right-align the rest.
+      line += c == 0 ? PadRight(row[c], widths[c]) : PadLeft(row[c], widths[c]);
+    }
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t rule_width = DisplayWidth(out);
+  out += "\n" + std::string(rule_width, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row) + "\n";
+  return out;
+}
+
+}  // namespace xcv

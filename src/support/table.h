@@ -1,0 +1,32 @@
+// Plain-text table renderer used for the paper's Table I and Table II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xcv {
+
+/// Accumulates rows of cells and renders an aligned plain-text table.
+/// Cell strings may contain multi-byte UTF-8 glyphs (✓, ✗, …); alignment is
+/// by display columns.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same number of cells as the header.
+  /// Throws InternalError otherwise.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a rule under the header.
+  std::string Render() const;
+
+  std::size_t NumRows() const { return rows_.size(); }
+  std::size_t NumColumns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xcv

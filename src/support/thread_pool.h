@@ -1,0 +1,52 @@
+// A fixed-size worker pool with a shared FIFO task queue.
+//
+// The verifier's recursive domain splitting produces independent subproblems;
+// this pool runs them concurrently. Tasks may enqueue further tasks (the
+// recursion), so shutdown waits for quiescence: no queued tasks AND no
+// running tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xcv {
+
+/// Fixed-size thread pool. Submit() enqueues a task; WaitIdle() blocks until
+/// the queue drains and all workers are idle. Destruction waits for idle and
+/// then joins the workers.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task. Safe to call from worker threads (recursive submission).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until no tasks are queued or running.
+  void WaitIdle();
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when work arrives / shutdown
+  std::condition_variable idle_cv_;   // signalled when the pool may be idle
+  std::queue<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xcv

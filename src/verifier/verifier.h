@@ -1,0 +1,70 @@
+// Algorithm 1 of the paper: recursive domain splitting around the
+// delta-SAT solver.
+//
+// For a local condition ψ and domain D, the solver is asked for a model of
+// φ_D ∧ ¬ψ:
+//   UNSAT             → ψ holds everywhere on D: leaf "verified".
+//   delta-SAT + valid → genuine violation: witness recorded, and D is still
+//                       split to isolate the violating subregions.
+//   delta-SAT invalid → "inconclusive" (the delta-weakening artifact), split.
+//   timeout           → split, budget permitting.
+// Recursion stops when a subdomain's widest side would drop below the
+// threshold t (the paper uses t = 0.05).
+//
+// The recursion tree is embarrassingly parallel; with num_threads > 1 the
+// subdomains are processed on a work-queue thread pool with one solver
+// instance per worker.
+#pragma once
+
+#include <limits>
+
+#include "expr/bool_expr.h"
+#include "solver/icp.h"
+#include "verifier/region.h"
+
+namespace xcv::verifier {
+
+struct VerifierOptions {
+  /// Minimum subdomain width t (Algorithm 1 line 1). Children that would be
+  /// narrower than this are not split further; the leaf keeps the parent's
+  /// last solver verdict.
+  double split_threshold = 0.05;
+  /// Per-solver-call budget (the paper's per-call dReal timeout).
+  solver::SolverOptions solver;
+  /// Overall wall-clock budget for the whole run; once expired, remaining
+  /// subdomains are recorded as timeouts without solving.
+  double total_time_budget_seconds =
+      std::numeric_limits<double>::infinity();
+  /// Worker threads for the recursion (1 = sequential Algorithm 1).
+  int num_threads = 1;
+  /// Split every dimension in two (2^d children, the paper's split) when
+  /// true; split only the widest dimension when false (ablation).
+  bool split_all_dims = true;
+  /// A delta-sat model only counts as a counterexample when it violates ψ
+  /// by more than this margin. Plays the same role as the PB grid check's
+  /// pass tolerance: near-boundary floating-point noise (e.g. SCAN
+  /// residuals of ~1e-9 at rs → 0, cf. the paper's §VI-C numerical-issues
+  /// discussion) must not be reported as violations of the mathematical
+  /// condition. 0 restores Algorithm 1's exact valid(x).
+  double witness_tolerance = 1e-6;
+};
+
+/// Verifies one local condition over a domain.
+class Verifier {
+ public:
+  /// `psi` is the local condition ψ; the solver decides ¬ψ.
+  Verifier(expr::BoolExpr psi, VerifierOptions options);
+
+  /// Runs Algorithm 1 on `domain` and returns the region partition.
+  VerificationReport Run(const solver::Box& domain) const;
+
+  const expr::BoolExpr& psi() const { return psi_; }
+  const VerifierOptions& options() const { return options_; }
+
+ private:
+  expr::BoolExpr psi_;
+  expr::BoolExpr not_psi_;
+  VerifierOptions options_;
+};
+
+}  // namespace xcv::verifier

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "solver/box.h"
+#include "support/check.h"
+
+namespace xcv::solver {
+namespace {
+
+Box Make2D() { return Box({Interval(0.0, 4.0), Interval(1.0, 2.0)}); }
+
+TEST(Box, BasicAccessors) {
+  Box b = Make2D();
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], Interval(0.0, 4.0));
+  EXPECT_EQ(b[1], Interval(1.0, 2.0));
+  b[1] = Interval(5.0, 6.0);
+  EXPECT_EQ(b[1], Interval(5.0, 6.0));
+}
+
+TEST(Box, EmptyDetection) {
+  EXPECT_FALSE(Make2D().AnyEmpty());
+  Box b({Interval(0.0, 1.0), Interval::Empty()});
+  EXPECT_TRUE(b.AnyEmpty());
+}
+
+TEST(Box, WidthQueries) {
+  Box b = Make2D();
+  EXPECT_DOUBLE_EQ(b.MaxWidth(), 4.0);
+  EXPECT_EQ(b.WidestDim(), 0u);
+  Box p({Interval(1.0), Interval(2.0)});
+  EXPECT_DOUBLE_EQ(p.MaxWidth(), 0.0);
+}
+
+TEST(Box, MidpointInside) {
+  Box b = Make2D();
+  auto mid = b.Midpoint();
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_DOUBLE_EQ(mid[0], 2.0);
+  EXPECT_DOUBLE_EQ(mid[1], 1.5);
+  EXPECT_TRUE(b.Contains(mid));
+}
+
+TEST(Box, BisectPartitions) {
+  Box b = Make2D();
+  auto [left, right] = b.Bisect(0);
+  EXPECT_DOUBLE_EQ(left[0].hi(), right[0].lo());
+  EXPECT_DOUBLE_EQ(left[0].lo(), 0.0);
+  EXPECT_DOUBLE_EQ(right[0].hi(), 4.0);
+  EXPECT_EQ(left[1], b[1]);
+  EXPECT_EQ(right[1], b[1]);
+  EXPECT_THROW(b.Bisect(5), xcv::InternalError);
+}
+
+TEST(Box, Contains) {
+  Box b = Make2D();
+  EXPECT_TRUE(b.Contains(std::vector<double>{1.0, 1.5}));
+  EXPECT_FALSE(b.Contains(std::vector<double>{5.0, 1.5}));
+  EXPECT_FALSE(b.Contains(std::vector<double>{1.0, 0.5}));
+  EXPECT_FALSE(b.Contains(std::vector<double>{1.0}));  // wrong rank
+  // Boundary points are inside (closed boxes).
+  EXPECT_TRUE(b.Contains(std::vector<double>{0.0, 1.0}));
+  EXPECT_TRUE(b.Contains(std::vector<double>{4.0, 2.0}));
+}
+
+TEST(Box, ToStringShowsDims) {
+  const std::string s = Make2D().ToString();
+  EXPECT_NE(s.find("[0, 4]"), std::string::npos);
+  EXPECT_NE(s.find(" x "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xcv::solver

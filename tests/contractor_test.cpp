@@ -1,0 +1,239 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "solver/contractor.h"
+#include "test_util.h"
+
+namespace xcv::solver {
+namespace {
+
+using expr::BoolExpr;
+using expr::Expr;
+using expr::Rel;
+using xcv::testing::RandomExprGen;
+using xcv::testing::Rng;
+
+Expr X() { return Expr::Variable("x", 0); }
+Expr Y() { return Expr::Variable("y", 1); }
+Expr C(double v) { return Expr::Constant(v); }
+
+TEST(Contractor, ClassifyCertainties) {
+  // Atom: x - 1 <= 0, i.e. x <= 1.
+  AtomContractor c(X() - C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  EXPECT_EQ(c.Classify(Box({Interval(0.0, 0.5)}), scratch),
+            AtomContractor::Status::kCertainlyTrue);
+  EXPECT_EQ(c.Classify(Box({Interval(2.0, 3.0)}), scratch),
+            AtomContractor::Status::kCertainlyFalse);
+  EXPECT_EQ(c.Classify(Box({Interval(0.0, 3.0)}), scratch),
+            AtomContractor::Status::kUnknown);
+}
+
+TEST(Contractor, StrictVsNonStrictNearBoundary) {
+  // Outward rounding makes exact-boundary classification conservative
+  // (Unknown); a small margin restores certainty, and strictness shows up
+  // in which side is certain.
+  expr::TapeScratch scratch;
+  Box just_below({Interval(1.0 - 1e-9)});
+  Box just_above({Interval(1.0 + 1e-9)});
+  AtomContractor le(X() - C(1), Rel::kLe);
+  AtomContractor lt(X() - C(1), Rel::kLt);
+  EXPECT_EQ(le.Classify(just_below, scratch),
+            AtomContractor::Status::kCertainlyTrue);
+  EXPECT_EQ(lt.Classify(just_below, scratch),
+            AtomContractor::Status::kCertainlyTrue);
+  EXPECT_EQ(le.Classify(just_above, scratch),
+            AtomContractor::Status::kCertainlyFalse);
+  EXPECT_EQ(lt.Classify(just_above, scratch),
+            AtomContractor::Status::kCertainlyFalse);
+  // At the exact boundary the widened enclosure straddles 0: Unknown is
+  // the sound answer for both relations.
+  Box point({Interval(1.0)});
+  EXPECT_EQ(le.Classify(point, scratch),
+            AtomContractor::Status::kUnknown);
+  EXPECT_EQ(lt.Classify(point, scratch),
+            AtomContractor::Status::kUnknown);
+}
+
+TEST(Contractor, ContractsLinearAtom) {
+  // x + y - 1 <= 0 over [0,5] x [0,5]: x must be <= 1.
+  AtomContractor c(X() + Y() - C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(0.0, 5.0), Interval(0.0, 5.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), 1.0 + 1e-9);
+  EXPECT_LE(box[1].hi(), 1.0 + 1e-9);
+}
+
+TEST(Contractor, DetectsEmptiness) {
+  // x^2 + 1 <= 0 is unsatisfiable. (Written with Pow: the x*x product form
+  // suffers interval dependency — [-3,3]*[-3,3] = [-9,9] — and cannot be
+  // refuted by a single contraction; that case is the solver's job.)
+  AtomContractor c(expr::Pow(X(), 2.0) + C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-3.0, 3.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kEmpty);
+}
+
+TEST(Contractor, ProductFormDependencyIsNotRefutedLocally) {
+  // The same constraint in x*x form: one HC4 pass cannot empty it, but it
+  // must not claim a contraction that removes genuine... there are no
+  // solutions, so anything non-empty is merely conservative.
+  AtomContractor c(X() * X() + C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-3.0, 3.0)});
+  EXPECT_NE(c.Contract(box, scratch), ContractOutcome::kEmpty);
+}
+
+TEST(Contractor, NoChangeWhenAlreadyTight) {
+  AtomContractor c(X() - C(10), Rel::kLe);  // x <= 10, box is [0,1]
+  expr::TapeScratch scratch;
+  Box box({Interval(0.0, 1.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kNoChange);
+  EXPECT_EQ(box[0], Interval(0.0, 1.0));
+}
+
+TEST(Contractor, DuplicatedOperandRegression) {
+  // z = x + x <= 1 over x in [0.4, 5]: true solution set x <= 0.5.
+  // A naive backward rule that skips *all* occurrences of a duplicated
+  // operand would wrongly contract to x >= 0.8.
+  AtomContractor c(expr::Add(X(), X()) - C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(0.4, 5.0)});
+  ASSERT_NE(c.Contract(box, scratch), ContractOutcome::kEmpty);
+  EXPECT_TRUE(box[0].Contains(0.45));  // a genuine solution survives
+  // Same for multiplication: x * x <= 4 over [1, 10] keeps x = 1.5.
+  AtomContractor m(expr::Mul(X(), X()) - C(4), Rel::kLe);
+  Box mbox({Interval(1.0, 10.0)});
+  ASSERT_NE(m.Contract(mbox, scratch), ContractOutcome::kEmpty);
+  EXPECT_TRUE(mbox[0].Contains(1.5));
+}
+
+TEST(Contractor, BackwardThroughExp) {
+  // exp(x) - 2 <= 0  =>  x <= ln 2.
+  AtomContractor c(expr::ExpE(X()) - C(2), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-10.0, 10.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), std::log(2.0) + 1e-9);
+  EXPECT_TRUE(box[0].Contains(0.0));
+}
+
+TEST(Contractor, BackwardThroughLog) {
+  // log(x) <= 0  =>  x <= 1 (and x > 0 survives).
+  AtomContractor c(expr::LogE(X()), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(0.1, 10.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), 1.0 + 1e-9);
+  EXPECT_TRUE(box[0].Contains(0.5));
+}
+
+TEST(Contractor, BackwardThroughSqrtAndAbs) {
+  // sqrt(x) - 2 <= 0  =>  x <= 4.
+  AtomContractor c(expr::SqrtE(X()) - C(2), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(0.0, 100.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), 4.0 + 1e-6);
+  // |x| - 1 <= 0  =>  x in [-1, 1].
+  AtomContractor a(expr::AbsE(X()) - C(1), Rel::kLe);
+  Box abox({Interval(-10.0, 10.0)});
+  EXPECT_EQ(a.Contract(abox, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(abox[0].hi(), 1.0 + 1e-9);
+  EXPECT_GE(abox[0].lo(), -1.0 - 1e-9);
+}
+
+TEST(Contractor, BackwardThroughEvenPower) {
+  // x^2 - 4 <= 0  =>  x in [-2, 2].
+  AtomContractor c(expr::Pow(X(), 2.0) - C(4), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-10.0, 10.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), 2.0 + 1e-6);
+  EXPECT_GE(box[0].lo(), -2.0 - 1e-6);
+}
+
+TEST(Contractor, BackwardThroughOddPower) {
+  // x^3 - 8 <= 0  =>  x <= 2 (negatives untouched).
+  AtomContractor c(expr::Pow(X(), 3.0) - C(8), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-10.0, 10.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), 2.0 + 1e-6);
+  EXPECT_TRUE(box[0].Contains(-5.0));
+}
+
+TEST(Contractor, BackwardThroughLambertW) {
+  // W(x) - 1 <= 0  =>  x <= e.
+  AtomContractor c(expr::LambertW0E(X()) - C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(0.0, 100.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(box[0].hi(), M_E + 1e-6);
+}
+
+TEST(Contractor, BackwardThroughNegationAndDiv) {
+  // -x + 1 <= 0  =>  x >= 1.
+  AtomContractor c(C(1) - X(), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-5.0, 5.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kContracted);
+  EXPECT_GE(box[0].lo(), 1.0 - 1e-9);
+  // x / y - 1 <= 0 with y in [1, 2]: x <= 2.
+  AtomContractor d(X() / Y() - C(1), Rel::kLe);
+  Box dbox({Interval(0.0, 100.0), Interval(1.0, 2.0)});
+  EXPECT_EQ(d.Contract(dbox, scratch), ContractOutcome::kContracted);
+  EXPECT_LE(dbox[0].hi(), 2.0 + 1e-9);
+}
+
+TEST(Contractor, UndefinedEverywhereIsEmpty) {
+  // sqrt(x) over x < 0: expression nowhere defined on the box.
+  AtomContractor c(expr::SqrtE(X()) - C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-5.0, -1.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kEmpty);
+}
+
+// HC4 soundness sweep: contraction never removes a satisfying point.
+TEST(ContractorProperty, NeverRemovesSolutions) {
+  Rng rng(31415);
+  RandomExprGen gen(rng, {X(), Y()});
+  int solutions_checked = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    const Expr e = gen.Gen(3) - C(rng.Uniform(-2.0, 2.0));
+    const Rel rel = rng.Bernoulli() ? Rel::kLe : Rel::kLt;
+    AtomContractor c(e, rel);
+    expr::TapeScratch scratch;
+    Box box({rng.RandomInterval(0.2, 3.0), rng.RandomInterval(0.2, 3.0)});
+
+    // Collect satisfying sample points before contraction.
+    std::vector<std::vector<double>> sat;
+    for (int pt = 0; pt < 20; ++pt) {
+      std::vector<double> p = rng.PointIn(box);
+      const double v = expr::EvalDouble(e, p);
+      const bool holds = rel == Rel::kLe ? v <= 0.0 : v < 0.0;
+      if (std::isfinite(v) && holds) sat.push_back(std::move(p));
+    }
+
+    Box contracted = box;
+    const ContractOutcome outcome = c.Contract(contracted, scratch);
+    if (outcome == ContractOutcome::kEmpty) {
+      ASSERT_TRUE(sat.empty())
+          << "contractor emptied a box containing solutions for "
+          << e.ToString();
+      continue;
+    }
+    for (const auto& p : sat) {
+      ASSERT_TRUE(contracted.Contains(p))
+          << "solution removed by contraction of " << e.ToString();
+      ++solutions_checked;
+    }
+  }
+  EXPECT_GT(solutions_checked, 300);
+}
+
+}  // namespace
+}  // namespace xcv::solver

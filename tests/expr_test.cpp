@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+namespace {
+
+Expr X() { return Expr::Variable("x", 0); }
+Expr Y() { return Expr::Variable("y", 1); }
+Expr C(double v) { return Expr::Constant(v); }
+
+TEST(ExprBuilder, HashConsingGivesPointerIdentity) {
+  EXPECT_EQ(X(), X());
+  EXPECT_EQ(C(1.5), C(1.5));
+  EXPECT_NE(C(1.5), C(2.5));
+  EXPECT_EQ(X() + Y(), X() + Y());
+  EXPECT_EQ(X() + Y(), Y() + X());  // canonical commutative ordering
+}
+
+TEST(ExprBuilder, ConstantFolding) {
+  EXPECT_EQ((C(2) + C(3)).ConstantValue(), 5.0);
+  EXPECT_EQ((C(2) * C(3)).ConstantValue(), 6.0);
+  EXPECT_EQ((C(6) / C(3)).ConstantValue(), 2.0);
+  EXPECT_EQ(Pow(C(2), 10.0).ConstantValue(), 1024.0);
+  EXPECT_EQ(ExpE(C(0)).ConstantValue(), 1.0);
+  EXPECT_EQ(SqrtE(C(9)).ConstantValue(), 3.0);
+  EXPECT_EQ(Min(C(1), C(2)).ConstantValue(), 1.0);
+  EXPECT_EQ(Max(C(1), C(2)).ConstantValue(), 2.0);
+  EXPECT_EQ(AbsE(C(-4)).ConstantValue(), 4.0);
+}
+
+TEST(ExprBuilder, NeutralElements) {
+  EXPECT_EQ(X() + C(0), X());
+  EXPECT_EQ(X() * C(1), X());
+  EXPECT_EQ(X() / C(1), X());
+  EXPECT_EQ(Pow(X(), 1.0), X());
+  EXPECT_TRUE(Pow(X(), 0.0).IsConstant());
+  EXPECT_EQ(Pow(X(), 0.0).ConstantValue(), 1.0);
+}
+
+TEST(ExprBuilder, AbsorbingElements) {
+  EXPECT_TRUE((X() * C(0)).IsConstant());
+  EXPECT_EQ((X() * C(0)).ConstantValue(), 0.0);
+  EXPECT_TRUE((C(0) / X()).IsConstant());
+}
+
+TEST(ExprBuilder, AddFlattensAndCollectsConstants) {
+  Expr e = (X() + C(1)) + (Y() + C(2));
+  ASSERT_EQ(e.op(), Op::kAdd);
+  // x + y + 3: three children after flattening.
+  EXPECT_EQ(e.node().children().size(), 3u);
+  // One child is the folded constant 3.
+  bool found = false;
+  for (const Expr& c : e.node().children())
+    if (c.IsConstant() && c.ConstantValue() == 3.0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ExprBuilder, MulFlattens) {
+  Expr e = (X() * C(2)) * (Y() * C(3));
+  ASSERT_EQ(e.op(), Op::kMul);
+  EXPECT_EQ(e.node().children().size(), 3u);  // x, y, 6
+}
+
+TEST(ExprBuilder, NegIsMulByMinusOne) {
+  Expr e = -X();
+  ASSERT_EQ(e.op(), Op::kMul);
+  EXPECT_EQ((-C(3)).ConstantValue(), -3.0);
+  // Double negation cancels.
+  EXPECT_EQ(-(-X()), X());
+}
+
+TEST(ExprBuilder, DivSimplifications) {
+  EXPECT_EQ(X() / C(-1), -X());
+  Expr e = X() / Y();
+  EXPECT_EQ(e.op(), Op::kDiv);
+}
+
+TEST(ExprBuilder, LogOfExpCancels) {
+  EXPECT_EQ(LogE(ExpE(X())), X());
+}
+
+TEST(ExprBuilder, IteFoldsConstantConditions) {
+  EXPECT_EQ(Ite(C(1), Rel::kLe, C(2), X(), Y()), X());
+  EXPECT_EQ(Ite(C(3), Rel::kLt, C(2), X(), Y()), Y());
+  EXPECT_EQ(Ite(C(2), Rel::kLe, C(2), X(), Y()), X());  // 2 <= 2
+  EXPECT_EQ(Ite(C(2), Rel::kLt, C(2), X(), Y()), Y());  // not 2 < 2
+  // Equal branches collapse regardless of the condition.
+  EXPECT_EQ(Ite(X(), Rel::kLe, Y(), X(), X()), X());
+}
+
+TEST(ExprBuilder, NullChecks) {
+  Expr null;
+  EXPECT_TRUE(null.IsNull());
+  EXPECT_THROW(Add(null, X()), InternalError);
+  EXPECT_THROW(ExpE(null), InternalError);
+}
+
+TEST(ExprMetrics, OpCounts) {
+  EXPECT_EQ(OpCountDag(X()), 0u);
+  EXPECT_EQ(OpCountDag(C(5)), 0u);
+  EXPECT_EQ(OpCountDag(X() + Y()), 1u);
+  Expr shared = ExpE(X());
+  Expr e = shared * shared + shared;
+  // DAG: exp (1) + mul (1) + add (1) = 3 distinct operations.
+  EXPECT_EQ(OpCountDag(e), 3u);
+  // Tree: exp appears three times: mul(1)+add(1)+3*exp = 5.
+  EXPECT_EQ(OpCountTree(e), 5u);
+}
+
+TEST(ExprMetrics, NaryCountsAsBinaryChain) {
+  Expr e = Add({X(), Y(), C(2), ExpE(X())});
+  // 4 operands -> 3 additions, plus the exp.
+  EXPECT_EQ(OpCountDag(e), 4u);
+}
+
+TEST(ExprMetrics, Depth) {
+  EXPECT_EQ(Depth(X()), 1u);
+  EXPECT_EQ(Depth(X() + Y()), 2u);
+  EXPECT_EQ(Depth(ExpE(ExpE(ExpE(X())))), 4u);
+}
+
+TEST(ExprMetrics, FreeVariablesSortedByIndex) {
+  Expr e = Y() * X() + ExpE(Y());
+  auto vars = FreeVariables(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], X());
+  EXPECT_EQ(vars[1], Y());
+  EXPECT_TRUE(FreeVariables(C(1)).empty());
+}
+
+TEST(ExprMetrics, HasTranscendental) {
+  EXPECT_FALSE(HasTranscendental(X() * Y() + C(2)));
+  EXPECT_TRUE(HasTranscendental(ExpE(X())));
+  EXPECT_TRUE(HasTranscendental(X() + LambertW0E(Y())));
+  EXPECT_FALSE(HasTranscendental(SqrtE(X())));  // algebraic
+}
+
+TEST(ExprPrinter, ReadableOutput) {
+  EXPECT_EQ(X().ToString(), "x");
+  EXPECT_EQ(C(2.5).ToString(), "2.5");
+  Expr e = X() + Y();
+  EXPECT_NE(e.ToString().find("x"), std::string::npos);
+  EXPECT_NE(e.ToString().find("+"), std::string::npos);
+  EXPECT_NE(ExpE(X()).ToString().find("exp(x)"), std::string::npos);
+  Expr ite = Ite(X(), Rel::kLt, C(1), X(), Y());
+  EXPECT_NE(ite.ToString().find("ite("), std::string::npos);
+  EXPECT_NE(ite.ToString().find("<"), std::string::npos);
+}
+
+TEST(ExprPrinter, ParenthesizesByPrecedence) {
+  Expr e = (X() + Y()) * X();
+  const std::string s = e.ToString();
+  EXPECT_NE(s.find("("), std::string::npos);
+}
+
+TEST(ExprSubstitute, ReplacesVariable) {
+  Expr e = X() * X() + Y();
+  Expr sub = Substitute(e, Expr::Variable("x", 0), C(3));
+  // 9 + y.
+  ASSERT_EQ(sub.op(), Op::kAdd);
+  Expr identical = Substitute(e, Expr::Variable("z", 7), C(1));
+  EXPECT_EQ(identical, e);  // untouched when variable absent
+}
+
+TEST(ExprSubstitute, SubstituteIntoAllOps) {
+  Expr x = X();
+  Expr e = ExpE(x) + LogE(x + C(2)) + SqrtE(AbsE(x)) + CbrtE(x) +
+           SinE(x) + CosE(x) + AtanE(x) + TanhE(x) +
+           LambertW0E(AbsE(x)) + Min(x, C(1)) + Max(x, C(2)) +
+           Pow(AbsE(x) + C(1), C(0.5)) + Ite(x, Rel::kLe, C(0), x, -x);
+  Expr sub = Substitute(e, x, Y());
+  auto vars = FreeVariables(sub);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], Y());
+}
+
+}  // namespace
+}  // namespace xcv::expr

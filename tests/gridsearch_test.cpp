@@ -1,0 +1,180 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "conditions/conditions.h"
+#include "expr/compile.h"
+#include "functionals/functional.h"
+#include "functionals/variables.h"
+#include "gridsearch/grid.h"
+#include "gridsearch/pb_checker.h"
+#include "support/check.h"
+
+namespace xcv::gridsearch {
+namespace {
+
+using expr::Expr;
+
+TEST(Axis, StepAndAt) {
+  Axis a{0.0, 10.0, 11};
+  EXPECT_DOUBLE_EQ(a.Step(), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(0), 0.0);
+  EXPECT_DOUBLE_EQ(a.At(10), 10.0);
+}
+
+TEST(Grid, IndexCoordsRoundTrip) {
+  Grid g({{0.0, 1.0, 4}, {0.0, 1.0, 5}, {0.0, 1.0, 3}});
+  EXPECT_EQ(g.Rank(), 3u);
+  EXPECT_EQ(g.TotalPoints(), 60u);
+  for (std::size_t i = 0; i < g.TotalPoints(); ++i) {
+    const auto coords = g.Coords(i);
+    EXPECT_EQ(g.Index(coords), i);
+  }
+}
+
+TEST(Grid, PointMatchesAxes) {
+  Grid g({{0.0, 2.0, 3}, {10.0, 20.0, 2}});
+  const auto p0 = g.Point(0);
+  EXPECT_DOUBLE_EQ(p0[0], 0.0);
+  EXPECT_DOUBLE_EQ(p0[1], 10.0);
+  const auto plast = g.Point(g.TotalPoints() - 1);
+  EXPECT_DOUBLE_EQ(plast[0], 2.0);
+  EXPECT_DOUBLE_EQ(plast[1], 20.0);
+}
+
+TEST(Grid, RejectsBadAxes) {
+  EXPECT_THROW(Grid({}), xcv::InternalError);
+  EXPECT_THROW(Grid({{1.0, 0.0, 5}}), xcv::InternalError);
+}
+
+TEST(EvaluateOnGrid, MatchesDirectEvaluation) {
+  Expr x = Expr::Variable("x", 0);
+  Expr y = Expr::Variable("y", 1);
+  Grid g({{0.5, 2.0, 7}, {0.1, 1.0, 5}});
+  const auto values = EvaluateOnGrid(g, expr::Compile(x * y + x));
+  for (std::size_t i = 0; i < g.TotalPoints(); ++i) {
+    const auto p = g.Point(i);
+    EXPECT_NEAR(values[i], p[0] * p[1] + p[0], 1e-14);
+  }
+}
+
+TEST(NumericalGradient, ExactForLinear) {
+  Expr x = Expr::Variable("x", 0);
+  Expr y = Expr::Variable("y", 1);
+  Grid g({{0.0, 1.0, 11}, {0.0, 1.0, 9}});
+  const auto values = EvaluateOnGrid(g, expr::Compile(3.0 * x + 2.0 * y));
+  const auto dx = NumericalGradient(g, values, 0);
+  const auto dy = NumericalGradient(g, values, 1);
+  for (std::size_t i = 0; i < g.TotalPoints(); ++i) {
+    EXPECT_NEAR(dx[i], 3.0, 1e-10);
+    EXPECT_NEAR(dy[i], 2.0, 1e-10);
+  }
+}
+
+TEST(NumericalGradient, SecondOrderForQuadratics) {
+  // Central differences are exact for quadratics at interior points.
+  Expr x = Expr::Variable("x", 0);
+  Grid g({{0.0, 2.0, 21}});
+  const auto values = EvaluateOnGrid(g, expr::Compile(x * x));
+  const auto dx = NumericalGradient(g, values, 0);
+  for (std::size_t i = 1; i + 1 < g.TotalPoints(); ++i)
+    EXPECT_NEAR(dx[i], 2.0 * g.Point(i)[0], 1e-9);
+  // One-sided at the edges: first-order but finite.
+  EXPECT_TRUE(std::isfinite(dx.front()));
+  EXPECT_TRUE(std::isfinite(dx.back()));
+}
+
+TEST(NumericalGradient, RejectsWrongSizes) {
+  Grid g({{0.0, 1.0, 5}});
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(NumericalGradient(g, wrong, 0), xcv::InternalError);
+}
+
+PbOptions SmallPb() {
+  PbOptions o;
+  o.n_rs = 60;
+  o.n_s = 60;
+  o.n_alpha = 5;
+  return o;
+}
+
+TEST(PbChecker, NotApplicableReturnsNullopt) {
+  const auto& lyp = *functionals::FindFunctional("LYP");
+  EXPECT_FALSE(
+      RunPbCheck(lyp, *conditions::FindCondition("EC5"), SmallPb())
+          .has_value());
+}
+
+TEST(PbChecker, LypEc1ViolationsAtLargeS) {
+  // Fig. 2a: PB flags Ec-non-positivity violations at s > ~1.66.
+  const auto& lyp = *functionals::FindFunctional("LYP");
+  const auto result =
+      RunPbCheck(lyp, *conditions::FindCondition("EC1"), SmallPb());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->any_violation);
+  EXPECT_GT(result->violation_fraction, 0.2);
+  EXPECT_LT(result->violation_fraction, 0.9);
+  // Bounding box of violations sits at large s.
+  EXPECT_GT(result->violation_bounds[1].lo(), 1.0);
+  // And every flagged point really has positive eps_c.
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < result->violated.size(); ++i)
+    if (result->violated[i]) ++flagged;
+  EXPECT_EQ(flagged > 0, result->any_violation);
+}
+
+TEST(PbChecker, PbeEc5NoViolations) {
+  // Fig. 1b: the LO extension holds for PBE everywhere.
+  const auto& pbe = *functionals::FindFunctional("PBE");
+  const auto result =
+      RunPbCheck(pbe, *conditions::FindCondition("EC5"), SmallPb());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->any_violation);
+  EXPECT_DOUBLE_EQ(result->violation_fraction, 0.0);
+}
+
+TEST(PbChecker, PbeEc7ViolationsUpperLeft) {
+  // Fig. 1c: conjectured Tc bound fails on the upper-left diagonal.
+  const auto& pbe = *functionals::FindFunctional("PBE");
+  const auto result =
+      RunPbCheck(pbe, *conditions::FindCondition("EC7"), SmallPb());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->any_violation);
+  // Violations exist at small rs.
+  EXPECT_LT(result->violation_bounds[0].lo(), 1.0);
+  EXPECT_GT(result->violation_bounds[1].hi(), 2.0);
+}
+
+TEST(PbChecker, VwnAllConditionsPass) {
+  const auto& vwn = *functionals::FindFunctional("VWN_RPA");
+  for (const auto& cond : conditions::AllConditions()) {
+    const auto result = RunPbCheck(vwn, cond, SmallPb());
+    if (!result.has_value()) continue;  // LO conditions
+    EXPECT_FALSE(result->any_violation) << cond.short_id;
+  }
+}
+
+TEST(PbChecker, ScanGridUses3D) {
+  const auto& scan = *functionals::FindFunctional("SCAN");
+  PbOptions opts = SmallPb();
+  opts.n_rs = 15;
+  opts.n_s = 15;
+  opts.n_alpha = 5;
+  const auto result =
+      RunPbCheck(scan, *conditions::FindCondition("EC1"), opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->grid.Rank(), 3u);
+  // SCAN satisfies EC1 by construction; the numerical check agrees.
+  EXPECT_FALSE(result->any_violation);
+}
+
+TEST(PbChecker, TimingRecorded) {
+  const auto& vwn = *functionals::FindFunctional("VWN_RPA");
+  const auto result =
+      RunPbCheck(vwn, *conditions::FindCondition("EC1"), SmallPb());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace xcv::gridsearch

@@ -1,0 +1,77 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "interval/interval.h"
+#include "interval/lambert_w.h"
+#include "test_util.h"
+
+namespace xcv {
+namespace {
+
+TEST(LambertW, SpecialValues) {
+  EXPECT_DOUBLE_EQ(LambertW0(0.0), 0.0);
+  EXPECT_NEAR(LambertW0(kE), 1.0, 1e-14);
+  EXPECT_NEAR(LambertW0(kMinusInvE), -1.0, 1e-6);
+  EXPECT_NEAR(LambertW0(1.0), 0.5671432904097838, 1e-14);  // Omega constant
+}
+
+TEST(LambertW, OutsideDomainIsNaN) {
+  EXPECT_TRUE(std::isnan(LambertW0(-1.0)));
+  EXPECT_TRUE(std::isnan(LambertW0(-0.5)));
+  EXPECT_TRUE(std::isnan(LambertW0(std::nan(""))));
+}
+
+TEST(LambertW, InfinityMapsToInfinity) {
+  EXPECT_TRUE(std::isinf(LambertW0(std::numeric_limits<double>::infinity())));
+}
+
+TEST(LambertW, DefiningIdentityHolds) {
+  // W(x) e^{W(x)} == x across the domain, including near the branch point.
+  const double points[] = {-0.36, -0.3,  -0.2, -0.05, 1e-8, 0.1,
+                           0.5,   1.0,   2.0,  10.0,  1e3,  1e8};
+  for (double x : points) {
+    const double w = LambertW0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-12 * std::max(1.0, std::fabs(x)))
+        << "at x=" << x;
+  }
+}
+
+TEST(LambertW, Monotonicity) {
+  double prev = LambertW0(kMinusInvE * 0.999);
+  for (double x = -0.36; x < 50.0; x += 0.37) {
+    const double w = LambertW0(x);
+    EXPECT_GE(w, prev - 1e-13) << "at x=" << x;
+    prev = w;
+  }
+}
+
+TEST(LambertW, IntervalEnclosureIsSound) {
+  xcv::testing::Rng rng(11235);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Interval x = rng.RandomInterval(-0.36, 20.0);
+    const double p = rng.PointIn(x);
+    const Interval w = LambertW0(x);
+    const double v = LambertW0(p);
+    if (!std::isnan(v))
+      ASSERT_TRUE(w.Contains(v))
+          << "W(" << p << ")=" << v << " escaped " << w.ToString();
+  }
+}
+
+TEST(LambertW, IntervalClipsDomain) {
+  EXPECT_TRUE(LambertW0(Interval(-2.0, -1.0)).IsEmpty());
+  Interval r = LambertW0(Interval(-2.0, 0.0));
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_GE(r.lo(), -1.0);
+  EXPECT_TRUE(r.Contains(0.0));
+}
+
+TEST(LambertW, IntervalRangeBound) {
+  // W0 maps into [-1, inf).
+  Interval r = LambertW0(Interval(-0.36, 1000.0));
+  EXPECT_GE(r.lo(), -1.0);
+}
+
+}  // namespace
+}  // namespace xcv

@@ -1,0 +1,152 @@
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/stopwatch.h"
+#include "support/strings.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace xcv {
+namespace {
+
+TEST(Check, ThrowsOnFailure) {
+  EXPECT_NO_THROW(XCV_CHECK(1 + 1 == 2));
+  EXPECT_THROW(XCV_CHECK(1 + 1 == 3), InternalError);
+}
+
+TEST(Check, MessageContainsDetail) {
+  try {
+    XCV_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(-2.25), "-2.25");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, DisplayWidthCountsCodePoints) {
+  EXPECT_EQ(DisplayWidth("abc"), 3u);
+  EXPECT_EQ(DisplayWidth(""), 0u);
+  // "✓" is a three-byte UTF-8 sequence but one display column.
+  EXPECT_EQ(DisplayWidth("✓"), 1u);
+  EXPECT_EQ(DisplayWidth("✓*"), 2u);
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");  // never truncates
+  EXPECT_EQ(PadLeft("✓", 3), "  ✓");
+}
+
+TEST(Strings, StartsWithAndToLower) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_EQ(ToLower("VWN_RPA"), "vwn_rpa");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.SetHeader({"Condition", "PBE", "LYP"});
+  t.AddRow({"EC1", "✓", "✗"});
+  t.AddRow({"A long condition name", "?", "−"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Condition"), std::string::npos);
+  EXPECT_NE(out.find("✓"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.NumColumns(), 3u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only one"}), InternalError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  TextTable t;
+  EXPECT_THROW(t.SetHeader({}), InternalError);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+  EXPECT_GE(w.ElapsedMillis(), 0.0);
+  w.Reset();
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+}
+
+TEST(Deadline, NeverExpiresByDefault) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(std::isinf(d.RemainingSeconds()));
+}
+
+TEST(Deadline, ExpiresAfterDuration) {
+  Deadline d = Deadline::After(-1.0);
+  EXPECT_TRUE(d.Expired());
+  Deadline future = Deadline::After(60.0);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.RemainingSeconds(), 0.0);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SupportsRecursiveSubmission) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  // Binary fan-out, three levels deep: 1 + 2 + 4 + 8 = 15 tasks.
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth > 0)
+      for (int i = 0; i < 2; ++i)
+        pool.Submit([&spawn, depth] { spawn(depth - 1); });
+  };
+  pool.Submit([&spawn] { spawn(3); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 15);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace xcv

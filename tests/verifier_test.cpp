@@ -1,0 +1,213 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "conditions/conditions.h"
+#include "expr/bool_expr.h"
+#include "functionals/functional.h"
+#include "support/check.h"
+#include "verifier/verifier.h"
+
+namespace xcv::verifier {
+namespace {
+
+using expr::BoolExpr;
+using expr::Expr;
+using solver::Box;
+
+Expr X() { return Expr::Variable("x", 0); }
+Expr Y() { return Expr::Variable("y", 1); }
+Expr C(double v) { return Expr::Constant(v); }
+
+VerifierOptions Fast() {
+  VerifierOptions o;
+  o.split_threshold = 0.26;
+  o.solver.max_nodes = 20'000;
+  o.solver.delta = 1e-4;
+  return o;
+}
+
+Box UnitSquare() { return Box({Interval(0.0, 4.0), Interval(0.0, 4.0)}); }
+
+TEST(Verifier, VerifiesTautology) {
+  // x² + 1 > 0 holds everywhere.
+  Verifier v(BoolExpr::Gt(X() * X() + C(1), C(0)), Fast());
+  auto report = v.Run(UnitSquare());
+  EXPECT_EQ(report.Summarize(), Verdict::kVerified);
+  ASSERT_EQ(report.leaves.size(), 1u);
+  EXPECT_EQ(report.leaves[0].status, RegionStatus::kVerified);
+  EXPECT_EQ(report.solver_calls, 1u);
+  EXPECT_TRUE(report.witnesses.empty());
+}
+
+TEST(Verifier, FindsCounterexampleWithValidWitness) {
+  // ψ: x + y >= 5 — plainly false near the origin.
+  BoolExpr psi = BoolExpr::Ge(X() + Y(), C(5));
+  Verifier v(psi, Fast());
+  auto report = v.Run(UnitSquare());
+  EXPECT_EQ(report.Summarize(), Verdict::kCounterexample);
+  ASSERT_FALSE(report.witnesses.empty());
+  for (const auto& w : report.witnesses) {
+    ASSERT_EQ(w.size(), 2u);
+    // Witnesses are validated: they genuinely violate ψ.
+    EXPECT_LT(w[0] + w[1], 5.0);
+  }
+}
+
+TEST(Verifier, PartitionCoversDomain) {
+  BoolExpr psi = BoolExpr::Ge(X() + Y(), C(5));
+  Verifier v(psi, Fast());
+  const Box domain = UnitSquare();
+  auto report = v.Run(domain);
+  double leaf_volume = 0.0;
+  for (const auto& leaf : report.leaves) leaf_volume += BoxVolume(leaf.box);
+  EXPECT_NEAR(leaf_volume, BoxVolume(domain), 1e-9 * BoxVolume(domain));
+}
+
+TEST(Verifier, MixedVerdictSplitsCleanly) {
+  // ψ: x <= 2 over [0,4]²: true on the left half, false on the right.
+  BoolExpr psi = BoolExpr::Le(X(), C(2));
+  Verifier v(psi, Fast());
+  auto report = v.Run(UnitSquare());
+  EXPECT_EQ(report.Summarize(), Verdict::kCounterexample);
+  EXPECT_GT(report.VolumeFraction(RegionStatus::kVerified), 0.3);
+  EXPECT_GT(report.VolumeFraction(RegionStatus::kCounterexample), 0.3);
+  for (const auto& w : report.witnesses) EXPECT_GT(w[0], 2.0);
+}
+
+TEST(Verifier, TimeoutBudgetClassifiesRemainderAsTimeout) {
+  VerifierOptions opts = Fast();
+  opts.total_time_budget_seconds = 0.0;  // expire immediately
+  Verifier v(BoolExpr::Ge(X() + Y(), C(5)), opts);
+  auto report = v.Run(UnitSquare());
+  EXPECT_EQ(report.Summarize(), Verdict::kUnknown);
+  EXPECT_NEAR(report.VolumeFraction(RegionStatus::kTimeout), 1.0, 1e-12);
+}
+
+TEST(Verifier, PerCallTimeoutProducesTimeoutRegions) {
+  VerifierOptions opts = Fast();
+  opts.solver.max_nodes = 1;  // every call times out
+  opts.split_threshold = 1.1;
+  // ψ whose negation stays interval-Unknown (x² + 1e-3 - x² > 0 cannot be
+  // decided without deep splitting): every solver call burns its budget.
+  Verifier v(BoolExpr::Gt(X() * X() + C(1e-3) - X() * X(), C(0)), opts);
+  auto report = v.Run(UnitSquare());
+  EXPECT_GT(report.solver_timeouts, 0u);
+  EXPECT_GT(report.VolumeFraction(RegionStatus::kTimeout), 0.5);
+}
+
+TEST(Verifier, RespectsSplitThreshold) {
+  VerifierOptions opts = Fast();
+  opts.split_threshold = 0.6;
+  Verifier v(BoolExpr::Ge(X() + Y(), C(5)), opts);
+  auto report = v.Run(UnitSquare());
+  for (const auto& leaf : report.leaves) {
+    // Children of a split have half the parent width; leaves stop when the
+    // *next* split would go below the threshold.
+    EXPECT_GE(leaf.box.MaxWidth(), opts.split_threshold - 1e-12);
+  }
+}
+
+TEST(Verifier, SplitAllDimsVsWidestOnly) {
+  VerifierOptions quad = Fast();
+  VerifierOptions binary = Fast();
+  binary.split_all_dims = false;
+  BoolExpr psi = BoolExpr::Le(X() * Y(), C(8));
+  auto r_quad = Verifier(psi, quad).Run(UnitSquare());
+  auto r_binary = Verifier(psi, binary).Run(UnitSquare());
+  // Same verdict by either splitting strategy.
+  EXPECT_EQ(r_quad.Summarize(), r_binary.Summarize());
+}
+
+TEST(Verifier, ParallelMatchesSequentialVerdict) {
+  BoolExpr psi = BoolExpr::Ge(X() * X() + Y() * Y(), C(1));
+  VerifierOptions seq = Fast();
+  VerifierOptions par = Fast();
+  par.num_threads = 4;
+  auto r_seq = Verifier(psi, seq).Run(UnitSquare());
+  auto r_par = Verifier(psi, par).Run(UnitSquare());
+  EXPECT_EQ(r_seq.Summarize(), r_par.Summarize());
+  // Same leaf partition volume.
+  double v_seq = 0.0, v_par = 0.0;
+  for (const auto& l : r_seq.leaves) v_seq += BoxVolume(l.box);
+  for (const auto& l : r_par.leaves) v_par += BoxVolume(l.box);
+  EXPECT_NEAR(v_seq, v_par, 1e-9);
+}
+
+TEST(Verifier, RejectsBadOptions) {
+  VerifierOptions bad = Fast();
+  bad.split_threshold = 0.0;
+  EXPECT_THROW(Verifier(BoolExpr::True(), bad), xcv::InternalError);
+  VerifierOptions bad2 = Fast();
+  bad2.num_threads = 0;
+  EXPECT_THROW(Verifier(BoolExpr::True(), bad2), xcv::InternalError);
+}
+
+TEST(Report, VerdictLogic) {
+  VerificationReport r;
+  r.leaves.push_back({Box({Interval(0, 1)}), RegionStatus::kVerified, {}});
+  EXPECT_EQ(r.Summarize(), Verdict::kVerified);
+  r.leaves.push_back({Box({Interval(1, 2)}), RegionStatus::kTimeout, {}});
+  EXPECT_EQ(r.Summarize(), Verdict::kVerifiedPartial);
+  r.leaves.push_back(
+      {Box({Interval(2, 3)}), RegionStatus::kCounterexample, {2.5}});
+  EXPECT_EQ(r.Summarize(), Verdict::kCounterexample);
+
+  VerificationReport unknown;
+  unknown.leaves.push_back(
+      {Box({Interval(0, 1)}), RegionStatus::kTimeout, {}});
+  unknown.leaves.push_back(
+      {Box({Interval(1, 2)}), RegionStatus::kInconclusive, {}});
+  EXPECT_EQ(unknown.Summarize(), Verdict::kUnknown);
+}
+
+TEST(Report, VolumeFractions) {
+  VerificationReport r;
+  r.leaves.push_back({Box({Interval(0, 3)}), RegionStatus::kVerified, {}});
+  r.leaves.push_back({Box({Interval(3, 4)}), RegionStatus::kTimeout, {}});
+  EXPECT_NEAR(r.VolumeFraction(RegionStatus::kVerified), 0.75, 1e-12);
+  EXPECT_NEAR(r.VolumeFraction(RegionStatus::kTimeout), 0.25, 1e-12);
+  EXPECT_NEAR(r.VolumeFraction(RegionStatus::kCounterexample), 0.0, 1e-12);
+}
+
+TEST(Report, SymbolsMatchPaperLegend) {
+  EXPECT_EQ(VerdictSymbol(Verdict::kVerified), "✓");
+  EXPECT_EQ(VerdictSymbol(Verdict::kVerifiedPartial), "✓*");
+  EXPECT_EQ(VerdictSymbol(Verdict::kUnknown), "?");
+  EXPECT_EQ(VerdictSymbol(Verdict::kCounterexample), "✗");
+  EXPECT_EQ(VerdictSymbol(Verdict::kNotApplicable), "−");
+}
+
+TEST(Report, BoxVolume) {
+  EXPECT_DOUBLE_EQ(BoxVolume(Box({Interval(0, 2), Interval(0, 3)})), 6.0);
+  EXPECT_DOUBLE_EQ(BoxVolume(Box({Interval(1.0)})), 0.0);
+}
+
+TEST(EndToEnd, Vwn_Ec1_VerifiedLikePaper) {
+  // Table I: VWN RPA satisfies Ec non-positivity on the entire domain.
+  const auto& vwn = *functionals::FindFunctional("VWN_RPA");
+  const auto psi =
+      *conditions::BuildCondition(*conditions::FindCondition("EC1"), vwn);
+  VerifierOptions opts = Fast();
+  Verifier v(psi, opts);
+  auto report = v.Run(conditions::PaperDomain(vwn));
+  EXPECT_EQ(report.Summarize(), Verdict::kVerified);
+}
+
+TEST(EndToEnd, Lyp_Ec1_CounterexampleLikePaper) {
+  // Table I: LYP violates Ec non-positivity; Fig. 2d places the violations
+  // at large s.
+  const auto& lyp = *functionals::FindFunctional("LYP");
+  const auto psi =
+      *conditions::BuildCondition(*conditions::FindCondition("EC1"), lyp);
+  VerifierOptions opts = Fast();
+  opts.split_threshold = 0.35;
+  Verifier v(psi, opts);
+  auto report = v.Run(conditions::PaperDomain(lyp));
+  EXPECT_EQ(report.Summarize(), Verdict::kCounterexample);
+  ASSERT_FALSE(report.witnesses.empty());
+  for (const auto& w : report.witnesses) EXPECT_GT(w[1], 1.0);
+}
+
+}  // namespace
+}  // namespace xcv::verifier
