@@ -232,6 +232,8 @@ std::string OpName(Op op) {
     case Op::kAbs: return "abs";
     case Op::kLambertW: return "lambertw";
     case Op::kIte: return "ite";
+    case Op::kSqr: return "sqr";
+    case Op::kPowN: return "pown";
   }
   return "unknown";
 }

@@ -1,5 +1,6 @@
 #include "expr/compile.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
@@ -61,6 +62,16 @@ class Compiler {
 
 }  // namespace
 
+// Negative n via one final reciprocal. A few ulps off std::pow for large
+// |n|, but value-preserving over the reals.
+double PowNScalar(double x, int n) {
+  if (n < 0) return 1.0 / PowNScalar(x, -n);
+  double result = 1.0;
+  for (double base = x; n > 0; n >>= 1, base *= base)
+    if (n & 1) result *= base;
+  return result;
+}
+
 Tape Compile(const Expr& e) {
   XCV_CHECK(!e.IsNull());
   return Compiler().Run(e);
@@ -110,6 +121,8 @@ double EvalTape(const Tape& tape, std::span<const double> env,
       case Op::kTanh: v[i] = std::tanh(v[ins.a]); break;
       case Op::kAbs: v[i] = std::fabs(v[ins.a]); break;
       case Op::kLambertW: v[i] = LambertW0(v[ins.a]); break;
+      case Op::kSqr: v[i] = v[ins.a] * v[ins.a]; break;
+      case Op::kPowN: v[i] = PowNScalar(v[ins.a], ins.var); break;
       case Op::kIte: {
         const bool cond = ins.rel == Rel::kLe ? v[ins.a] <= v[ins.b]
                                               : v[ins.a] < v[ins.b];
@@ -125,7 +138,8 @@ Interval EvalTapeIntervalForward(const Tape& tape,
                                  std::span<const Interval> box,
                                  TapeScratch& scratch) {
   auto& v = scratch.intervals;
-  v.assign(tape.size(), Interval::Empty());
+  // Every slot is overwritten below, so a resize (no refill) suffices.
+  v.resize(tape.size());
   for (std::size_t i = 0; i < tape.size(); ++i) {
     const Instr& ins = tape.instrs[i];
     switch (ins.op) {
@@ -165,6 +179,8 @@ Interval EvalTapeIntervalForward(const Tape& tape,
       case Op::kTanh: v[i] = Tanh(v[ins.a]); break;
       case Op::kAbs: v[i] = Abs(v[ins.a]); break;
       case Op::kLambertW: v[i] = LambertW0(v[ins.a]); break;
+      case Op::kSqr: v[i] = Sqr(v[ins.a]); break;
+      case Op::kPowN: v[i] = PowInt(v[ins.a], ins.var); break;
       case Op::kIte: {
         const Interval l = v[ins.a], r = v[ins.b];
         const bool can_true =
@@ -185,6 +201,142 @@ Interval EvalTapeIntervalForward(const Tape& tape,
 Interval EvalTapeInterval(const Tape& tape, std::span<const Interval> box,
                           TapeScratch& scratch) {
   return EvalTapeIntervalForward(tape, box, scratch);
+}
+
+void EvalTapeBatch(const Tape& tape, std::span<const double* const> inputs,
+                   std::size_t n, double* out, TapeBatchScratch& scratch) {
+  if (n == 0) return;
+  const std::size_t slots = tape.size();
+  if (scratch.capacity < n) {
+    scratch.capacity = n;
+    scratch.lanes.clear();  // old contents are dead; avoid a copying resize
+  }
+  scratch.lanes.resize(slots * scratch.capacity);
+  scratch.rows.resize(slots);
+
+  // Variable slots alias the caller's input arrays directly (no copy); every
+  // other slot owns a lane row.
+  for (std::size_t i = 0; i < slots; ++i) {
+    const Instr& ins = tape.instrs[i];
+    if (ins.op == Op::kVar) {
+      XCV_CHECK_MSG(ins.var >= 0 &&
+                        static_cast<std::size_t>(ins.var) < inputs.size() &&
+                        inputs[static_cast<std::size_t>(ins.var)] != nullptr,
+                    "tape variable index " << ins.var
+                                           << " outside batch inputs");
+      scratch.rows[i] = inputs[static_cast<std::size_t>(ins.var)];
+    } else {
+      scratch.rows[i] = scratch.lanes.data() + i * scratch.capacity;
+    }
+  }
+
+  for (std::size_t i = 0; i < slots; ++i) {
+    const Instr& ins = tape.instrs[i];
+    if (ins.op == Op::kVar) continue;
+    double* r = scratch.lanes.data() + i * scratch.capacity;
+    const double* a = ins.a >= 0 ? scratch.rows[static_cast<std::size_t>(ins.a)]
+                                 : nullptr;
+    const double* b = ins.b >= 0 ? scratch.rows[static_cast<std::size_t>(ins.b)]
+                                 : nullptr;
+    switch (ins.op) {
+      case Op::kConst: {
+        const double c = ins.value;
+        for (std::size_t j = 0; j < n; ++j) r[j] = c;
+        break;
+      }
+      case Op::kVar:
+        break;  // aliased above
+      case Op::kAdd:
+        for (std::size_t j = 0; j < n; ++j) r[j] = a[j] + b[j];
+        for (auto rest : ins.rest) {
+          const double* c = scratch.rows[static_cast<std::size_t>(rest)];
+          for (std::size_t j = 0; j < n; ++j) r[j] += c[j];
+        }
+        break;
+      case Op::kMul:
+        for (std::size_t j = 0; j < n; ++j) r[j] = a[j] * b[j];
+        for (auto rest : ins.rest) {
+          const double* c = scratch.rows[static_cast<std::size_t>(rest)];
+          for (std::size_t j = 0; j < n; ++j) r[j] *= c[j];
+        }
+        break;
+      case Op::kDiv:
+        for (std::size_t j = 0; j < n; ++j) r[j] = a[j] / b[j];
+        break;
+      case Op::kPow:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::pow(a[j], b[j]);
+        break;
+      case Op::kMin:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::fmin(a[j], b[j]);
+        break;
+      case Op::kMax:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::fmax(a[j], b[j]);
+        break;
+      case Op::kNeg:
+        for (std::size_t j = 0; j < n; ++j) r[j] = -a[j];
+        break;
+      case Op::kExp:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::exp(a[j]);
+        break;
+      case Op::kLog:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::log(a[j]);
+        break;
+      case Op::kSqrt:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::sqrt(a[j]);
+        break;
+      case Op::kCbrt:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::cbrt(a[j]);
+        break;
+      case Op::kSin:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::sin(a[j]);
+        break;
+      case Op::kCos:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::cos(a[j]);
+        break;
+      case Op::kAtan:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::atan(a[j]);
+        break;
+      case Op::kTanh:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::tanh(a[j]);
+        break;
+      case Op::kAbs:
+        for (std::size_t j = 0; j < n; ++j) r[j] = std::fabs(a[j]);
+        break;
+      case Op::kLambertW:
+        for (std::size_t j = 0; j < n; ++j) r[j] = LambertW0(a[j]);
+        break;
+      case Op::kSqr:
+        for (std::size_t j = 0; j < n; ++j) r[j] = a[j] * a[j];
+        break;
+      case Op::kPowN: {
+        const int p = ins.var;
+        if (p == 2) {
+          for (std::size_t j = 0; j < n; ++j) r[j] = a[j] * a[j];
+        } else if (p == 3) {
+          for (std::size_t j = 0; j < n; ++j) r[j] = a[j] * a[j] * a[j];
+        } else if (p == -1) {
+          for (std::size_t j = 0; j < n; ++j) r[j] = 1.0 / a[j];
+        } else {
+          for (std::size_t j = 0; j < n; ++j) r[j] = PowNScalar(a[j], p);
+        }
+        break;
+      }
+      case Op::kIte: {
+        const double* c = scratch.rows[static_cast<std::size_t>(ins.c)];
+        const double* d = scratch.rows[static_cast<std::size_t>(ins.d)];
+        if (ins.rel == Rel::kLe) {
+          for (std::size_t j = 0; j < n; ++j)
+            r[j] = a[j] <= b[j] ? c[j] : d[j];
+        } else {
+          for (std::size_t j = 0; j < n; ++j) r[j] = a[j] < b[j] ? c[j] : d[j];
+        }
+        break;
+      }
+    }
+  }
+
+  const double* root = scratch.rows[static_cast<std::size_t>(tape.root())];
+  std::copy(root, root + n, out);
 }
 
 }  // namespace xcv::expr

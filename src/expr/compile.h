@@ -24,7 +24,8 @@ struct Instr {
   Op op = Op::kConst;
   Rel rel = Rel::kLe;       // kIte only
   double value = 0.0;       // kConst payload
-  int var = -1;             // kVar payload: environment index
+  int var = -1;             // kVar payload: environment index.
+                            // kPowN payload: the integer exponent n.
   std::int32_t a = -1, b = -1, c = -1, d = -1;
   /// Extra operands for n-ary add/mul beyond the first two (slot indices).
   std::vector<std::int32_t> rest;
@@ -55,6 +56,11 @@ struct TapeScratch {
 double EvalTape(const Tape& tape, std::span<const double> env,
                 TapeScratch& scratch);
 
+/// x^n for integer n by binary exponentiation — the scalar semantics of the
+/// kPowN instruction (exposed so the optimizer's constant folder matches the
+/// evaluators exactly).
+double PowNScalar(double x, int n);
+
 /// Sound interval evaluation of the tape over `box`.
 Interval EvalTapeInterval(const Tape& tape, std::span<const Interval> box,
                           TapeScratch& scratch);
@@ -64,5 +70,28 @@ Interval EvalTapeInterval(const Tape& tape, std::span<const Interval> box,
 Interval EvalTapeIntervalForward(const Tape& tape,
                                  std::span<const Interval> box,
                                  TapeScratch& scratch);
+
+// ---- Batched structure-of-arrays evaluation ---------------------------------
+
+/// Reusable scratch for EvalTapeBatch: one row of `n` doubles per tape slot,
+/// plus a per-slot operand pointer table. Grows monotonically; reuse one
+/// instance per thread across chunks to amortize allocation.
+struct TapeBatchScratch {
+  std::vector<double> lanes;        // tape.size() rows × row capacity
+  std::vector<const double*> rows;  // slot -> row base (lane or input array)
+  std::size_t capacity = 0;         // current row capacity (points)
+};
+
+/// Evaluates the tape at `n` points in one sweep (structure-of-arrays).
+/// `inputs[v]` must point to `n` contiguous values for environment slot `v`
+/// (only slots the tape actually reads are dereferenced; unused entries may
+/// be null). Root values are written to `out[0..n)`.
+///
+/// Each instruction is applied to all `n` points in a tight loop before the
+/// next instruction runs, so the per-instruction dispatch cost is amortized
+/// N-fold and the inner loops auto-vectorize. Results are bit-identical to
+/// calling EvalTape point by point on the same tape.
+void EvalTapeBatch(const Tape& tape, std::span<const double* const> inputs,
+                   std::size_t n, double* out, TapeBatchScratch& scratch);
 
 }  // namespace xcv::expr

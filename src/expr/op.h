@@ -32,6 +32,13 @@ enum class Op : std::uint8_t {
   kAbs,
   kLambertW,  // principal branch W0
   kIte,       // if (child0 REL child1) then child2 else child3
+
+  // Tape-only instructions, produced by the optimizer's strength reduction
+  // of kPow with constant exponents (optimize.h). They never appear in
+  // expression DAGs, so DAG walkers (printer, derivative, substitute) need
+  // not handle them; tape evaluators and the HC4 backward sweep must.
+  kSqr,   // x^2 as one multiply
+  kPowN,  // x^n for integer n (payload in Instr::var), by repeated squaring
 };
 
 /// Comparison relation used by kIte conditions and boolean atoms.

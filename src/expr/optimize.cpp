@@ -1,0 +1,540 @@
+#include "expr/optimize.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "interval/lambert_w.h"
+#include "support/check.h"
+
+namespace xcv::expr {
+
+namespace {
+
+// Value-numbering key: full structural identity of an instruction. Constant
+// payloads compare by bit pattern so NaN and -0.0 are preserved and hashable.
+struct InstrKey {
+  Op op;
+  Rel rel;
+  std::uint64_t value_bits;
+  int var;
+  std::int32_t a, b, c, d;
+  std::vector<std::int32_t> rest;
+
+  bool operator==(const InstrKey& o) const {
+    return op == o.op && rel == o.rel && value_bits == o.value_bits &&
+           var == o.var && a == o.a && b == o.b && c == o.c && d == o.d &&
+           rest == o.rest;
+  }
+};
+
+struct InstrKeyHash {
+  std::size_t operator()(const InstrKey& k) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(static_cast<std::uint64_t>(k.op));
+    mix(static_cast<std::uint64_t>(k.rel));
+    mix(k.value_bits);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.var)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.a)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.b)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.c)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.d)));
+    for (auto s : k.rest)
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s)));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+InstrKey KeyOf(const Instr& ins) {
+  InstrKey k{ins.op,
+             ins.rel,
+             std::bit_cast<std::uint64_t>(ins.value),
+             ins.var,
+             ins.a,
+             ins.b,
+             ins.c,
+             ins.d,
+             ins.rest};
+  return k;
+}
+
+constexpr int kMaxReducedExponent = 64;
+
+class TapeOptimizer {
+ public:
+  explicit TapeOptimizer(const Tape& in, OptimizeStats* stats)
+      : in_(in), stats_(stats) {}
+
+  Tape Run() {
+    map_.reserve(in_.size());
+    for (const Instr& ins : in_.instrs) map_.push_back(Rewrite(ins));
+    return Finish();
+  }
+
+ private:
+  // ---- Emission with value numbering ----------------------------------------
+
+  bool IsConst(std::int32_t slot) const {
+    return out_[static_cast<std::size_t>(slot)].op == Op::kConst;
+  }
+  double ConstVal(std::int32_t slot) const {
+    return out_[static_cast<std::size_t>(slot)].value;
+  }
+  bool IsConstEq(std::int32_t slot, double v) const {
+    return IsConst(slot) && ConstVal(slot) == v;
+  }
+
+  std::int32_t EmitRaw(Instr ins) {
+    auto [it, inserted] =
+        cse_.emplace(KeyOf(ins), static_cast<std::int32_t>(out_.size()));
+    if (!inserted) {
+      if (stats_) ++stats_->cse_hits;
+      return it->second;
+    }
+    out_.push_back(std::move(ins));
+    return it->second;
+  }
+
+  std::int32_t EmitConst(double v) {
+    Instr ins;
+    ins.op = Op::kConst;
+    ins.value = v;
+    return EmitRaw(std::move(ins));
+  }
+
+  std::int32_t EmitUnary(Op op, std::int32_t a, int payload = -1) {
+    Instr ins;
+    ins.op = op;
+    ins.a = a;
+    ins.var = payload;  // kPowN exponent
+    return EmitRaw(std::move(ins));
+  }
+
+  std::int32_t EmitBinary(Op op, std::int32_t a, std::int32_t b) {
+    Instr ins;
+    ins.op = op;
+    ins.a = a;
+    ins.b = b;
+    return EmitRaw(std::move(ins));
+  }
+
+  // ---- Strength reduction ---------------------------------------------------
+
+  // x^k for non-negative integer k as pown/sqr (k == 1 aliases the base).
+  std::int32_t EmitIntPow(std::int32_t base, int k) {
+    XCV_DCHECK(k >= 1);
+    if (k == 1) return base;
+    if (k == 2) return EmitUnary(Op::kSqr, base);
+    return EmitUnary(Op::kPowN, base, k);
+  }
+
+  // x^p for constant p. Returns the slot computing the reduced form, or -1
+  // when no reduction applies (caller emits the generic kPow).
+  //
+  // Reductions cover integer and exact quarter-integer exponents (0.25,
+  // 0.5, 0.75 fractional parts — these are exactly representable doubles,
+  // so e.g. x^2.5 → x²·√x and x^-0.25 → 1/√(√x) denote the same real
+  // function; thirds like 5/3 are NOT representable and are left alone).
+  // The enhancement factors this engine spends its time in are dominated by
+  // such powers: s², t², SCAN's (1+4y)^-1/4 switch, and the half-integer
+  // chains their derivatives introduce.
+  std::int32_t ReducePow(std::int32_t base, double p) {
+    if (p == std::floor(p) && std::fabs(p) <= kMaxReducedExponent) {
+      if (p == 2.0) return EmitUnary(Op::kSqr, base);
+      return EmitUnary(Op::kPowN, base, static_cast<int>(p));
+    }
+    const double quadruple = 4.0 * p;
+    if (quadruple != std::floor(quadruple) ||
+        std::fabs(p) > kMaxReducedExponent)
+      return -1;
+    if (p < 0.0)
+      return EmitBinary(Op::kDiv, EmitConst(1.0), ReducePow(base, -p));
+    // p = k + f with f in {0.25, 0.5, 0.75}; x^p = x^k · x^f, and x^f is a
+    // sqrt chain: x^0.5 = √x, x^0.25 = √√x, x^0.75 = √x · √√x. All factors
+    // share the same natural domain x ≥ 0 as the original power.
+    const int k = static_cast<int>(std::floor(p));
+    const double f = p - std::floor(p);
+    const std::int32_t root = EmitUnary(Op::kSqrt, base);
+    std::int32_t frac;
+    if (f == 0.5) {
+      frac = root;
+    } else if (f == 0.25) {
+      frac = EmitUnary(Op::kSqrt, root);
+    } else {
+      frac = EmitBinary(Op::kMul, root, EmitUnary(Op::kSqrt, root));
+    }
+    return k == 0 ? frac : EmitBinary(Op::kMul, EmitIntPow(base, k), frac);
+  }
+
+  // ---- Constant folding -----------------------------------------------------
+
+  // Folds an instruction whose operands are all constants, using exactly the
+  // double semantics of EvalTape so scalar results are unchanged.
+  double Fold(const Instr& ins, std::span<const std::int32_t> operands) {
+    auto v = [&](std::size_t i) { return ConstVal(operands[i]); };
+    switch (ins.op) {
+      case Op::kAdd: {
+        double s = v(0) + v(1);
+        for (std::size_t i = 2; i < operands.size(); ++i) s += v(i);
+        return s;
+      }
+      case Op::kMul: {
+        double s = v(0) * v(1);
+        for (std::size_t i = 2; i < operands.size(); ++i) s *= v(i);
+        return s;
+      }
+      case Op::kDiv: return v(0) / v(1);
+      case Op::kPow: return std::pow(v(0), v(1));
+      case Op::kMin: return std::fmin(v(0), v(1));
+      case Op::kMax: return std::fmax(v(0), v(1));
+      case Op::kNeg: return -v(0);
+      case Op::kExp: return std::exp(v(0));
+      case Op::kLog: return std::log(v(0));
+      case Op::kSqrt: return std::sqrt(v(0));
+      case Op::kCbrt: return std::cbrt(v(0));
+      case Op::kSin: return std::sin(v(0));
+      case Op::kCos: return std::cos(v(0));
+      case Op::kAtan: return std::atan(v(0));
+      case Op::kTanh: return std::tanh(v(0));
+      case Op::kAbs: return std::fabs(v(0));
+      case Op::kLambertW: return LambertW0(v(0));
+      case Op::kSqr: return v(0) * v(0);
+      case Op::kPowN: return PowNScalar(v(0), ins.var);
+      default:
+        XCV_CHECK_MSG(false, "unfoldable op " << OpName(ins.op));
+        return 0.0;
+    }
+  }
+
+  // ---- Per-instruction rewrite ----------------------------------------------
+
+  std::int32_t MapSlot(std::int32_t old_slot) const {
+    XCV_DCHECK(old_slot >= 0 &&
+               static_cast<std::size_t>(old_slot) < map_.size());
+    return map_[static_cast<std::size_t>(old_slot)];
+  }
+
+  std::int32_t RewriteNary(const Instr& ins) {
+    // Gather mapped operands.
+    std::vector<std::int32_t> ops;
+    ops.reserve(2 + ins.rest.size());
+    ops.push_back(MapSlot(ins.a));
+    ops.push_back(MapSlot(ins.b));
+    for (auto r : ins.rest) ops.push_back(MapSlot(r));
+
+    const bool is_add = ins.op == Op::kAdd;
+    bool all_const = true;
+    for (auto s : ops) all_const &= IsConst(s);
+    if (all_const) {
+      if (stats_) ++stats_->folded;
+      return EmitConst(Fold(ins, ops));
+    }
+
+    // Combine constant operands (the builder keeps them leading, so the
+    // fold order matches EvalTape's sequential accumulation), then drop the
+    // neutral element. A zero constant absorbs a product, mirroring the
+    // Mul smart constructor.
+    double acc = is_add ? 0.0 : 1.0;
+    bool has_const = false;
+    std::vector<std::int32_t> kept;
+    kept.reserve(ops.size());
+    for (auto s : ops) {
+      if (IsConst(s)) {
+        acc = is_add ? acc + ConstVal(s) : acc * ConstVal(s);
+        has_const = true;
+      } else {
+        kept.push_back(s);
+      }
+    }
+    if (!is_add && has_const && acc == 0.0) {
+      if (stats_) ++stats_->simplified;
+      return EmitConst(0.0);
+    }
+    const bool dropped_neutral =
+        has_const && acc == (is_add ? 0.0 : 1.0);
+    if (has_const && !dropped_neutral) {
+      // Mul(-1, ...) is the builder's spelling of negation; hoist the sign
+      // into a dedicated kNeg and multiply one factor less. IEEE rounding is
+      // sign-symmetric, so -(x*y) == (-1*x)*y bit for bit.
+      if (!is_add && acc == -1.0 && !kept.empty()) {
+        if (stats_) ++stats_->simplified;
+        return EmitUnary(Op::kNeg, EmitNary(ins.op, std::move(kept)));
+      }
+      kept.insert(kept.begin(), EmitConst(acc));
+    } else if (dropped_neutral && stats_) {
+      ++stats_->simplified;
+    }
+
+    if (kept.empty()) return EmitConst(is_add ? 0.0 : 1.0);
+    if (!is_add) CollapseAdjacentSquares(kept);
+    return EmitNary(ins.op, std::move(kept));
+  }
+
+  /// mul(..., x, x, ...) → mul(..., sqr(x), ...). The builder's canonical
+  /// operand order keeps duplicated factors adjacent (s·s, x·x in PW92), so
+  /// this catches the hand-written squares the kPow reducer cannot see.
+  void CollapseAdjacentSquares(std::vector<std::int32_t>& operands) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < operands.size(); ++w) {
+      if (i + 1 < operands.size() && operands[i] == operands[i + 1]) {
+        operands[w] = EmitUnary(Op::kSqr, operands[i]);
+        if (stats_) ++stats_->simplified;
+        i += 2;
+      } else {
+        operands[w] = operands[i];
+        ++i;
+      }
+    }
+    operands.resize(w);
+  }
+
+  /// Emits an n-ary add/mul over `operands` (a single operand is an alias).
+  std::int32_t EmitNary(Op op, std::vector<std::int32_t> operands) {
+    XCV_DCHECK(!operands.empty());
+    if (operands.size() == 1) return operands[0];
+    Instr ins;
+    ins.op = op;
+    ins.a = operands[0];
+    ins.b = operands[1];
+    if (operands.size() > 2)
+      ins.rest.assign(operands.begin() + 2, operands.end());
+    return EmitRaw(std::move(ins));
+  }
+
+  std::int32_t Rewrite(const Instr& ins) {
+    switch (ins.op) {
+      case Op::kConst:
+        return EmitConst(ins.value);
+      case Op::kVar: {
+        Instr var;
+        var.op = Op::kVar;
+        var.var = ins.var;
+        return EmitRaw(std::move(var));
+      }
+      case Op::kAdd:
+      case Op::kMul:
+        return RewriteNary(ins);
+      case Op::kDiv: {
+        const std::int32_t a = MapSlot(ins.a), b = MapSlot(ins.b);
+        if (IsConst(a) && IsConst(b) && ConstVal(b) != 0.0) {
+          if (stats_) ++stats_->folded;
+          return EmitConst(ConstVal(a) / ConstVal(b));
+        }
+        if (IsConstEq(b, 1.0)) {
+          if (stats_) ++stats_->simplified;
+          return a;
+        }
+        if (IsConstEq(b, -1.0)) {
+          if (stats_) ++stats_->simplified;
+          return EmitUnary(Op::kNeg, a);
+        }
+        return EmitBinary(Op::kDiv, a, b);
+      }
+      case Op::kPow: {
+        const std::int32_t a = MapSlot(ins.a), b = MapSlot(ins.b);
+        if (IsConst(b)) {
+          const double p = ConstVal(b);
+          // pow(x, 0) == 1 and pow(x, 1) == x for every double x (IEEE
+          // pow(NaN, 0) is 1) — same rewrites the Pow smart constructor
+          // applies.
+          if (p == 0.0) {
+            if (stats_) ++stats_->simplified;
+            return EmitConst(1.0);
+          }
+          if (p == 1.0) {
+            if (stats_) ++stats_->simplified;
+            return a;
+          }
+          if (IsConst(a)) {
+            if (stats_) ++stats_->folded;
+            return EmitConst(std::pow(ConstVal(a), p));
+          }
+          const std::int32_t reduced = ReducePow(a, p);
+          if (reduced >= 0) {
+            if (stats_) ++stats_->strength_reduced;
+            return reduced;
+          }
+        } else if (IsConst(a)) {
+          // Constant base, symbolic exponent: nothing safe to do.
+        }
+        return EmitBinary(Op::kPow, a, b);
+      }
+      case Op::kMin:
+      case Op::kMax: {
+        const std::int32_t a = MapSlot(ins.a), b = MapSlot(ins.b);
+        if (a == b) {
+          if (stats_) ++stats_->simplified;
+          return a;
+        }
+        if (IsConst(a) && IsConst(b)) {
+          if (stats_) ++stats_->folded;
+          const std::int32_t slots[2] = {a, b};
+          return EmitConst(Fold(ins, slots));
+        }
+        return EmitBinary(ins.op, a, b);
+      }
+      case Op::kNeg: {
+        const std::int32_t a = MapSlot(ins.a);
+        if (IsConst(a)) {
+          if (stats_) ++stats_->folded;
+          return EmitConst(-ConstVal(a));
+        }
+        if (out_[static_cast<std::size_t>(a)].op == Op::kNeg) {
+          if (stats_) ++stats_->simplified;
+          return out_[static_cast<std::size_t>(a)].a;
+        }
+        return EmitUnary(Op::kNeg, a);
+      }
+      case Op::kExp:
+      case Op::kLog:
+      case Op::kSqrt:
+      case Op::kCbrt:
+      case Op::kSin:
+      case Op::kCos:
+      case Op::kAtan:
+      case Op::kTanh:
+      case Op::kAbs:
+      case Op::kLambertW:
+      case Op::kSqr: {
+        const std::int32_t a = MapSlot(ins.a);
+        if (IsConst(a)) {
+          if (stats_) ++stats_->folded;
+          const std::int32_t slots[1] = {a};
+          return EmitConst(Fold(ins, slots));
+        }
+        return EmitUnary(ins.op, a);
+      }
+      case Op::kPowN: {
+        const std::int32_t a = MapSlot(ins.a);
+        if (IsConst(a)) {
+          if (stats_) ++stats_->folded;
+          const std::int32_t slots[1] = {a};
+          return EmitConst(Fold(ins, slots));
+        }
+        if (ins.var == 0) {
+          if (stats_) ++stats_->simplified;
+          return EmitConst(1.0);
+        }
+        if (ins.var == 1) {
+          if (stats_) ++stats_->simplified;
+          return a;
+        }
+        if (ins.var == 2) return EmitUnary(Op::kSqr, a);
+        return EmitUnary(Op::kPowN, a, ins.var);
+      }
+      case Op::kIte: {
+        const std::int32_t a = MapSlot(ins.a), b = MapSlot(ins.b);
+        const std::int32_t c = MapSlot(ins.c), d = MapSlot(ins.d);
+        if (c == d) {
+          if (stats_) ++stats_->simplified;
+          return c;
+        }
+        if (IsConst(a) && IsConst(b)) {
+          if (stats_) ++stats_->simplified;
+          const bool cond = ins.rel == Rel::kLe
+                                ? ConstVal(a) <= ConstVal(b)
+                                : ConstVal(a) < ConstVal(b);
+          return cond ? c : d;
+        }
+        Instr ite;
+        ite.op = Op::kIte;
+        ite.rel = ins.rel;
+        ite.a = a;
+        ite.b = b;
+        ite.c = c;
+        ite.d = d;
+        return EmitRaw(std::move(ite));
+      }
+    }
+    XCV_CHECK_MSG(false, "unhandled op in optimizer");
+    return -1;
+  }
+
+  // ---- Dead-slot elimination and renumbering --------------------------------
+
+  Tape Finish() {
+    const auto root = MapSlot(static_cast<std::int32_t>(in_.root()));
+    std::vector<char> live(out_.size(), 0);
+    std::vector<std::int32_t> work{root};
+    while (!work.empty()) {
+      const std::int32_t s = work.back();
+      work.pop_back();
+      auto& flag = live[static_cast<std::size_t>(s)];
+      if (flag) continue;
+      flag = 1;
+      const Instr& ins = out_[static_cast<std::size_t>(s)];
+      // kVar/kPowN payloads live in `var`, not a slot; only a..d and rest
+      // reference instructions.
+      if (ins.op == Op::kVar || ins.op == Op::kConst) continue;
+      for (std::int32_t o : {ins.a, ins.b, ins.c, ins.d})
+        if (o >= 0) work.push_back(o);
+      for (std::int32_t o : ins.rest) work.push_back(o);
+    }
+
+    Tape result;
+    result.num_env_slots = in_.num_env_slots;
+    std::vector<std::int32_t> renumber(out_.size(), -1);
+    for (std::size_t i = 0; i < out_.size(); ++i) {
+      if (!live[i]) continue;
+      renumber[i] = static_cast<std::int32_t>(result.instrs.size());
+      Instr ins = std::move(out_[i]);
+      if (ins.op != Op::kVar && ins.op != Op::kConst) {
+        auto remap = [&renumber](std::int32_t& slot) {
+          if (slot >= 0) slot = renumber[static_cast<std::size_t>(slot)];
+        };
+        remap(ins.a);
+        remap(ins.b);
+        remap(ins.c);
+        remap(ins.d);
+        for (auto& r : ins.rest) remap(r);
+      }
+      result.instrs.push_back(std::move(ins));
+    }
+    XCV_CHECK_MSG(renumber[static_cast<std::size_t>(root)] ==
+                      static_cast<std::int32_t>(result.instrs.size()) - 1,
+                  "optimizer root is not the final slot");
+
+    result.var_slot.assign(static_cast<std::size_t>(result.num_env_slots),
+                           -1);
+    for (std::size_t i = 0; i < result.instrs.size(); ++i) {
+      const Instr& ins = result.instrs[i];
+      if (ins.op == Op::kVar)
+        result.var_slot[static_cast<std::size_t>(ins.var)] =
+            static_cast<std::int32_t>(i);
+    }
+
+    if (stats_) {
+      stats_->size_before = in_.size();
+      stats_->size_after = result.size();
+      stats_->eliminated = out_.size() - result.size();
+    }
+    return result;
+  }
+
+  const Tape& in_;
+  OptimizeStats* stats_;
+  std::vector<Instr> out_;
+  std::vector<std::int32_t> map_;
+  std::unordered_map<InstrKey, std::int32_t, InstrKeyHash> cse_;
+};
+
+}  // namespace
+
+Tape Optimize(const Tape& tape, OptimizeStats* stats) {
+  XCV_CHECK(!tape.instrs.empty());
+  if (stats) *stats = OptimizeStats{};
+  return TapeOptimizer(tape, stats).Run();
+}
+
+Tape CompileOptimized(const Expr& e, OptimizeStats* stats) {
+  return Optimize(Compile(e), stats);
+}
+
+}  // namespace xcv::expr

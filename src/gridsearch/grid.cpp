@@ -1,6 +1,10 @@
 #include "gridsearch/grid.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "support/check.h"
+#include "support/thread_pool.h"
 
 namespace xcv::gridsearch {
 
@@ -45,17 +49,96 @@ std::vector<double> Grid::Point(std::size_t index) const {
   return p;
 }
 
-std::vector<double> EvaluateOnGrid(const Grid& grid, const expr::Tape& tape) {
-  std::vector<double> out(grid.TotalPoints());
-  expr::TapeScratch scratch;
-  std::vector<double> env(std::max<std::size_t>(
-      grid.Rank(), static_cast<std::size_t>(tape.num_env_slots)));
-  for (std::size_t i = 0; i < grid.TotalPoints(); ++i) {
-    const auto p = grid.Point(i);
-    for (std::size_t d = 0; d < p.size(); ++d) env[d] = p[d];
-    out[i] = expr::EvalTape(tape, env, scratch);
+namespace {
+
+constexpr std::size_t kGridChunk = 1024;
+constexpr std::size_t kNoPinnedDim = static_cast<std::size_t>(-1);
+
+// Evaluates grid points [begin, end) into out[begin..end), chunk by chunk.
+// Each worker owns its coordinate rows and batch scratch; disjoint output
+// ranges make the parallel version race-free and bit-identical to serial.
+// Axis `pinned_dim` (if < rank) reads `pinned_value` instead of its
+// coordinate.
+void EvalGridRange(const Grid& grid, const expr::Tape& tape,
+                   std::size_t begin, std::size_t end, double* out,
+                   std::size_t pinned_dim, double pinned_value) {
+  const std::size_t rank = grid.Rank();
+  const std::size_t env_slots = std::max<std::size_t>(
+      rank, static_cast<std::size_t>(tape.num_env_slots));
+  std::vector<std::vector<double>> rows(env_slots);
+  for (auto& row : rows) row.assign(kGridChunk, 0.0);
+  if (pinned_dim < rank)
+    std::fill(rows[pinned_dim].begin(), rows[pinned_dim].end(), pinned_value);
+  std::vector<const double*> inputs(env_slots);
+  for (std::size_t d = 0; d < env_slots; ++d) inputs[d] = rows[d].data();
+  expr::TapeBatchScratch scratch;
+
+  for (std::size_t start = begin; start < end; start += kGridChunk) {
+    const std::size_t n = std::min(kGridChunk, end - start);
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (d == pinned_dim) continue;
+      const Axis& axis = grid.axis(d);
+      double* row = rows[d].data();
+      for (std::size_t j = 0; j < n; ++j)
+        row[j] = axis.At(((start + j) / grid.stride(d)) % axis.n);
+    }
+    expr::EvalTapeBatch(tape, inputs, n, out + start, scratch);
   }
+}
+
+std::vector<double> RunGridEval(const Grid& grid, const expr::Tape& tape,
+                                std::size_t num_threads,
+                                std::size_t pinned_dim, double pinned_value) {
+  const std::size_t total = grid.TotalPoints();
+  std::vector<double> out(total);
+  if (total == 0) return out;
+
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : hw;
+  }
+  num_threads = std::min(num_threads, (total + kGridChunk - 1) / kGridChunk);
+
+  if (num_threads <= 1) {
+    EvalGridRange(grid, tape, 0, total, out.data(), pinned_dim, pinned_value);
+    return out;
+  }
+
+  // Contiguous slices, rounded to chunk boundaries so no chunk straddles
+  // two workers.
+  ThreadPool pool(num_threads);
+  const std::size_t chunks = (total + kGridChunk - 1) / kGridChunk;
+  const std::size_t chunks_per_worker =
+      (chunks + num_threads - 1) / num_threads;
+  for (std::size_t w = 0; w < num_threads; ++w) {
+    const std::size_t begin =
+        std::min(total, w * chunks_per_worker * kGridChunk);
+    const std::size_t end =
+        std::min(total, (w + 1) * chunks_per_worker * kGridChunk);
+    if (begin >= end) break;
+    pool.Submit([&grid, &tape, begin, end, &out, pinned_dim, pinned_value] {
+      EvalGridRange(grid, tape, begin, end, out.data(), pinned_dim,
+                    pinned_value);
+    });
+  }
+  pool.WaitIdle();
   return out;
+}
+
+}  // namespace
+
+std::vector<double> EvaluateOnGrid(const Grid& grid, const expr::Tape& tape,
+                                   std::size_t num_threads) {
+  return RunGridEval(grid, tape, num_threads, kNoPinnedDim, 0.0);
+}
+
+std::vector<double> EvaluateOnGridPinned(const Grid& grid,
+                                         const expr::Tape& tape,
+                                         std::size_t pinned_dim,
+                                         double pinned_value,
+                                         std::size_t num_threads) {
+  XCV_CHECK(pinned_dim < grid.Rank());
+  return RunGridEval(grid, tape, num_threads, pinned_dim, pinned_value);
 }
 
 std::vector<double> NumericalGradient(const Grid& grid,

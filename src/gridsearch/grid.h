@@ -36,6 +36,8 @@ class Grid {
 
   /// Row-major linear index.
   std::size_t Index(std::span<const std::size_t> coords) const;
+  /// Linear-index stride of one step along axis `d`.
+  std::size_t stride(std::size_t d) const { return strides_[d]; }
   /// Coordinates of a linear index.
   std::vector<std::size_t> Coords(std::size_t index) const;
   /// Physical point of a linear index (one value per axis).
@@ -48,8 +50,25 @@ class Grid {
 };
 
 /// Evaluates a compiled expression at every grid point. The environment
-/// passed to the tape has one slot per axis (axis d = variable index d).
-std::vector<double> EvaluateOnGrid(const Grid& grid, const expr::Tape& tape);
+/// passed to the tape has one slot per axis (axis d = variable index d);
+/// environment slots beyond the grid's rank read as 0.
+///
+/// Points are evaluated in structure-of-arrays chunks via EvalTapeBatch —
+/// no per-point allocation — and chunks are distributed over `num_threads`
+/// workers (0 = hardware concurrency; 1 = serial). Output is identical for
+/// every thread count. Pass an optimized tape (expr::CompileOptimized) for
+/// best throughput.
+std::vector<double> EvaluateOnGrid(const Grid& grid, const expr::Tape& tape,
+                                   std::size_t num_threads = 0);
+
+/// As EvaluateOnGrid, but environment slot `pinned_dim` reads the constant
+/// `pinned_value` instead of that axis's coordinate (grid layout unchanged) —
+/// the PB checker's rs→∞ broadcast.
+std::vector<double> EvaluateOnGridPinned(const Grid& grid,
+                                         const expr::Tape& tape,
+                                         std::size_t pinned_dim,
+                                         double pinned_value,
+                                         std::size_t num_threads = 0);
 
 /// Central-difference partial derivative along `dim` (one-sided at the
 /// edges) — the numpy.gradient scheme PB relies on.

@@ -1,9 +1,11 @@
 #include "gridsearch/pb_checker.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "conditions/enhancement.h"
 #include "expr/compile.h"
+#include "expr/optimize.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 
@@ -20,18 +22,7 @@ namespace {
 // `rs_value`, broadcast back to full grid layout.
 std::vector<double> EvaluateAtRs(const Grid& grid, const Expr& e,
                                  double rs_value) {
-  const expr::Tape tape = expr::Compile(e);
-  expr::TapeScratch scratch;
-  std::vector<double> env(std::max<std::size_t>(
-      grid.Rank(), static_cast<std::size_t>(tape.num_env_slots)));
-  std::vector<double> out(grid.TotalPoints());
-  for (std::size_t i = 0; i < grid.TotalPoints(); ++i) {
-    const auto p = grid.Point(i);
-    env[0] = rs_value;
-    for (std::size_t d = 1; d < p.size(); ++d) env[d] = p[d];
-    out[i] = expr::EvalTape(tape, env, scratch);
-  }
-  return out;
+  return EvaluateOnGridPinned(grid, expr::CompileOptimized(e), 0, rs_value);
 }
 
 }  // namespace
@@ -52,14 +43,14 @@ std::optional<PbResult> RunPbCheck(const Functional& f,
   // them symbolically).
   const Expr fc_expr = conditions::CorrelationEnhancement(f);
   const std::vector<double> fc =
-      EvaluateOnGrid(grid, expr::Compile(fc_expr));
+      EvaluateOnGrid(grid, expr::CompileOptimized(fc_expr));
   const std::vector<double> dfc = NumericalGradient(grid, fc, 0);
 
   std::vector<double> d2fc, fxc, fc_inf;
   if (cond.id == ConditionId::kUcMonotonicity)
     d2fc = NumericalGradient(grid, dfc, 0);
   if (cond.needs_exchange)
-    fxc = EvaluateOnGrid(grid, expr::Compile(conditions::XcEnhancement(f)));
+    fxc = EvaluateOnGrid(grid, expr::CompileOptimized(conditions::XcEnhancement(f)));
   if (cond.id == ConditionId::kTcUpperBound)
     fc_inf = EvaluateAtRs(grid, fc_expr, options.rs_infinity);
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "expr/optimize.h"
 #include "support/check.h"
 
 namespace xcv::solver {
@@ -48,7 +49,7 @@ AtomContractor::AtomContractor(const expr::BoolExpr& atom)
 }
 
 AtomContractor::AtomContractor(expr::Expr e, expr::Rel rel)
-    : expr_(std::move(e)), rel_(rel), tape_(expr::Compile(expr_)) {}
+    : expr_(std::move(e)), rel_(rel), tape_(expr::CompileOptimized(expr_)) {}
 
 Interval AtomContractor::Evaluate(const Box& box,
                                   expr::TapeScratch& scratch) const {
@@ -240,6 +241,34 @@ ContractOutcome AtomContractor::Contract(Box& box,
         Interval zz = z.Intersect(Interval(-1.0, kInf));
         if (zz.IsEmpty()) return ContractOutcome::kEmpty;
         narrow(ins.a, WidenUlps(zz * Exp(zz), 2));
+        break;
+      }
+      case Op::kSqr: {
+        // z = x²: |x| = sqrt(z), same projection as an even kPow.
+        Interval r = Sqrt(z.Intersect(Interval::NonNegative()));
+        if (r.IsEmpty()) return ContractOutcome::kEmpty;
+        narrow(ins.a, Interval(-r.hi(), r.hi()));
+        break;
+      }
+      case Op::kPowN: {
+        // Optimizer-produced integer power; mirror the constant-exponent
+        // kPow projections (n is never 0 or 1 after optimization).
+        const auto n = static_cast<long long>(ins.var);
+        const Interval x = v[static_cast<std::size_t>(ins.a)];
+        if (n % 2 != 0) {
+          if (n > 0) {
+            narrow(ins.a, OddRoot(z, n));
+          } else if (!z.ContainsZero()) {
+            narrow(ins.a, OddRoot(1.0 / z, -n));
+          }
+        } else if (n > 0) {
+          Interval r = Pow(z.Intersect(Interval::NonNegative()),
+                           1.0 / static_cast<double>(n));
+          if (r.IsEmpty()) return ContractOutcome::kEmpty;
+          narrow(ins.a, Interval(-r.hi(), r.hi()));
+        } else if (x.lo() >= 0.0 && !z.ContainsZero()) {
+          narrow(ins.a, Pow(1.0 / z, -1.0 / static_cast<double>(n)));
+        }
         break;
       }
       case Op::kIte: {

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 
 #include "expr/eval.h"
@@ -34,35 +35,47 @@ DeltaSolver::DeltaSolver(expr::BoolExpr formula, SolverOptions options)
       required_atoms_.end());
 }
 
+namespace {
+
+// Atom identity: interned expression id + relation, in one hashable key.
+std::uint64_t AtomKey(const expr::Expr& e, expr::Rel rel) {
+  return (static_cast<std::uint64_t>(e.id()) << 1) |
+         static_cast<std::uint64_t>(rel);
+}
+
+}  // namespace
+
 DeltaSolver::FNode DeltaSolver::CompileFormula(const BoolExpr& b) {
-  FNode node;
-  node.kind = b.kind();
-  switch (b.kind()) {
-    case BoolExpr::Kind::kTrue:
-    case BoolExpr::Kind::kFalse:
-      return node;
-    case BoolExpr::Kind::kAtom: {
-      // Deduplicate atoms by expression identity + relation.
-      for (std::size_t i = 0; i < contractors_.size(); ++i) {
-        if (contractors_[i].atom_expr() == b.atom() &&
-            contractors_[i].rel() == b.rel()) {
-          node.atom = static_cast<int>(i);
-          return node;
-        }
+  // Dedup map shared across the whole recursive compilation (O(1) per atom;
+  // conditions with many repeated atoms used to pay O(n²) scans here).
+  std::unordered_map<std::uint64_t, int> atom_index;
+  auto compile = [&](auto&& self, const BoolExpr& node_expr) -> FNode {
+    FNode node;
+    node.kind = node_expr.kind();
+    switch (node_expr.kind()) {
+      case BoolExpr::Kind::kTrue:
+      case BoolExpr::Kind::kFalse:
+        return node;
+      case BoolExpr::Kind::kAtom: {
+        const auto key = AtomKey(node_expr.atom(), node_expr.rel());
+        auto [it, inserted] =
+            atom_index.emplace(key, static_cast<int>(contractors_.size()));
+        if (inserted)
+          contractors_.emplace_back(node_expr.atom(), node_expr.rel());
+        node.atom = it->second;
+        return node;
       }
-      node.atom = static_cast<int>(contractors_.size());
-      contractors_.emplace_back(b.atom(), b.rel());
-      return node;
+      case BoolExpr::Kind::kAnd:
+      case BoolExpr::Kind::kOr:
+        node.children.reserve(node_expr.children().size());
+        for (const BoolExpr& c : node_expr.children())
+          node.children.push_back(self(self, c));
+        return node;
     }
-    case BoolExpr::Kind::kAnd:
-    case BoolExpr::Kind::kOr:
-      node.children.reserve(b.children().size());
-      for (const BoolExpr& c : b.children())
-        node.children.push_back(CompileFormula(c));
-      return node;
-  }
-  XCV_CHECK_MSG(false, "unhandled formula kind");
-  return node;
+    XCV_CHECK_MSG(false, "unhandled formula kind");
+    return node;
+  };
+  return compile(compile, b);
 }
 
 void DeltaSolver::CollectRequiredAtoms(const FNode& node,
@@ -112,6 +125,92 @@ bool DeltaSolver::ValidateModel(std::span<const double> model) const {
   return expr::EvalBool(formula_, model);
 }
 
+bool DeltaSolver::EvaluateSkeletonExact(
+    const FNode& node, const std::vector<char>& atom_truth) const {
+  switch (node.kind) {
+    case BoolExpr::Kind::kTrue: return true;
+    case BoolExpr::Kind::kFalse: return false;
+    case BoolExpr::Kind::kAtom:
+      return atom_truth[static_cast<std::size_t>(node.atom)] != 0;
+    case BoolExpr::Kind::kAnd:
+      for (const FNode& c : node.children)
+        if (!EvaluateSkeletonExact(c, atom_truth)) return false;
+      return true;
+    case BoolExpr::Kind::kOr:
+      for (const FNode& c : node.children)
+        if (EvaluateSkeletonExact(c, atom_truth)) return true;
+      return false;
+  }
+  return false;
+}
+
+bool DeltaSolver::PresampleLattice(const Box& domain, CheckResult& result) {
+  const std::size_t dims = domain.size();
+  const auto per_dim = static_cast<std::size_t>(std::max(
+      2.0,
+      std::floor(std::pow(static_cast<double>(options_.presample_points),
+                          1.0 / static_cast<double>(dims)))));
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dims; ++d) total *= per_dim;
+
+  // Deterministic interior lattice, laid out structure-of-arrays so each
+  // atom tape runs once over all points instead of once per point.
+  auto& coords = presample_.coords;
+  coords.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) coords[d].resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    std::size_t rest = i;
+    for (std::size_t d = 0; d < dims; ++d) {
+      const std::size_t idx = rest % per_dim;
+      rest /= per_dim;
+      const double fraction =
+          (static_cast<double>(idx) + 0.5) / static_cast<double>(per_dim);
+      coords[d][i] = domain[d].lo() + fraction * domain[d].Width();
+    }
+  }
+
+  auto& values = presample_.values;
+  values.resize(contractors_.size());
+  // Chunk to bound the batch scratch (tape slots × chunk doubles).
+  constexpr std::size_t kChunk = 1024;
+  std::vector<const double*> inputs(dims);
+  for (std::size_t a = 0; a < contractors_.size(); ++a) {
+    values[a].resize(total);
+    const expr::Tape& tape = contractors_[a].tape();
+    for (std::size_t start = 0; start < total; start += kChunk) {
+      const std::size_t n = std::min(kChunk, total - start);
+      for (std::size_t d = 0; d < dims; ++d)
+        inputs[d] = coords[d].data() + start;
+      expr::EvalTapeBatch(tape, inputs, n, values[a].data() + start,
+                          presample_.batch);
+    }
+  }
+
+  std::vector<char> atom_truth(contractors_.size(), 0);
+  std::vector<double> point(dims);
+  for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t a = 0; a < contractors_.size(); ++a) {
+      const double v = values[a][i];
+      atom_truth[a] =
+          contractors_[a].rel() == expr::Rel::kLe ? v <= 0.0 : v < 0.0;
+    }
+    if (!EvaluateSkeletonExact(skeleton_, atom_truth)) continue;
+    for (std::size_t d = 0; d < dims; ++d) point[d] = coords[d][i];
+    // The batch screen ran on optimized tapes; confirm with the exact
+    // evaluator before reporting, so returned models are genuine under
+    // IEEE semantics exactly as before.
+    if (!expr::EvalBool(formula_, point)) continue;
+    result.kind = SatKind::kDeltaSat;
+    result.model = point;
+    std::vector<Interval> dims_iv;
+    dims_iv.reserve(dims);
+    for (double v : point) dims_iv.emplace_back(v);
+    result.model_box = Box(std::move(dims_iv));
+    return true;
+  }
+  return false;
+}
+
 CheckResult DeltaSolver::Check(const Box& domain) {
   CheckResult result;
   Stopwatch watch;
@@ -126,36 +225,12 @@ CheckResult DeltaSolver::Check(const Box& domain) {
     return result;
   }
 
-  // Model guessing: probe an interior lattice before any interval work.
-  if (options_.presample_points > 0) {
-    const std::size_t dims = domain.size();
-    const auto per_dim = static_cast<std::size_t>(std::max(
-        2.0, std::floor(std::pow(static_cast<double>(
-                                     options_.presample_points),
-                                 1.0 / static_cast<double>(dims)))));
-    std::size_t total = 1;
-    for (std::size_t d = 0; d < dims; ++d) total *= per_dim;
-    std::vector<double> point(dims);
-    for (std::size_t i = 0; i < total; ++i) {
-      std::size_t rest = i;
-      for (std::size_t d = 0; d < dims; ++d) {
-        const std::size_t idx = rest % per_dim;
-        rest /= per_dim;
-        const double fraction =
-            (static_cast<double>(idx) + 0.5) / static_cast<double>(per_dim);
-        point[d] = domain[d].lo() + fraction * domain[d].Width();
-      }
-      if (expr::EvalBool(formula_, point)) {
-        result.kind = SatKind::kDeltaSat;
-        result.model = point;
-        std::vector<Interval> dims_iv;
-        dims_iv.reserve(dims);
-        for (double v : point) dims_iv.emplace_back(v);
-        result.model_box = Box(std::move(dims_iv));
-        result.stats.seconds = watch.ElapsedSeconds();
-        return result;
-      }
-    }
+  // Model guessing: probe an interior lattice before any interval work. The
+  // lattice is evaluated in batch over the atoms' optimized tapes; hits are
+  // confirmed with the exact evaluator before being reported.
+  if (options_.presample_points > 0 && PresampleLattice(domain, result)) {
+    result.stats.seconds = watch.ElapsedSeconds();
+    return result;
   }
 
   std::vector<Box> stack;

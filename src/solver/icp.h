@@ -103,7 +103,14 @@ class DeltaSolver {
   FNode CompileFormula(const expr::BoolExpr& b);
   Tri EvaluateSkeleton(const FNode& node,
                        const std::vector<Tri>& atom_status) const;
+  /// Exact truth of the skeleton given per-atom IEEE truth values —
+  /// equivalent to expr::EvalBool on the original formula.
+  bool EvaluateSkeletonExact(const FNode& node,
+                             const std::vector<char>& atom_truth) const;
   void CollectRequiredAtoms(const FNode& node, std::vector<int>& out) const;
+  /// Presample lattice probing, batched over the atom tapes. Returns true
+  /// and fills `result` when a genuine model was found.
+  bool PresampleLattice(const Box& domain, CheckResult& result);
 
   expr::BoolExpr formula_;
   SolverOptions options_;
@@ -111,6 +118,15 @@ class DeltaSolver {
   std::vector<AtomContractor> contractors_;  // one per distinct atom
   std::vector<int> required_atoms_;  // atoms on every conjunctive path
   expr::TapeScratch scratch_;
+
+  // Reusable presample buffers (Check runs once per verifier subdomain; the
+  // lattice is rebuilt but never reallocated).
+  struct PresampleBuffers {
+    std::vector<std::vector<double>> coords;  // SoA lattice, one row per dim
+    std::vector<std::vector<double>> values;  // one row per atom
+    expr::TapeBatchScratch batch;
+  };
+  PresampleBuffers presample_;
 };
 
 }  // namespace xcv::solver

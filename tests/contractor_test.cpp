@@ -77,11 +77,22 @@ TEST(Contractor, DetectsEmptiness) {
   EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kEmpty);
 }
 
-TEST(Contractor, ProductFormDependencyIsNotRefutedLocally) {
-  // The same constraint in x*x form: one HC4 pass cannot empty it, but it
-  // must not claim a contraction that removes genuine... there are no
-  // solutions, so anything non-empty is merely conservative.
+TEST(Contractor, ProductFormIsRecognizedAsSquare) {
+  // The same constraint in x*x form: the tape optimizer rewrites the
+  // duplicated product to sqr(x), whose enclosure [0,9] has no dependency
+  // problem, so one pass now refutes it just like the Pow spelling.
   AtomContractor c(X() * X() + C(1), Rel::kLe);
+  expr::TapeScratch scratch;
+  Box box({Interval(-3.0, 3.0)});
+  EXPECT_EQ(c.Contract(box, scratch), ContractOutcome::kEmpty);
+}
+
+TEST(Contractor, DependentProductIsNotRefutedLocally) {
+  // A genuinely dependent spelling of x^2 + 1 the optimizer cannot
+  // collapse: x*(x+1) - x + 1. One HC4 pass cannot empty it ([-3,3]*[-2,4]
+  // loses the correlation), but there are no solutions, so anything
+  // non-empty is merely conservative — never unsound.
+  AtomContractor c(X() * (X() + C(1)) - X() + C(1), Rel::kLe);
   expr::TapeScratch scratch;
   Box box({Interval(-3.0, 3.0)});
   EXPECT_NE(c.Contract(box, scratch), ContractOutcome::kEmpty);

@@ -4,6 +4,7 @@
 
 #include "conditions/conditions.h"
 #include "expr/compile.h"
+#include "expr/optimize.h"
 #include "functionals/functional.h"
 #include "functionals/variables.h"
 #include "gridsearch/grid.h"
@@ -55,6 +56,35 @@ TEST(EvaluateOnGrid, MatchesDirectEvaluation) {
   for (std::size_t i = 0; i < g.TotalPoints(); ++i) {
     const auto p = g.Point(i);
     EXPECT_NEAR(values[i], p[0] * p[1] + p[0], 1e-14);
+  }
+}
+
+TEST(EvaluateOnGrid, ThreadCountDoesNotChangeResults) {
+  // Spans several batch chunks so worker slicing and chunk boundaries are
+  // exercised; every thread count must produce bit-identical output.
+  Expr x = Expr::Variable("x", 0);
+  Expr y = Expr::Variable("y", 1);
+  Grid g({{0.5, 2.0, 71}, {0.1, 1.0, 53}});
+  const auto tape = expr::CompileOptimized(expr::ExpE(x * y) / (x + y));
+  const auto serial = EvaluateOnGrid(g, tape, 1);
+  for (std::size_t threads : {2UL, 3UL, 7UL}) {
+    const auto parallel = EvaluateOnGrid(g, tape, threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      ASSERT_EQ(serial[i], parallel[i]) << "thread count " << threads;
+  }
+}
+
+TEST(EvaluateOnGridPinned, BroadcastsThePinnedAxis) {
+  Expr x = Expr::Variable("x", 0);
+  Expr y = Expr::Variable("y", 1);
+  Grid g({{0.5, 2.0, 7}, {0.1, 1.0, 5}});
+  const double pinned_x = 42.0;
+  const auto values =
+      EvaluateOnGridPinned(g, expr::Compile(x * y + x), 0, pinned_x);
+  for (std::size_t i = 0; i < g.TotalPoints(); ++i) {
+    const auto p = g.Point(i);
+    EXPECT_NEAR(values[i], pinned_x * p[1] + pinned_x, 1e-12) << i;
   }
 }
 
