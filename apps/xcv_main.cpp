@@ -1,0 +1,4 @@
+// The `xcv` binary: see src/cli/cli.h.
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return xcv::cli::Main(argc, argv); }

@@ -1,7 +1,8 @@
 // Table I: verifying the seven local conditions for the five DFAs.
 //
-// For each applicable DFA-condition pair, Algorithm 1 runs under the bench
-// budget and the verdict is printed with the paper's legend
+// The whole matrix runs as ONE campaign: every applicable pair's subdomains
+// interleave on the shared work-stealing scheduler (XCV_THREADS workers, no
+// per-pair thread pools), and the verdicts print with the paper's legend
 // (✓ / ✓* / ? / ✗ / −), followed by coverage fractions per pair.
 #include <cstdio>
 #include <vector>
@@ -19,22 +20,16 @@ int main() {
   const auto& functionals = functionals::PaperFunctionals();
   const auto& conditions = conditions::AllConditions();
 
+  const auto runs = bench::RunMatrix(functionals, conditions, options,
+                                     bench::BenchNumThreads(), "table1");
+
   std::vector<std::string> rows, cols;
   for (const auto& f : functionals) cols.push_back(f.name);
+  for (const auto& cond : conditions) rows.push_back(cond.name);
   std::vector<std::vector<report::VerdictCell>> cells;
-  std::vector<std::vector<bench::PairRun>> runs;
-
-  for (const auto& cond : conditions) {
-    rows.push_back(cond.name);
+  for (const auto& row : runs) {
     cells.emplace_back();
-    runs.emplace_back();
-    for (const auto& f : functionals) {
-      std::fprintf(stderr, "[table1] %s x %s...\n", cond.short_id.c_str(),
-                   f.name.c_str());
-      bench::PairRun run = bench::RunPair(f, cond, options);
-      cells.back().push_back({run.verdict});
-      runs.back().push_back(std::move(run));
-    }
+    for (const auto& run : row) cells.back().push_back({run.verdict});
   }
 
   std::printf("%s\n", report::RenderTable1(rows, cols, cells).c_str());

@@ -7,6 +7,7 @@
 // proving the good part and catching the planted violation.
 #include <cstdio>
 
+#include "campaign/campaign.h"
 #include "conditions/conditions.h"
 #include "functionals/functional.h"
 #include "functionals/variables.h"
@@ -40,26 +41,29 @@ int main() {
   std::printf("Custom functional '%s' parsed from XCLang (%zu ops).\n\n",
               custom.name.c_str(), expr::OpCountTree(custom.eps_c));
 
-  verifier::VerifierOptions options;
-  options.split_threshold = 0.3125;
-  options.solver.max_nodes = 30'000;
-  options.solver.time_budget_seconds = 0.5;
-  options.total_time_budget_seconds = 10.0;
+  // Campaigns accept any Functional, not just registry entries — the
+  // custom DFA joins the same engine the paper matrix runs on.
+  campaign::CampaignOptions options;
+  options.verifier.split_threshold = 0.3125;
+  options.verifier.solver.max_nodes = 30'000;
+  options.verifier.solver.time_budget_seconds = 0.5;
+  options.verifier.total_time_budget_seconds = 10.0;
 
-  for (const char* cid : {"EC1", "EC2", "EC7"}) {
-    const auto& cond = *conditions::FindCondition(cid);
-    const auto psi = conditions::BuildCondition(cond, custom);
-    verifier::Verifier v(*psi, options);
-    const auto domain = conditions::PaperDomain(custom);
-    const auto report = v.Run(domain);
-    std::printf("--- %s: %s ---\n", cid,
-                verifier::VerdictName(report.Summarize()).c_str());
-    if (!report.witnesses.empty()) {
-      const auto& w = report.witnesses.front();
+  campaign::Campaign campaign(options);
+  for (const char* cid : {"EC1", "EC2", "EC7"})
+    campaign.Add(custom, *conditions::FindCondition(cid));
+  const auto result = campaign.Run();
+
+  const auto domain = conditions::PaperDomain(custom);
+  for (const auto& pair : result.pairs) {
+    std::printf("--- %s: %s ---\n", pair.condition.c_str(),
+                verifier::VerdictName(pair.verdict).c_str());
+    if (!pair.report.witnesses.empty()) {
+      const auto& w = pair.report.witnesses.front();
       std::printf("first witness: rs=%.4f s=%.4f\n", w[0], w[1]);
     }
-    if (cid == std::string("EC1"))
-      std::printf("%s", report::PlotRegions(report, domain).c_str());
+    if (pair.condition == "EC1")
+      std::printf("%s", report::PlotRegions(pair.report, domain).c_str());
     std::printf("\n");
   }
   std::printf(

@@ -6,6 +6,7 @@
 // of Table II, end to end.
 #include <cstdio>
 
+#include "campaign/campaign.h"
 #include "conditions/conditions.h"
 #include "functionals/functional.h"
 #include "gridsearch/pb_checker.h"
@@ -31,16 +32,19 @@ int main() {
               pb.any_violation ? "yes" : "no",
               100.0 * pb.violation_fraction);
 
-  // --- The verifier: symbolic derivatives, delta-SAT, domain splitting ---
-  verifier::VerifierOptions options;
-  options.split_threshold = 0.3125;
-  options.solver.max_nodes = 30'000;
-  options.solver.time_budget_seconds = 0.5;
-  options.total_time_budget_seconds = 12.0;
-  const auto psi = *conditions::BuildCondition(ec7, pbe);
-  verifier::Verifier v(psi, options);
+  // --- The verifier: symbolic derivatives, delta-SAT, domain splitting,
+  // run as a one-pair campaign on the shared scheduler ---
+  campaign::CampaignOptions options;
+  options.verifier.split_threshold = 0.3125;
+  options.verifier.solver.max_nodes = 30'000;
+  options.verifier.solver.time_budget_seconds = 0.5;
+  options.verifier.total_time_budget_seconds = 12.0;
+  options.num_threads = 2;
+  campaign::Campaign campaign(options);
+  campaign.Add(pbe, ec7);
+  const auto result = campaign.Run();
+  const auto& report = result.pairs[0].report;
   const auto domain = conditions::PaperDomain(pbe);
-  const auto report = v.Run(domain);
   std::printf("[verifier: symbolic d/d_rs, delta-SAT + Algorithm 1]\n");
   std::printf("%s", report::PlotRegions(report, domain).c_str());
   std::printf("verdict: %s, %zu validated witnesses\n\n",

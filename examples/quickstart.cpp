@@ -1,10 +1,12 @@
 // Quickstart: verify one exact condition for one functional.
 //
-// Checks the Ec non-positivity condition (EC1) for the PBE functional over
-// the paper's input domain and prints the verdict, the region partition,
-// and an ASCII map. Runs in a few seconds.
+// Runs a one-pair campaign — the same engine `xcv verify` and the Table I
+// bench drive — checking Ec non-positivity (EC1) for PBE over the paper's
+// input domain, and prints the verdict, the region partition, and an ASCII
+// map. Runs in a few seconds.
 #include <cstdio>
 
+#include "campaign/campaign.h"
 #include "conditions/conditions.h"
 #include "functionals/functional.h"
 #include "report/ascii_plot.h"
@@ -22,24 +24,25 @@ int main() {
               functionals::DesignName(pbe.design).c_str());
   std::printf("Condition:  %s\n\n", ec1.name.c_str());
 
-  // 2. Encode the local condition ψ for this functional (the XCEncoder
-  // step: enhancement factors, symbolic derivatives, limits).
-  const expr::BoolExpr psi = *conditions::BuildCondition(ec1, pbe);
+  // 2. Configure Algorithm 1 with a small budget. The campaign encodes the
+  // condition (the XCEncoder step) and runs the domain splitting on the
+  // shared scheduler.
+  campaign::CampaignOptions options;
+  options.verifier.split_threshold = 0.3125;   // paper uses t = 0.05
+  options.verifier.solver.max_nodes = 30'000;  // per-call budget
+  options.verifier.solver.time_budget_seconds = 0.5;
+  options.verifier.total_time_budget_seconds = 8.0;
+  options.num_threads = 2;
 
-  // 3. Run Algorithm 1 under a small budget.
-  verifier::VerifierOptions options;
-  options.split_threshold = 0.3125;      // paper uses t = 0.05
-  options.solver.max_nodes = 30'000;     // per-call budget
-  options.solver.time_budget_seconds = 0.5;
-  options.total_time_budget_seconds = 8.0;
-  verifier::Verifier verifier(psi, options);
-  const solver::Box domain = conditions::PaperDomain(pbe);
-  const verifier::VerificationReport report = verifier.Run(domain);
+  campaign::Campaign campaign(options);
+  campaign.Add(pbe, ec1);
+  const campaign::CampaignResult result = campaign.Run();
+  const verifier::VerificationReport& report = result.pairs[0].report;
 
-  // 4. Inspect the result.
+  // 3. Inspect the result.
   std::printf("Verdict: %s (%s)\n",
-              verifier::VerdictSymbol(report.Summarize()).c_str(),
-              verifier::VerdictName(report.Summarize()).c_str());
+              verifier::VerdictSymbol(result.pairs[0].verdict).c_str(),
+              verifier::VerdictName(result.pairs[0].verdict).c_str());
   using verifier::RegionStatus;
   std::printf("Verified %.1f%%, counterexample %.1f%%, inconclusive %.1f%%, "
               "timeout %.1f%% of the domain volume\n",
@@ -49,7 +52,9 @@ int main() {
               100 * report.VolumeFraction(RegionStatus::kTimeout));
   std::printf("%llu solver calls, %zu leaf regions, %.2f s\n\n",
               static_cast<unsigned long long>(report.solver_calls),
-              report.leaves.size(), report.seconds);
-  std::printf("%s", report::PlotRegions(report, domain).c_str());
+              report.leaves.size(), result.seconds);
+  std::printf("%s",
+              report::PlotRegions(report, conditions::PaperDomain(pbe))
+                  .c_str());
   return 0;
 }

@@ -1,0 +1,232 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "campaign/serialize.h"
+#include "support/check.h"
+#include "support/stopwatch.h"
+#include "support/thread_pool.h"
+#include "verifier/engine.h"
+
+namespace xcv::campaign {
+
+using conditions::ConditionInfo;
+using functionals::Functional;
+
+std::size_t CampaignResult::CompletedCount() const {
+  std::size_t n = 0;
+  for (const PairState& p : pairs)
+    if (p.done) ++n;
+  return n;
+}
+
+// Verdict of a pair whose frontier still has open boxes: a full ✓ cannot
+// be claimed while undecided subdomains remain (a resume could still find a
+// counterexample there), so it degrades to ✓*.
+verifier::Verdict PartialVerdict(const verifier::VerificationReport& report) {
+  const verifier::Verdict v = report.Summarize();
+  return v == verifier::Verdict::kVerified
+             ? verifier::Verdict::kVerifiedPartial
+             : v;
+}
+
+struct Campaign::Entry {
+  PairState state;
+  const Functional* functional = nullptr;   // null for non-applicable pairs
+  const ConditionInfo* condition = nullptr;
+  std::unique_ptr<verifier::PairEngine> engine;
+  std::atomic<bool> finish_latch{false};
+};
+
+Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
+  XCV_CHECK_MSG(options_.num_threads >= 1, "need at least one thread");
+}
+
+Campaign::~Campaign() = default;
+
+verifier::VerifierOptions Campaign::TunedOptions(const Functional& f) const {
+  verifier::VerifierOptions tuned = options_.verifier;
+  if (options_.tune_lda_delta && f.family == functionals::Family::kLda)
+    tuned.solver.delta = 1e-5;
+  return tuned;
+}
+
+void Campaign::Add(const Functional& f, const ConditionInfo& cond) {
+  XCV_CHECK_MSG(!ran_, "Add after Run");
+  auto entry = std::make_unique<Entry>();
+  entry->state.functional = f.name;
+  entry->state.condition = cond.short_id;
+  entry->state.applicable = conditions::Applies(cond, f);
+  if (entry->state.applicable) {
+    entry->functional = &f;
+    entry->condition = &cond;
+  } else {
+    entry->state.done = true;
+    entry->state.verdict = verifier::Verdict::kNotApplicable;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void Campaign::AddMatrix(const std::vector<Functional>& functionals,
+                         const std::vector<ConditionInfo>& conditions) {
+  for (const ConditionInfo& cond : conditions)
+    for (const Functional& f : functionals) Add(f, cond);
+}
+
+void Campaign::Restore(PairState state) {
+  XCV_CHECK_MSG(!ran_, "Restore after Run");
+  auto entry = std::make_unique<Entry>();
+  if (state.applicable) {
+    const Functional* f = functionals::FindFunctional(state.functional);
+    const ConditionInfo* cond = conditions::FindCondition(state.condition);
+    XCV_CHECK_MSG(f != nullptr,
+                  "checkpoint names unknown functional '" << state.functional
+                                                          << "'");
+    XCV_CHECK_MSG(cond != nullptr,
+                  "checkpoint names unknown condition '" << state.condition
+                                                         << "'");
+    entry->functional = f;
+    entry->condition = cond;
+  }
+  entry->state = std::move(state);
+  entries_.push_back(std::move(entry));
+}
+
+void Campaign::FinishPair(Entry& entry, const ProgressFn& progress) {
+  // First caller wins; later ProcessNext stragglers see the latch set.
+  if (entry.finish_latch.exchange(true)) return;
+  verifier::VerificationReport final_report = entry.engine->TakeReport();
+  // States are only read (checkpoints) and written under progress_mu_.
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  entry.state.report = std::move(final_report);
+  entry.state.verdict = entry.state.report.Summarize();
+  entry.state.seconds = entry.state.report.seconds;
+  entry.state.open.clear();
+  entry.state.done = true;
+  ++completed_;
+  if (progress) progress(entry.state, completed_, entries_.size());
+  WriteCheckpointLocked();
+}
+
+void Campaign::WriteCheckpointLocked() {
+  if (options_.checkpoint_path.empty()) return;
+  std::vector<PairState> pairs;
+  pairs.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (e->engine != nullptr && !e->state.done) {
+      // Live pair: consistent snapshot of partial report + open boxes.
+      PairState live = e->state;
+      verifier::EngineSnapshot snap = e->engine->Snapshot();
+      live.report = std::move(snap.report);
+      live.open = std::move(snap.open);
+      live.verdict = PartialVerdict(live.report);
+      live.seconds = live.report.seconds;
+      pairs.push_back(std::move(live));
+    } else {
+      pairs.push_back(e->state);
+    }
+  }
+  WriteCheckpointFile(options_.checkpoint_path, options_, pairs,
+                      CancelRequested());
+}
+
+CampaignResult Campaign::Run(ProgressFn progress) {
+  XCV_CHECK_MSG(!ran_, "Run called twice");
+  ran_ = true;
+  Stopwatch watch;
+
+  // Build one engine per unfinished applicable pair.
+  std::vector<Entry*> running;
+  for (const auto& e : entries_) {
+    if (e->state.done || !e->state.applicable) {
+      if (e->state.done) ++completed_;
+      continue;
+    }
+    const auto psi = conditions::BuildCondition(*e->condition, *e->functional);
+    XCV_CHECK_MSG(psi.has_value(), "applicable pair failed to encode: "
+                                       << e->state.functional << " x "
+                                       << e->state.condition);
+    e->engine = std::make_unique<verifier::PairEngine>(
+        *psi, TunedOptions(*e->functional));
+    const bool has_restored_frontier = !e->state.open.empty();
+    if (has_restored_frontier) {
+      e->engine->Restore(e->state.report, std::move(e->state.open));
+      e->state.open.clear();
+    } else {
+      // Fresh pair (or a checkpoint written before the pair started): any
+      // stale partial report is discarded and the full domain re-enqueued.
+      e->engine->Seed(conditions::PaperDomain(*e->functional));
+    }
+    running.push_back(e.get());
+  }
+
+  if (options_.num_threads <= 1) {
+    // Sequential, still globally prioritized: always process the best open
+    // box across every pair's frontier (the same interleaving the shared
+    // pool produces with one worker).
+    for (;;) {
+      if (CancelRequested()) break;
+      Entry* best = nullptr;
+      double best_priority = -std::numeric_limits<double>::infinity();
+      for (Entry* e : running) {
+        if (e->state.done) continue;
+        const double p = e->engine->TopPriority();
+        if (p > best_priority) {
+          best_priority = p;
+          best = e;
+        }
+      }
+      if (best == nullptr) break;
+      best->engine->ProcessNext(&cancel_);
+      if (best->engine->Finished()) FinishPair(*best, progress);
+    }
+  } else {
+    ThreadPool& pool =
+        ThreadPool::Global(static_cast<std::size_t>(options_.num_threads));
+    auto group =
+        pool.MakeGroup(static_cast<std::size_t>(options_.num_threads));
+    for (Entry* e : running) {
+      e->engine->SetTicketSink([this, &pool, &group, e,
+                                &progress](double priority) {
+        pool.Submit(group, priority, [this, e, &progress] {
+          e->engine->ProcessNext(&cancel_);
+          if (e->engine->Finished()) FinishPair(*e, progress);
+        });
+      });
+    }
+    for (Entry* e : running) e->engine->EmitTicketsForOpen();
+    pool.Wait(group);
+    for (Entry* e : running) e->engine->SetTicketSink(nullptr);
+  }
+
+  // Collect: cancelled pairs keep their partial report + open frontier.
+  const bool cancelled = CancelRequested();
+  for (Entry* e : running) {
+    if (e->state.done) continue;
+    if (e->engine->Finished()) {
+      FinishPair(*e, progress);
+      continue;
+    }
+    e->state.open = e->engine->TakeOpenFrontier();
+    e->state.report = e->engine->TakeReport();
+    e->state.verdict = PartialVerdict(e->state.report);
+    e->state.seconds = e->state.report.seconds;
+  }
+
+  CampaignResult result;
+  result.cancelled = cancelled;
+  result.seconds = watch.ElapsedSeconds();
+  result.pairs.reserve(entries_.size());
+  for (const auto& e : entries_) result.pairs.push_back(e->state);
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    if (!options_.checkpoint_path.empty())
+      WriteCheckpointFile(options_.checkpoint_path, options_, result.pairs,
+                          cancelled);
+  }
+  return result;
+}
+
+}  // namespace xcv::campaign

@@ -1,0 +1,128 @@
+// Campaign engine: "verify a set of (functional, condition) pairs" as the
+// first-class unit of work — the paper's whole Table I matrix instead of
+// one solver call.
+//
+// A Campaign enqueues any subset of the matrix, builds one PairEngine per
+// applicable pair, and interleaves every pair's subdomains on the shared
+// work-stealing scheduler (ThreadPool::Global) behind a single
+// concurrency-capped task group — no per-pair thread pools. The global
+// priority frontier decides which pair's box runs next (widest-first by
+// default; see FrontierStrategy). Progress streams through a callback as
+// pairs complete, cancellation is cooperative (RequestCancel from any
+// thread or a signal handler), and the full state — finished reports plus
+// every open frontier — checkpoints to JSON (serialize.h) and resumes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "conditions/conditions.h"
+#include "functionals/functional.h"
+#include "verifier/verifier.h"
+
+namespace xcv::campaign {
+
+/// State of one (functional, condition) pair, both while a campaign runs
+/// and inside a checkpoint.
+struct PairState {
+  std::string functional;  // registry name, e.g. "PBE"
+  std::string condition;   // short id, e.g. "EC1"
+  bool applicable = false;
+  /// True once the pair's domain partition is complete.
+  bool done = false;
+  verifier::Verdict verdict = verifier::Verdict::kNotApplicable;
+  /// Final report when done; the partial report recorded so far otherwise.
+  verifier::VerificationReport report;
+  /// Open frontier boxes (non-empty only for interrupted pairs).
+  std::vector<solver::Box> open;
+  /// Accumulated busy time spent on this pair, in seconds.
+  double seconds = 0.0;
+};
+
+struct CampaignOptions {
+  /// Base per-pair verifier options (budget, solver knobs, frontier).
+  verifier::VerifierOptions verifier;
+  /// Workers used for the whole campaign (the task-group concurrency cap
+  /// on the shared pool). 1 = sequential, still priority-interleaved.
+  int num_threads = 1;
+  /// LDA pairs are one-dimensional and cheap: spend the budget on precision
+  /// (tightens delta to 1e-5, shrinking the inconclusive slivers near
+  /// rs -> 0, as in the paper's VWN column).
+  bool tune_lda_delta = true;
+  /// When non-empty, a checkpoint is written here after every completed
+  /// pair and when Run returns (including after cancellation).
+  std::string checkpoint_path;
+};
+
+struct CampaignResult {
+  std::vector<PairState> pairs;  // in enqueue order
+  double seconds = 0.0;          // wall time of Run()
+  bool cancelled = false;
+
+  std::size_t CompletedCount() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options);
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// Enqueues one pair. `f` and `cond` must outlive Run() (registry entries
+  /// always do; custom functionals are the caller's responsibility).
+  /// Non-applicable pairs are recorded with verdict −.
+  void Add(const functionals::Functional& f,
+           const conditions::ConditionInfo& cond);
+
+  /// Enqueues the full cross product, condition-major (Table I row order).
+  void AddMatrix(const std::vector<functionals::Functional>& functionals,
+                 const std::vector<conditions::ConditionInfo>& conditions);
+
+  /// Enqueues a pair restored from a checkpoint. Names are resolved via the
+  /// registries; throws xcv::InternalError for unknown names.
+  void Restore(PairState state);
+
+  /// Invoked (serialized, possibly from worker threads) each time a pair
+  /// completes.
+  using ProgressFn = std::function<void(
+      const PairState& pair, std::size_t completed, std::size_t total)>;
+
+  /// Runs every enqueued pair to completion (or cancellation) and returns
+  /// the per-pair states. Call once.
+  CampaignResult Run(ProgressFn progress = {});
+
+  /// Cooperative cancellation: in-flight solver calls finish, every other
+  /// box stays on its pair's open frontier for checkpointing. Safe from any
+  /// thread and from signal handlers (only sets an atomic flag).
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool CancelRequested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  const CampaignOptions& options() const { return options_; }
+  std::size_t PairCount() const { return entries_.size(); }
+
+ private:
+  struct Entry;
+
+  verifier::VerifierOptions TunedOptions(
+      const functionals::Functional& f) const;
+  void FinishPair(Entry& entry, const ProgressFn& progress);
+  void WriteCheckpointLocked();
+
+  CampaignOptions options_;
+  std::atomic<bool> cancel_{false};
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::mutex progress_mu_;  // serializes progress callbacks + checkpoints
+  std::size_t completed_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace xcv::campaign

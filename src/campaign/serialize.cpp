@@ -1,0 +1,542 @@
+#include "campaign/serialize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "support/check.h"
+
+namespace xcv::campaign {
+
+using verifier::FrontierStrategy;
+using verifier::Region;
+using verifier::RegionStatus;
+using verifier::VerificationReport;
+using verifier::Verdict;
+
+// ---- Tokens -----------------------------------------------------------------
+
+std::string JsonDouble(double v) {
+  if (std::isnan(v)) return "\"nan\"";
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string VerdictToken(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kVerified: return "verified";
+    case Verdict::kVerifiedPartial: return "verified_partial";
+    case Verdict::kUnknown: return "unknown";
+    case Verdict::kCounterexample: return "counterexample";
+    case Verdict::kNotApplicable: return "not_applicable";
+  }
+  return "unknown";
+}
+
+Verdict VerdictFromToken(const std::string& token) {
+  if (token == "verified") return Verdict::kVerified;
+  if (token == "verified_partial") return Verdict::kVerifiedPartial;
+  if (token == "unknown") return Verdict::kUnknown;
+  if (token == "counterexample") return Verdict::kCounterexample;
+  if (token == "not_applicable") return Verdict::kNotApplicable;
+  XCV_CHECK_MSG(false, "unknown verdict token '" << token << "'");
+  return Verdict::kUnknown;
+}
+
+std::string FrontierToken(FrontierStrategy strategy) {
+  switch (strategy) {
+    case FrontierStrategy::kWidestFirst: return "widest";
+    case FrontierStrategy::kSuspectFirst: return "suspect";
+    case FrontierStrategy::kFifo: return "fifo";
+  }
+  return "widest";
+}
+
+FrontierStrategy FrontierFromToken(const std::string& token) {
+  if (token == "widest") return FrontierStrategy::kWidestFirst;
+  if (token == "suspect") return FrontierStrategy::kSuspectFirst;
+  if (token == "fifo") return FrontierStrategy::kFifo;
+  XCV_CHECK_MSG(false, "unknown frontier token '" << token << "'");
+  return FrontierStrategy::kWidestFirst;
+}
+
+namespace {
+
+std::string StatusToken(RegionStatus status) {
+  return RegionStatusName(status);  // "verified" etc.
+}
+
+RegionStatus StatusFromToken(const std::string& token) {
+  if (token == "verified") return RegionStatus::kVerified;
+  if (token == "counterexample") return RegionStatus::kCounterexample;
+  if (token == "inconclusive") return RegionStatus::kInconclusive;
+  if (token == "timeout") return RegionStatus::kTimeout;
+  XCV_CHECK_MSG(false, "unknown region status '" << token << "'");
+  return RegionStatus::kTimeout;
+}
+
+// ---- Writer -----------------------------------------------------------------
+
+void AppendPoint(std::string& out, const std::vector<double>& p) {
+  out += '[';
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) out += ',';
+    out += JsonDouble(p[i]);
+  }
+  out += ']';
+}
+
+void AppendBox(std::string& out, const solver::Box& box) {
+  out += '[';
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    if (i) out += ',';
+    out += '[';
+    out += JsonDouble(box[i].lo());
+    out += ',';
+    out += JsonDouble(box[i].hi());
+    out += ']';
+  }
+  out += ']';
+}
+
+void AppendReport(std::string& out, const VerificationReport& report,
+                  const std::string& indent) {
+  out += "{\n";
+  out += indent + "  \"solver_calls\": " + std::to_string(report.solver_calls);
+  out += ",\n" + indent +
+         "  \"solver_timeouts\": " + std::to_string(report.solver_timeouts);
+  out += ",\n" + indent + "  \"seconds\": " + JsonDouble(report.seconds);
+  out += ",\n" + indent + "  \"leaves\": [";
+  for (std::size_t i = 0; i < report.leaves.size(); ++i) {
+    const Region& r = report.leaves[i];
+    if (i) out += ',';
+    out += "\n" + indent + "    {\"box\": ";
+    AppendBox(out, r.box);
+    out += ", \"status\": \"" + StatusToken(r.status) + "\"";
+    if (!r.witness.empty()) {
+      out += ", \"witness\": ";
+      AppendPoint(out, r.witness);
+    }
+    out += '}';
+  }
+  if (!report.leaves.empty()) out += "\n" + indent + "  ";
+  out += "],\n" + indent + "  \"witnesses\": [";
+  for (std::size_t i = 0; i < report.witnesses.size(); ++i) {
+    if (i) out += ',';
+    out += "\n" + indent + "    ";
+    AppendPoint(out, report.witnesses[i]);
+  }
+  if (!report.witnesses.empty()) out += "\n" + indent + "  ";
+  out += "]\n" + indent + "}";
+}
+
+// ---- Reader (minimal recursive-descent JSON) --------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  const JsonValue& At(const std::string& key) const {
+    const JsonValue* v = Find(key);
+    XCV_CHECK_MSG(v != nullptr, "checkpoint missing key '" << key << "'");
+    return *v;
+  }
+  /// Number, or one of the quoted non-finite tokens.
+  double AsDouble() const {
+    if (kind == Kind::kNumber) return number;
+    XCV_CHECK_MSG(kind == Kind::kString, "expected a number");
+    if (str == "inf") return std::numeric_limits<double>::infinity();
+    if (str == "-inf") return -std::numeric_limits<double>::infinity();
+    if (str == "nan") return std::numeric_limits<double>::quiet_NaN();
+    XCV_CHECK_MSG(false, "expected a number, got '" << str << "'");
+    return 0.0;
+  }
+  const std::string& AsString() const {
+    XCV_CHECK_MSG(kind == Kind::kString, "expected a string");
+    return str;
+  }
+  bool AsBool() const {
+    XCV_CHECK_MSG(kind == Kind::kBool, "expected a boolean");
+    return boolean;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    XCV_CHECK_MSG(pos_ == text_.size(), "trailing bytes after JSON document");
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char Peek() {
+    SkipSpace();
+    XCV_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    XCV_CHECK_MSG(Peek() == c, "expected '" << c << "' at offset " << pos_);
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.str = ParseString();
+      return v;
+    }
+    if (c == 't' || c == 'f') return ParseKeyword();
+    if (c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Expect('{');
+    if (Consume('}')) return v;
+    for (;;) {
+      std::string key = ParseString();
+      Expect(':');
+      v.object.emplace_back(std::move(key), ParseValue());
+      if (Consume(',')) continue;
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Expect('[');
+    if (Consume(']')) return v;
+    for (;;) {
+      v.array.push_back(ParseValue());
+      if (Consume(',')) continue;
+      Expect(']');
+      return v;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        XCV_CHECK_MSG(pos_ < text_.size(), "unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            XCV_CHECK_MSG(pos_ + 4 <= text_.size(), "short \\u escape");
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // Checkpoints only escape control characters; anything beyond
+            // Latin-1 would need surrogate handling this reader omits.
+            XCV_CHECK_MSG(code >= 0 && code < 256, "unsupported \\u escape");
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            XCV_CHECK_MSG(false, "bad escape '\\" << e << "'");
+        }
+        continue;
+      }
+      out += c;
+    }
+    XCV_CHECK_MSG(false, "unterminated string");
+    return out;
+  }
+
+  JsonValue ParseKeyword() {
+    static constexpr std::string_view kTrue = "true", kFalse = "false",
+                                      kNull = "null";
+    SkipSpace();
+    JsonValue v;
+    auto match = [&](std::string_view kw) {
+      if (text_.substr(pos_, kw.size()) != kw) return false;
+      pos_ += kw.size();
+      return true;
+    };
+    if (match(kTrue)) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+    } else if (match(kFalse)) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+    } else if (match(kNull)) {
+      v.kind = JsonValue::Kind::kNull;
+    } else {
+      XCV_CHECK_MSG(false, "bad JSON keyword at offset " << pos_);
+    }
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    XCV_CHECK_MSG(end != begin, "bad JSON number at offset " << pos_);
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+solver::Box BoxFromJson(const JsonValue& v) {
+  std::vector<Interval> dims;
+  dims.reserve(v.array.size());
+  for (const JsonValue& d : v.array) {
+    XCV_CHECK_MSG(d.array.size() == 2, "box dimension needs [lo, hi]");
+    dims.emplace_back(d.array[0].AsDouble(), d.array[1].AsDouble());
+  }
+  return solver::Box(std::move(dims));
+}
+
+std::vector<double> PointFromJson(const JsonValue& v) {
+  std::vector<double> p;
+  p.reserve(v.array.size());
+  for (const JsonValue& c : v.array) p.push_back(c.AsDouble());
+  return p;
+}
+
+VerificationReport ReportFromJson(const JsonValue& v) {
+  VerificationReport report;
+  report.solver_calls =
+      static_cast<std::uint64_t>(v.At("solver_calls").AsDouble());
+  report.solver_timeouts =
+      static_cast<std::uint64_t>(v.At("solver_timeouts").AsDouble());
+  report.seconds = v.At("seconds").AsDouble();
+  for (const JsonValue& leaf : v.At("leaves").array) {
+    Region r;
+    r.box = BoxFromJson(leaf.At("box"));
+    r.status = StatusFromToken(leaf.At("status").AsString());
+    if (const JsonValue* w = leaf.Find("witness")) r.witness = PointFromJson(*w);
+    report.leaves.push_back(std::move(r));
+  }
+  for (const JsonValue& w : v.At("witnesses").array)
+    report.witnesses.push_back(PointFromJson(w));
+  return report;
+}
+
+}  // namespace
+
+// ---- Checkpoint documents ---------------------------------------------------
+
+std::string CheckpointToJson(const CampaignOptions& options,
+                             const std::vector<PairState>& pairs,
+                             bool cancelled) {
+  const verifier::VerifierOptions& v = options.verifier;
+  std::string out = "{\n";
+  out += "  \"format\": \"xcv-campaign-checkpoint\",\n";
+  out += "  \"version\": 1,\n";
+  out += std::string("  \"cancelled\": ") + (cancelled ? "true" : "false") +
+         ",\n";
+  out += "  \"options\": {\n";
+  out += "    \"num_threads\": " + std::to_string(options.num_threads) + ",\n";
+  out += std::string("    \"tune_lda_delta\": ") +
+         (options.tune_lda_delta ? "true" : "false") + ",\n";
+  out += "    \"split_threshold\": " + JsonDouble(v.split_threshold) + ",\n";
+  out += "    \"total_time_budget_seconds\": " +
+         JsonDouble(v.total_time_budget_seconds) + ",\n";
+  out += std::string("    \"split_all_dims\": ") +
+         (v.split_all_dims ? "true" : "false") + ",\n";
+  out += "    \"witness_tolerance\": " + JsonDouble(v.witness_tolerance) +
+         ",\n";
+  out += "    \"frontier\": \"" + FrontierToken(v.frontier) + "\",\n";
+  out += "    \"solver\": {\n";
+  out += "      \"delta\": " + JsonDouble(v.solver.delta) + ",\n";
+  out += "      \"max_nodes\": " + std::to_string(v.solver.max_nodes) + ",\n";
+  out += "      \"time_budget_seconds\": " +
+         JsonDouble(v.solver.time_budget_seconds) + ",\n";
+  out += "      \"contraction_rounds\": " +
+         std::to_string(v.solver.contraction_rounds) + ",\n";
+  out += "      \"max_invalid_models\": " +
+         std::to_string(v.solver.max_invalid_models) + ",\n";
+  out += "      \"presample_points\": " +
+         std::to_string(v.solver.presample_points) + "\n";
+  out += "    }\n";
+  out += "  },\n";
+  out += "  \"pairs\": [";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const PairState& p = pairs[i];
+    if (i) out += ',';
+    out += "\n    {\n";
+    out += "      \"functional\": " + JsonEscape(p.functional) + ",\n";
+    out += "      \"condition\": " + JsonEscape(p.condition) + ",\n";
+    out += std::string("      \"applicable\": ") +
+           (p.applicable ? "true" : "false") + ",\n";
+    out += std::string("      \"done\": ") + (p.done ? "true" : "false") +
+           ",\n";
+    out += "      \"verdict\": \"" + VerdictToken(p.verdict) + "\",\n";
+    out += "      \"seconds\": " + JsonDouble(p.seconds) + ",\n";
+    out += "      \"report\": ";
+    AppendReport(out, p.report, "      ");
+    out += ",\n      \"open\": [";
+    for (std::size_t b = 0; b < p.open.size(); ++b) {
+      if (b) out += ',';
+      out += "\n        ";
+      AppendBox(out, p.open[b]);
+    }
+    if (!p.open.empty()) out += "\n      ";
+    out += "]\n    }";
+  }
+  if (!pairs.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+Checkpoint CheckpointFromJson(const std::string& json) {
+  JsonParser parser(json);
+  const JsonValue root = parser.Parse();
+  XCV_CHECK_MSG(root.At("format").AsString() == "xcv-campaign-checkpoint",
+                "not an xcv campaign checkpoint");
+  XCV_CHECK_MSG(root.At("version").AsDouble() == 1.0,
+                "unsupported checkpoint version");
+
+  Checkpoint cp;
+  cp.cancelled = root.At("cancelled").AsBool();
+
+  const JsonValue& o = root.At("options");
+  cp.options.num_threads = static_cast<int>(o.At("num_threads").AsDouble());
+  cp.options.tune_lda_delta = o.At("tune_lda_delta").AsBool();
+  verifier::VerifierOptions& v = cp.options.verifier;
+  v.split_threshold = o.At("split_threshold").AsDouble();
+  v.total_time_budget_seconds = o.At("total_time_budget_seconds").AsDouble();
+  v.split_all_dims = o.At("split_all_dims").AsBool();
+  v.witness_tolerance = o.At("witness_tolerance").AsDouble();
+  v.frontier = FrontierFromToken(o.At("frontier").AsString());
+  v.num_threads = std::max(1, cp.options.num_threads);
+  const JsonValue& s = o.At("solver");
+  v.solver.delta = s.At("delta").AsDouble();
+  v.solver.max_nodes = static_cast<std::uint64_t>(s.At("max_nodes").AsDouble());
+  v.solver.time_budget_seconds = s.At("time_budget_seconds").AsDouble();
+  v.solver.contraction_rounds =
+      static_cast<int>(s.At("contraction_rounds").AsDouble());
+  v.solver.max_invalid_models =
+      static_cast<int>(s.At("max_invalid_models").AsDouble());
+  v.solver.presample_points =
+      static_cast<int>(s.At("presample_points").AsDouble());
+
+  for (const JsonValue& pv : root.At("pairs").array) {
+    PairState p;
+    p.functional = pv.At("functional").AsString();
+    p.condition = pv.At("condition").AsString();
+    p.applicable = pv.At("applicable").AsBool();
+    p.done = pv.At("done").AsBool();
+    p.verdict = VerdictFromToken(pv.At("verdict").AsString());
+    p.seconds = pv.At("seconds").AsDouble();
+    p.report = ReportFromJson(pv.At("report"));
+    for (const JsonValue& b : pv.At("open").array)
+      p.open.push_back(BoxFromJson(b));
+    cp.pairs.push_back(std::move(p));
+  }
+  return cp;
+}
+
+void WriteCheckpointFile(const std::string& path,
+                         const CampaignOptions& options,
+                         const std::vector<PairState>& pairs,
+                         bool cancelled) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    XCV_CHECK_MSG(os.good(), "cannot open '" << tmp << "' for writing");
+    os << CheckpointToJson(options, pairs, cancelled);
+    XCV_CHECK_MSG(os.good(), "write to '" << tmp << "' failed");
+  }
+  XCV_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "rename '" << tmp << "' -> '" << path << "' failed");
+}
+
+Checkpoint LoadCheckpointFile(const std::string& path) {
+  std::ifstream is(path);
+  XCV_CHECK_MSG(is.good(), "cannot read checkpoint '" << path << "'");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return CheckpointFromJson(buf.str());
+}
+
+}  // namespace xcv::campaign

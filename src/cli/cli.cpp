@@ -1,0 +1,455 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/serialize.h"
+#include "report/tables.h"
+#include "support/check.h"
+#include "support/strings.h"
+#include "verifier/region.h"
+
+namespace xcv::cli {
+
+namespace {
+
+using campaign::Campaign;
+using campaign::CampaignOptions;
+using campaign::CampaignResult;
+using campaign::PairState;
+using conditions::ConditionInfo;
+using functionals::Functional;
+
+constexpr const char* kUsage = R"(xcv — exact-condition verification campaigns
+
+Usage:
+  xcv verify [options]     Run a (functional x condition) verification matrix
+  xcv resume [options]     Continue a campaign from --checkpoint
+  xcv list                 List known functionals and conditions
+  xcv help                 Show this help
+
+Options (verify/resume):
+  --functionals=SPEC   Comma list of functionals, family selectors (lda, gga,
+                       mgga) or "all" (the five paper DFAs).      [all]
+  --conditions=SPEC    Comma list of conditions, ranges (EC1..EC4) or "all".
+                                                                  [all]
+  --threads=N          Worker cap on the shared scheduler.        [1]
+  --budget-seconds=S   Processing-time budget per pair; 0 = unlimited. [10]
+  --split-threshold=T  Algorithm 1 split threshold t.             [0.3125]
+  --solver-nodes=N     Per-solver-call node budget.               [30000]
+  --delta=D            Solver precision delta.                    [0.001]
+  --frontier=S         Frontier order: widest | suspect | fifo.   [widest]
+  --checkpoint=PATH    Write checkpoints here (after every completed pair,
+                       on Ctrl-C, and at the end); resume reads it.
+  --format=F           Final output: table | json | csv.          [table]
+  --quiet              No per-pair progress on stderr.
+
+Exit codes: 0 success, 2 usage error, 130 cancelled (checkpoint saved).
+)";
+
+// Signal handler target: only an atomic flag is touched in the handler.
+Campaign* volatile g_campaign = nullptr;
+
+void HandleSignal(int) {
+  Campaign* c = g_campaign;
+  if (c != nullptr) c->RequestCancel();
+}
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+};
+
+std::optional<ParsedArgs> ParseArgs(int argc, const char* const* argv) {
+  ParsedArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      std::string key = arg.substr(2), value = "true";
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      }
+      args.flags[key] = value;
+    } else if (args.command.empty()) {
+      args.command = arg;
+    } else {
+      std::fprintf(stderr, "xcv: unexpected argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (args.command.empty()) args.command = "help";
+  return args;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string token;
+  for (char c : s) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+double FlagDouble(const ParsedArgs& args, const std::string& key,
+                  double fallback) {
+  const auto it = args.flags.find(key);
+  if (it == args.flags.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  XCV_CHECK_MSG(end != it->second.c_str() && *end == '\0' && v >= 0.0,
+                "--" << key << " needs a non-negative number, got '"
+                     << it->second << "'");
+  return v;
+}
+
+CampaignOptions OptionsFromFlags(const ParsedArgs& args,
+                                 const CampaignOptions& base) {
+  CampaignOptions o = base;
+  o.num_threads = static_cast<int>(FlagDouble(args, "threads", o.num_threads));
+  XCV_CHECK_MSG(o.num_threads >= 1, "--threads must be at least 1");
+  const double budget = FlagDouble(args, "budget-seconds",
+                                   o.verifier.total_time_budget_seconds);
+  // 0 means unlimited on the command line.
+  o.verifier.total_time_budget_seconds =
+      budget > 0.0 ? budget : std::numeric_limits<double>::infinity();
+  o.verifier.split_threshold =
+      FlagDouble(args, "split-threshold", o.verifier.split_threshold);
+  o.verifier.solver.max_nodes = static_cast<std::uint64_t>(
+      FlagDouble(args, "solver-nodes",
+                 static_cast<double>(o.verifier.solver.max_nodes)));
+  o.verifier.solver.delta = FlagDouble(args, "delta", o.verifier.solver.delta);
+  if (const auto it = args.flags.find("frontier"); it != args.flags.end())
+    o.verifier.frontier = campaign::FrontierFromToken(ToLower(it->second));
+  if (const auto it = args.flags.find("checkpoint"); it != args.flags.end())
+    o.checkpoint_path = it->second;
+  o.verifier.num_threads = o.num_threads;
+  return o;
+}
+
+CampaignOptions DefaultOptions() {
+  CampaignOptions o;
+  o.verifier.split_threshold = 0.3125;
+  o.verifier.solver.max_nodes = 30'000;
+  o.verifier.solver.delta = 1e-3;
+  o.verifier.solver.time_budget_seconds = 0.5;
+  o.verifier.solver.max_invalid_models = 512;
+  o.verifier.total_time_budget_seconds = 10.0;
+  return o;
+}
+
+void PrintCsv(const CampaignResult& result) {
+  std::printf(
+      "functional,condition,applicable,done,verdict,verified_frac,"
+      "counterexample_frac,inconclusive_frac,timeout_frac,leaves,witnesses,"
+      "solver_calls,solver_timeouts,seconds\n");
+  using verifier::RegionStatus;
+  for (const PairState& p : result.pairs) {
+    std::printf("%s,%s,%d,%d,%s,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%llu,%llu,%.3f\n",
+                p.functional.c_str(), p.condition.c_str(),
+                p.applicable ? 1 : 0, p.done ? 1 : 0,
+                campaign::VerdictToken(p.verdict).c_str(),
+                p.report.VolumeFraction(RegionStatus::kVerified),
+                p.report.VolumeFraction(RegionStatus::kCounterexample),
+                p.report.VolumeFraction(RegionStatus::kInconclusive),
+                p.report.VolumeFraction(RegionStatus::kTimeout),
+                p.report.leaves.size(), p.report.witnesses.size(),
+                static_cast<unsigned long long>(p.report.solver_calls),
+                static_cast<unsigned long long>(p.report.solver_timeouts),
+                p.seconds);
+  }
+}
+
+void PrintTable(const CampaignResult& result) {
+  // Recover the row/column structure from the pair list (works for both
+  // fresh matrices and resumed subsets).
+  std::vector<std::string> conds, funcs;
+  for (const PairState& p : result.pairs) {
+    if (std::find(conds.begin(), conds.end(), p.condition) == conds.end())
+      conds.push_back(p.condition);
+    if (std::find(funcs.begin(), funcs.end(), p.functional) == funcs.end())
+      funcs.push_back(p.functional);
+  }
+  std::vector<std::vector<report::VerdictCell>> cells(
+      conds.size(),
+      std::vector<report::VerdictCell>(
+          funcs.size(), {verifier::Verdict::kNotApplicable}));
+  for (const PairState& p : result.pairs) {
+    const auto r = std::find(conds.begin(), conds.end(), p.condition) -
+                   conds.begin();
+    const auto c = std::find(funcs.begin(), funcs.end(), p.functional) -
+                   funcs.begin();
+    cells[r][c] = {p.verdict};
+  }
+  std::vector<std::string> row_labels;
+  for (const std::string& c : conds) {
+    const ConditionInfo* info = conditions::FindCondition(c);
+    row_labels.push_back(info != nullptr ? info->name : c);
+  }
+  std::printf("%s\n", report::RenderTable1(row_labels, funcs, cells).c_str());
+
+  std::printf("Per-pair detail (fractions of domain volume):\n");
+  std::printf("%-10s %-9s %5s %8s %8s %8s %8s %6s %9s\n", "condition", "DFA",
+              "done", "verified", "counter", "inconcl", "timeout", "calls",
+              "secs");
+  using verifier::RegionStatus;
+  for (const PairState& p : result.pairs) {
+    if (!p.applicable) continue;
+    std::printf("%-10s %-9s %5s %8.3f %8.3f %8.3f %8.3f %6llu %9.2f\n",
+                p.condition.c_str(), p.functional.c_str(),
+                p.done ? "yes" : "NO",
+                p.report.VolumeFraction(RegionStatus::kVerified),
+                p.report.VolumeFraction(RegionStatus::kCounterexample),
+                p.report.VolumeFraction(RegionStatus::kInconclusive),
+                p.report.VolumeFraction(RegionStatus::kTimeout),
+                static_cast<unsigned long long>(p.report.solver_calls),
+                p.seconds);
+  }
+}
+
+int RunCampaign(Campaign& campaign, const CampaignOptions& options,
+                const std::string& format, bool quiet) {
+  g_campaign = &campaign;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  Campaign::ProgressFn progress;
+  if (!quiet) {
+    progress = [](const PairState& p, std::size_t completed,
+                  std::size_t total) {
+      std::fprintf(stderr, "[xcv] %zu/%zu %s x %s: %s (%zu leaves, %llu "
+                           "calls, %.2fs)\n",
+                   completed, total, p.functional.c_str(),
+                   p.condition.c_str(),
+                   verifier::VerdictName(p.verdict).c_str(),
+                   p.report.leaves.size(),
+                   static_cast<unsigned long long>(p.report.solver_calls),
+                   p.seconds);
+    };
+  }
+
+  const CampaignResult result = campaign.Run(progress);
+  g_campaign = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (format == "json") {
+    std::printf("%s", campaign::CheckpointToJson(options, result.pairs,
+                                                 result.cancelled)
+                          .c_str());
+  } else if (format == "csv") {
+    PrintCsv(result);
+  } else {
+    PrintTable(result);
+  }
+
+  if (result.cancelled) {
+    std::fprintf(stderr, "[xcv] cancelled: %zu/%zu pairs complete%s\n",
+                 result.CompletedCount(), result.pairs.size(),
+                 options.checkpoint_path.empty()
+                     ? ""
+                     : ", checkpoint saved — rerun with `xcv resume`");
+    return 130;
+  }
+  return 0;
+}
+
+int CmdVerify(const ParsedArgs& args) {
+  const CampaignOptions options = OptionsFromFlags(args, DefaultOptions());
+  const auto funcs = ParseFunctionalList(
+      args.flags.count("functionals") ? args.flags.at("functionals") : "all");
+  const auto conds = ParseConditionList(
+      args.flags.count("conditions") ? args.flags.at("conditions") : "all");
+
+  Campaign campaign(options);
+  for (const ConditionInfo* cond : conds)
+    for (const Functional* f : funcs) campaign.Add(*f, *cond);
+
+  const std::string format =
+      args.flags.count("format") ? args.flags.at("format") : "table";
+  const bool quiet = args.flags.count("quiet") > 0;
+  if (!quiet)
+    std::fprintf(stderr,
+                 "[xcv] %zu pairs (%zu functionals x %zu conditions), "
+                 "%d thread(s)\n",
+                 campaign.PairCount(), funcs.size(), conds.size(),
+                 options.num_threads);
+  return RunCampaign(campaign, options, format, quiet);
+}
+
+int CmdResume(const ParsedArgs& args) {
+  const auto it = args.flags.find("checkpoint");
+  if (it == args.flags.end()) {
+    std::fprintf(stderr, "xcv resume: --checkpoint=PATH is required\n");
+    return 2;
+  }
+  campaign::Checkpoint cp = campaign::LoadCheckpointFile(it->second);
+  // Flags override the checkpointed run configuration (e.g. more threads).
+  CampaignOptions options = OptionsFromFlags(args, cp.options);
+  if (options.checkpoint_path.empty()) options.checkpoint_path = it->second;
+
+  Campaign campaign(options);
+  std::size_t remaining = 0;
+  for (PairState& p : cp.pairs) {
+    if (!p.done) ++remaining;
+    campaign.Restore(std::move(p));
+  }
+  const std::string format =
+      args.flags.count("format") ? args.flags.at("format") : "table";
+  const bool quiet = args.flags.count("quiet") > 0;
+  if (!quiet)
+    std::fprintf(stderr, "[xcv] resuming %s: %zu of %zu pairs remaining\n",
+                 it->second.c_str(), remaining, cp.pairs.size());
+  return RunCampaign(campaign, options, format, quiet);
+}
+
+int CmdList() {
+  std::printf("Functionals (paper Table I columns):\n");
+  for (const Functional& f : functionals::PaperFunctionals())
+    std::printf("  %-9s %-9s %s\n", f.name.c_str(),
+                functionals::FamilyName(f.family).c_str(),
+                functionals::DesignName(f.design).c_str());
+  std::printf("Extensions:\n");
+  for (const Functional& f : functionals::ExtensionFunctionals())
+    std::printf("  %-9s %-9s %s\n", f.name.c_str(),
+                functionals::FamilyName(f.family).c_str(),
+                functionals::DesignName(f.design).c_str());
+  std::printf("Conditions (paper Table I rows):\n");
+  for (const ConditionInfo& c : conditions::AllConditions())
+    std::printf("  %-4s %s\n", c.short_id.c_str(), c.name.c_str());
+  return 0;
+}
+
+}  // namespace
+
+std::vector<const ConditionInfo*> ParseConditionList(const std::string& spec) {
+  const auto& all = conditions::AllConditions();
+  std::vector<bool> selected(all.size(), false);
+  // Numeric EC index of a validated condition id ("EC4" -> 4).
+  auto number_of = [&](const std::string& id) -> int {
+    const ConditionInfo* info = conditions::FindCondition(id);
+    XCV_CHECK_MSG(info != nullptr, "unknown condition '" << id << "'");
+    return std::atoi(info->short_id.c_str() + 2);
+  };
+  auto index_of = [&](const std::string& id) -> std::size_t {
+    const int n = number_of(id);
+    for (std::size_t i = 0; i < all.size(); ++i)
+      if (std::atoi(all[i].short_id.c_str() + 2) == n) return i;
+    return 0;  // unreachable: FindCondition returns entries of `all`
+  };
+  for (const std::string& token : SplitCommas(spec)) {
+    if (ToLower(token) == "all") {
+      selected.assign(all.size(), true);
+      continue;
+    }
+    std::string::size_type dots = token.find("..");
+    std::size_t sep_len = 2;
+    if (dots == std::string::npos) {
+      dots = token.find('-');
+      sep_len = 1;
+    }
+    if (dots != std::string::npos) {
+      // Ranges are numeric: EC1..EC7 selects every EC in [1, 7] no matter
+      // where it sits in Table I's row order.
+      const int lo = number_of(token.substr(0, dots));
+      const int hi = number_of(token.substr(dots + sep_len));
+      XCV_CHECK_MSG(lo <= hi, "empty condition range '" << token << "'");
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        const int n = std::atoi(all[i].short_id.c_str() + 2);
+        if (lo <= n && n <= hi) selected[i] = true;
+      }
+    } else {
+      selected[index_of(token)] = true;
+    }
+  }
+  std::vector<const ConditionInfo*> out;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (selected[i]) out.push_back(&all[i]);
+  XCV_CHECK_MSG(!out.empty(), "condition spec '" << spec
+                                                 << "' selects nothing");
+  return out;
+}
+
+std::vector<const Functional*> ParseFunctionalList(const std::string& spec) {
+  std::vector<const Functional*> universe;
+  for (const Functional& f : functionals::PaperFunctionals())
+    universe.push_back(&f);
+  for (const Functional& f : functionals::ExtensionFunctionals())
+    universe.push_back(&f);
+
+  std::vector<bool> selected(universe.size(), false);
+  for (const std::string& raw : SplitCommas(spec)) {
+    const std::string token = ToLower(raw);
+    if (token == "all") {
+      // "all" = the five paper DFAs; extensions are opt-in by name.
+      for (const Functional& f : functionals::PaperFunctionals())
+        for (std::size_t i = 0; i < universe.size(); ++i)
+          if (universe[i] == &f) selected[i] = true;
+      continue;
+    }
+    std::optional<functionals::Family> family;
+    if (token == "lda") family = functionals::Family::kLda;
+    if (token == "gga") family = functionals::Family::kGga;
+    if (token == "mgga" || token == "meta-gga" || token == "metagga")
+      family = functionals::Family::kMetaGga;
+    if (family.has_value()) {
+      bool any = false;
+      for (std::size_t i = 0; i < universe.size(); ++i) {
+        if (universe[i]->family == *family) {
+          selected[i] = true;
+          any = true;
+        }
+      }
+      XCV_CHECK_MSG(any, "no functional of family '" << raw << "'");
+      continue;
+    }
+    const Functional* f = functionals::FindFunctional(raw);
+    XCV_CHECK_MSG(f != nullptr, "unknown functional '" << raw << "'");
+    for (std::size_t i = 0; i < universe.size(); ++i)
+      if (universe[i] == f) selected[i] = true;
+  }
+  std::vector<const Functional*> out;
+  for (std::size_t i = 0; i < universe.size(); ++i)
+    if (selected[i]) out.push_back(universe[i]);
+  XCV_CHECK_MSG(!out.empty(), "functional spec '" << spec
+                                                  << "' selects nothing");
+  return out;
+}
+
+int Main(int argc, const char* const* argv) {
+  const auto args = ParseArgs(argc, argv);
+  if (!args.has_value()) return 2;
+  try {
+    if (args->command == "verify") return CmdVerify(*args);
+    if (args->command == "resume") return CmdResume(*args);
+    if (args->command == "list") return CmdList();
+    if (args->command == "help" || args->command == "--help") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    std::fprintf(stderr, "xcv: unknown command '%s'\n%s",
+                 args->command.c_str(), kUsage);
+    return 2;
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "xcv: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace xcv::cli

@@ -1,14 +1,33 @@
 #include "support/thread_pool.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "support/check.h"
 
 namespace xcv {
 
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// recursive Submit() can use the local deque fast path.
+thread_local ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+
+}  // namespace
+
+// Max-heap order: highest priority first, earliest submission among ties.
+struct ItemHeapLess {
+  template <typename ItemT>
+  bool operator()(const ItemT& a, const ItemT& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+};
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { WorkerLoop(); });
+  Grow(num_threads);
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,37 +42,158 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   XCV_CHECK(task != nullptr);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    XCV_CHECK_MSG(!shutdown_, "Submit after shutdown");
-    queue_.push(std::move(task));
+  std::lock_guard<std::mutex> lock(mu_);
+  XCV_CHECK_MSG(!shutdown_, "Submit after shutdown");
+  Item item;
+  item.seq = next_seq_++;
+  item.fn = std::move(task);
+  ++outstanding_;
+  if (tl_pool == this) {
+    local_[tl_worker].push_back(std::move(item));
+  } else {
+    frontier_.push_back(std::move(item));
+    std::push_heap(frontier_.begin(), frontier_.end(), ItemHeapLess{});
   }
   work_cv_.notify_one();
 }
 
-void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+void ThreadPool::Submit(const std::shared_ptr<Group>& group, double priority,
+                        std::function<void()> task) {
+  XCV_CHECK(task != nullptr);
+  XCV_CHECK(group != nullptr);
+  if (std::isnan(priority)) priority = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  XCV_CHECK_MSG(!shutdown_, "Submit after shutdown");
+  Item item;
+  item.priority = priority;
+  item.seq = next_seq_++;
+  item.group = group;
+  item.fn = std::move(task);
+  ++outstanding_;
+  ++group->pending_;
+  frontier_.push_back(std::move(item));
+  std::push_heap(frontier_.begin(), frontier_.end(), ItemHeapLess{});
+  work_cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+std::shared_ptr<ThreadPool::Group> ThreadPool::MakeGroup(
+    std::size_t max_parallelism) {
+  return std::shared_ptr<Group>(new Group(max_parallelism));
+}
+
+void ThreadPool::Wait(const std::shared_ptr<Group>& group) {
+  XCV_CHECK(group != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return group->pending_ == 0; });
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::Grow(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  XCV_CHECK_MSG(!shutdown_, "Grow after shutdown");
+  while (workers_.size() < num_threads) {
+    const std::size_t index = workers_.size();
+    local_.emplace_back();
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
+  }
+}
+
+std::size_t ThreadPool::NumThreads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+ThreadPool& ThreadPool::Global(std::size_t min_threads) {
+  static std::mutex m;
+  // Leaked on purpose: the shared pool may be referenced from static
+  // destructors (report tables, test fixtures); joining workers during
+  // static teardown is not worth the risk for a process-lifetime object.
+  static ThreadPool* pool = nullptr;
+  std::lock_guard<std::mutex> lock(m);
+  if (pool == nullptr) {
+    pool = new ThreadPool(std::max<std::size_t>(1, min_threads));
+  } else if (pool->NumThreads() < min_threads) {
+    pool->Grow(min_threads);
+  }
+  return *pool;
+}
+
+bool ThreadPool::TryTakeLocked(std::size_t worker_index, Item* out) {
+  // 1. Own deque, newest first: recursive children run hot.
+  auto& own = local_[worker_index];
+  if (!own.empty()) {
+    *out = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  // 2. Global priority frontier. Items whose group is at its concurrency
+  // limit are parked on the group's deferred heap; a completion of that
+  // group promotes the best one back (FinishItemLocked).
+  while (!frontier_.empty()) {
+    std::pop_heap(frontier_.begin(), frontier_.end(), ItemHeapLess{});
+    Item item = std::move(frontier_.back());
+    frontier_.pop_back();
+    Group* g = item.group.get();
+    if (g != nullptr && g->limit_ > 0 && g->running_ >= g->limit_) {
+      g->deferred_.push_back(std::move(item));
+      std::push_heap(g->deferred_.begin(), g->deferred_.end(), ItemHeapLess{});
+      continue;
+    }
+    *out = std::move(item);
+    return true;
+  }
+  // 3. Steal the oldest task from another worker's deque.
+  for (std::size_t i = 0; i < local_.size(); ++i) {
+    if (i == worker_index || local_[i].empty()) continue;
+    *out = std::move(local_[i].front());
+    local_[i].pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::FinishItemLocked(const Item& item) {
+  --active_;
+  --outstanding_;
+  if (Group* g = item.group.get()) {
+    --g->running_;
+    --g->pending_;
+    // One completion frees one slot: promote the best deferred task.
+    if (!g->deferred_.empty() && (g->limit_ == 0 || g->running_ < g->limit_)) {
+      std::pop_heap(g->deferred_.begin(), g->deferred_.end(), ItemHeapLess{});
+      frontier_.push_back(std::move(g->deferred_.back()));
+      g->deferred_.pop_back();
+      std::push_heap(frontier_.begin(), frontier_.end(), ItemHeapLess{});
+      work_cv_.notify_one();
+    }
+    if (g->pending_ == 0) idle_cv_.notify_all();
+  }
+  if (outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  tl_pool = this;
+  tl_worker = worker_index;
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+    Item item;
+    if (TryTakeLocked(worker_index, &item)) {
       ++active_;
+      if (Group* g = item.group.get()) ++g->running_;
+      lock.unlock();
+      item.fn();  // Exceptions from tasks are intentionally fatal (terminate):
+                  // engine tasks catch their own errors and record them.
+      item.fn = nullptr;
+      lock.lock();
+      FinishItemLocked(item);
+      continue;
     }
-    task();  // Exceptions from tasks are intentionally fatal (terminate):
-             // verifier tasks catch their own errors and record them.
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+    if (shutdown_) return;
+    work_cv_.wait(lock);
   }
 }
 

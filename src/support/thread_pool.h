@@ -1,52 +1,120 @@
-// A fixed-size worker pool with a shared FIFO task queue.
+// The shared work-stealing scheduler behind every parallel subsystem.
 //
-// The verifier's recursive domain splitting produces independent subproblems;
-// this pool runs them concurrently. Tasks may enqueue further tasks (the
-// recursion), so shutdown waits for quiescence: no queued tasks AND no
-// running tasks.
+// Two kinds of work coexist:
+//   * Plain Submit(): unprioritized tasks. Submitted from a worker thread
+//     they land on that worker's local deque (LIFO — cache-friendly for
+//     recursive fan-out) and are stealable by idle workers; submitted from
+//     outside they join the global frontier.
+//   * Grouped Submit(group, priority, task): tasks join the global
+//     *priority frontier* (highest priority first, FIFO among equals).
+//     A Group tracks its outstanding tasks (Wait blocks until the group
+//     drains) and can cap how many of its tasks run concurrently, so many
+//     independent clients — e.g. every (functional, condition) pair of a
+//     verification campaign — share one pool without oversubscribing it.
+//
+// Tasks may enqueue further tasks (the verifier's recursion). WaitIdle()
+// and ~ThreadPool() wait for quiescence: nothing queued, deferred, or
+// running. Process-wide sharing goes through ThreadPool::Global(), which
+// grows on demand and replaces the old per-Verifier::Run pools.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace xcv {
 
-/// Fixed-size thread pool. Submit() enqueues a task; WaitIdle() blocks until
-/// the queue drains and all workers are idle. Destruction waits for idle and
-/// then joins the workers.
 class ThreadPool {
  public:
+  /// A related set of tasks on a shared pool: completion tracking plus an
+  /// optional concurrency cap. Create via MakeGroup(); all state is guarded
+  /// by the pool, so a Group is only meaningful with its owning pool.
+  class Group;
+
   /// Creates `num_threads` workers (at least 1).
   explicit ThreadPool(std::size_t num_threads);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Waits for quiescence, then joins the workers.
   ~ThreadPool();
 
-  /// Enqueues a task. Safe to call from worker threads (recursive submission).
+  /// Enqueues an unprioritized task. Safe to call from worker threads
+  /// (recursive submission; lands on the submitting worker's deque).
   void Submit(std::function<void()> task);
 
-  /// Blocks until no tasks are queued or running.
+  /// Enqueues a task on the global priority frontier. Higher `priority`
+  /// runs first; ties run in submission order. At most the group's
+  /// `max_parallelism` tasks run concurrently.
+  void Submit(const std::shared_ptr<Group>& group, double priority,
+              std::function<void()> task);
+
+  /// Creates a task group. `max_parallelism` 0 means unlimited.
+  std::shared_ptr<Group> MakeGroup(std::size_t max_parallelism = 0);
+
+  /// Blocks until every task submitted to `group` has completed.
+  void Wait(const std::shared_ptr<Group>& group);
+
+  /// Blocks until no tasks are queued, deferred, or running.
   void WaitIdle();
 
-  std::size_t NumThreads() const { return workers_.size(); }
+  /// Adds workers until the pool has at least `num_threads`. Never shrinks
+  /// (running tasks cannot be migrated off a worker).
+  void Grow(std::size_t num_threads);
+
+  std::size_t NumThreads() const;
+
+  /// The process-wide shared pool, created on first use with at least
+  /// `min_threads` workers and grown on demand. Never destroyed (workers
+  /// may outlive static destruction order otherwise).
+  static ThreadPool& Global(std::size_t min_threads);
 
  private:
-  void WorkerLoop();
+  struct Item {
+    double priority = 0.0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<Group> group;  // null for ungrouped tasks
+    std::function<void()> fn;
+  };
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signalled when work arrives / shutdown
-  std::condition_variable idle_cv_;   // signalled when the pool may be idle
-  std::queue<std::function<void()>> queue_;
-  std::size_t active_ = 0;
+  void WorkerLoop(std::size_t worker_index);
+  bool TryTakeLocked(std::size_t worker_index, Item* out);
+  void PushFrontierLocked(Item item);
+  void FinishItemLocked(const Item& item);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // work arrived / shutdown
+  std::condition_variable idle_cv_;  // pool-idle and group-drained events
+  std::vector<Item> frontier_;       // max-heap (std::push_heap/pop_heap)
+  std::vector<std::deque<Item>> local_;  // per-worker deques (stealable)
+  std::uint64_t next_seq_ = 0;
+  std::size_t outstanding_ = 0;  // queued + deferred + running
+  std::size_t active_ = 0;       // running
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+};
+
+class ThreadPool::Group {
+ public:
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+ private:
+  friend class ThreadPool;
+  explicit Group(std::size_t limit) : limit_(limit) {}
+
+  // All fields guarded by the owning pool's mutex.
+  std::size_t limit_;           // max concurrent tasks; 0 = unlimited
+  std::size_t running_ = 0;
+  std::size_t pending_ = 0;     // queued + deferred + running
+  std::vector<Item> deferred_;  // popped while at limit; max-heap
 };
 
 }  // namespace xcv

@@ -1,0 +1,346 @@
+#include "verifier/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "expr/eval.h"
+#include "support/check.h"
+#include "support/thread_pool.h"
+
+namespace xcv::verifier {
+
+using solver::Box;
+using solver::CheckResult;
+using solver::DeltaSolver;
+using solver::SatKind;
+
+namespace {
+
+// Large enough to outrank any box width on the paper domains (≤ 5 per
+// axis), small enough to keep widest-first ordering among suspects.
+constexpr double kSuspectBoost = 1e6;
+
+struct OpenBoxLess {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;  // earlier submission first among ties
+  }
+};
+
+bool LexLess(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Strict total order on boxes of one partition: lexicographic on
+// (lo, hi) per dimension. Disjoint partition leaves never tie.
+bool BoxLess(const Box& a, const Box& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].lo() != b[i].lo()) return a[i].lo() < b[i].lo();
+    if (a[i].hi() != b[i].hi()) return a[i].hi() < b[i].hi();
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+double FrontierPriority(FrontierStrategy strategy, const Box& box,
+                        bool suspect, std::uint64_t seq) {
+  switch (strategy) {
+    case FrontierStrategy::kWidestFirst:
+      return box.MaxWidth();
+    case FrontierStrategy::kSuspectFirst:
+      return box.MaxWidth() + (suspect ? kSuspectBoost : 0.0);
+    case FrontierStrategy::kFifo:
+      return -static_cast<double>(seq);
+  }
+  return 0.0;
+}
+
+void CanonicalizeReport(VerificationReport& report) {
+  std::sort(report.leaves.begin(), report.leaves.end(),
+            [](const Region& a, const Region& b) {
+              return BoxLess(a.box, b.box);
+            });
+  std::sort(report.witnesses.begin(), report.witnesses.end(), LexLess);
+}
+
+std::vector<Box> SplitBox(const Box& box, bool split_all_dims) {
+  if (!split_all_dims) {
+    auto [a, b] = box.Bisect(box.WidestDim());
+    return {std::move(a), std::move(b)};
+  }
+  std::vector<Box> out{box};
+  for (std::size_t dim = 0; dim < box.size(); ++dim) {
+    if (box[dim].IsPoint()) continue;
+    std::vector<Box> next;
+    next.reserve(out.size() * 2);
+    for (const Box& b : out) {
+      auto [left, right] = b.Bisect(dim);
+      next.push_back(std::move(left));
+      next.push_back(std::move(right));
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+PairEngine::PairEngine(expr::BoolExpr psi, VerifierOptions options)
+    : psi_(std::move(psi)),
+      not_psi_(expr::BoolExpr::Not(psi_)),
+      options_(options) {
+  XCV_CHECK_MSG(options_.split_threshold > 0.0,
+                "split threshold must be positive");
+  XCV_CHECK_MSG(options_.num_threads >= 1, "need at least one thread");
+}
+
+void PairEngine::SetTicketSink(std::function<void(double)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void PairEngine::EmitTicketsForOpen() {
+  std::vector<double> tickets;
+  std::function<void(double)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+    tickets.reserve(open_.size());
+    for (const OpenBox& b : open_) tickets.push_back(b.priority);
+  }
+  if (sink) for (double p : tickets) sink(p);
+}
+
+void PairEngine::PushLocked(Box box, bool suspect,
+                            std::vector<double>* ticket_priorities) {
+  OpenBox entry;
+  entry.seq = next_seq_++;
+  entry.priority =
+      FrontierPriority(options_.frontier, box, suspect, entry.seq);
+  entry.box = std::move(box);
+  if (ticket_priorities != nullptr)
+    ticket_priorities->push_back(entry.priority);
+  open_.push_back(std::move(entry));
+  std::push_heap(open_.begin(), open_.end(), OpenBoxLess{});
+}
+
+void PairEngine::Seed(const Box& domain) {
+  std::vector<double> tickets;
+  std::function<void(double)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seeded_ = true;
+    PushLocked(domain, /*suspect=*/false, &tickets);
+    sink = sink_;
+  }
+  if (sink) for (double p : tickets) sink(p);
+}
+
+void PairEngine::Restore(VerificationReport partial, std::vector<Box> open) {
+  std::vector<double> tickets;
+  std::function<void(double)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seeded_ = true;
+    solver_calls_.store(partial.solver_calls);
+    solver_timeouts_.store(partial.solver_timeouts);
+    busy_seconds_ = partial.seconds;
+    report_ = std::move(partial);
+    for (Box& b : open) PushLocked(std::move(b), /*suspect=*/false, &tickets);
+    sink = sink_;
+  }
+  if (sink) for (double p : tickets) sink(p);
+}
+
+std::unique_ptr<DeltaSolver> PairEngine::AcquireSolver() {
+  {
+    std::lock_guard<std::mutex> lock(solver_mu_);
+    if (!free_solvers_.empty()) {
+      auto s = std::move(free_solvers_.back());
+      free_solvers_.pop_back();
+      return s;
+    }
+  }
+  return std::make_unique<DeltaSolver>(not_psi_, options_.solver);
+}
+
+void PairEngine::ReleaseSolver(std::unique_ptr<DeltaSolver> s) {
+  std::lock_guard<std::mutex> lock(solver_mu_);
+  free_solvers_.push_back(std::move(s));
+}
+
+bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed))
+    return false;
+
+  OpenBox item;
+  bool expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (open_.empty()) return false;
+    std::pop_heap(open_.begin(), open_.end(), OpenBoxLess{});
+    item = std::move(open_.back());
+    open_.pop_back();
+    in_flight_.emplace_back(item.seq, item.box);
+    // The budget covers this pair's own processing time, not the wall time
+    // it spent queued behind other pairs on the shared pool (and not other
+    // pairs' work): compare against accumulated busy seconds.
+    expired = busy_seconds_ >= options_.total_time_budget_seconds;
+  }
+
+  Stopwatch watch;
+  Box& box = item.box;
+
+  RegionStatus status = RegionStatus::kTimeout;
+  std::vector<double> witness;
+  bool is_leaf = true;
+  std::vector<Box> children;
+  std::vector<char> child_suspect;
+
+  if (expired) {
+    // Overall budget exhausted: classify the remaining area as timeout
+    // without spending solver time (keeps the partition total).
+  } else {
+    auto solver = AcquireSolver();
+    CheckResult result = solver->Check(box);
+    ReleaseSolver(std::move(solver));
+    solver_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (result.kind == SatKind::kTimeout)
+      solver_timeouts_.fetch_add(1, std::memory_order_relaxed);
+
+    if (result.kind == SatKind::kUnsat) {
+      status = RegionStatus::kVerified;
+    } else {
+      if (result.kind == SatKind::kDeltaSat) {
+        // Algorithm 1's valid(x): the model must violate ψ beyond the
+        // witness tolerance (see VerifierOptions::witness_tolerance).
+        const bool violates_psi = !expr::EvalBoolWithSlack(
+            psi_, result.model, options_.witness_tolerance);
+        if (violates_psi) {
+          status = RegionStatus::kCounterexample;
+          witness = result.model;
+        } else {
+          status = RegionStatus::kInconclusive;
+        }
+      }
+      // Leaf when children would fall below the threshold t.
+      if (box.MaxWidth() / 2.0 >= options_.split_threshold) {
+        is_leaf = false;
+        children = SplitBox(box, options_.split_all_dims);
+        child_suspect.resize(children.size(), 0);
+        if (result.kind == SatKind::kDeltaSat) {
+          for (std::size_t i = 0; i < children.size(); ++i)
+            child_suspect[i] = children[i].Contains(result.model) ? 1 : 0;
+        }
+      }
+    }
+  }
+
+  const double elapsed = watch.ElapsedSeconds();
+  std::vector<double> tickets;
+  std::function<void(double)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_seconds_ += elapsed;
+    for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+      if (it->first == item.seq) {
+        in_flight_.erase(it);
+        break;
+      }
+    }
+    if (!witness.empty()) report_.witnesses.push_back(witness);
+    if (is_leaf) {
+      report_.leaves.push_back(
+          {std::move(box), status, std::move(witness)});
+    } else {
+      for (std::size_t i = 0; i < children.size(); ++i)
+        PushLocked(std::move(children[i]), child_suspect[i] != 0, &tickets);
+    }
+    sink = sink_;
+  }
+  if (sink) for (double p : tickets) sink(p);
+  return true;
+}
+
+bool PairEngine::Finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seeded_ && open_.empty() && in_flight_.empty();
+}
+
+double PairEngine::TopPriority() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.empty()) return -std::numeric_limits<double>::infinity();
+  return open_.front().priority;
+}
+
+std::size_t PairEngine::OpenCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
+
+double PairEngine::BusySeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_seconds_;
+}
+
+EngineSnapshot PairEngine::Snapshot() const {
+  EngineSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.report = report_;
+  snap.report.solver_calls = solver_calls_.load();
+  snap.report.solver_timeouts = solver_timeouts_.load();
+  snap.report.seconds = busy_seconds_;
+  snap.open.reserve(open_.size() + in_flight_.size());
+  for (const OpenBox& b : open_) snap.open.push_back(b.box);
+  for (const auto& [seq, b] : in_flight_) snap.open.push_back(b);
+  CanonicalizeReport(snap.report);
+  std::sort(snap.open.begin(), snap.open.end(), BoxLess);
+  return snap;
+}
+
+VerificationReport PairEngine::TakeReport() {
+  std::lock_guard<std::mutex> lock(mu_);
+  XCV_CHECK_MSG(in_flight_.empty(), "TakeReport while boxes are in flight");
+  VerificationReport report = std::move(report_);
+  report_ = VerificationReport{};
+  report.solver_calls = solver_calls_.load();
+  report.solver_timeouts = solver_timeouts_.load();
+  report.seconds = busy_seconds_;
+  CanonicalizeReport(report);
+  return report;
+}
+
+std::vector<Box> PairEngine::TakeOpenFrontier() {
+  std::lock_guard<std::mutex> lock(mu_);
+  XCV_CHECK_MSG(in_flight_.empty(),
+                "TakeOpenFrontier while boxes are in flight");
+  std::vector<Box> out;
+  out.reserve(open_.size());
+  for (OpenBox& b : open_) out.push_back(std::move(b.box));
+  open_.clear();
+  std::sort(out.begin(), out.end(), BoxLess);
+  return out;
+}
+
+void RunEngineToCompletion(PairEngine& engine, int num_threads) {
+  if (num_threads <= 1) {
+    while (engine.ProcessNext(nullptr)) {
+    }
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global(static_cast<std::size_t>(num_threads));
+  auto group = pool.MakeGroup(static_cast<std::size_t>(num_threads));
+  // One ticket per open box; each ticket pops the engine's *current* best
+  // box, so scheduler priorities track frontier priorities.
+  engine.SetTicketSink([&pool, &group, &engine](double priority) {
+    pool.Submit(group, priority, [&engine] { engine.ProcessNext(nullptr); });
+  });
+  engine.EmitTicketsForOpen();
+  pool.Wait(group);
+  engine.SetTicketSink(nullptr);
+}
+
+}  // namespace xcv::verifier

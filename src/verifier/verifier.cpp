@@ -1,23 +1,13 @@
 #include "verifier/verifier.h"
 
-#include <cmath>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-
-#include "expr/eval.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
-#include "support/thread_pool.h"
+#include "verifier/engine.h"
 
 namespace xcv::verifier {
 
 using expr::BoolExpr;
 using solver::Box;
-using solver::CheckResult;
-using solver::DeltaSolver;
-using solver::SatKind;
 
 Verifier::Verifier(BoolExpr psi, VerifierOptions options)
     : psi_(std::move(psi)),
@@ -28,175 +18,14 @@ Verifier::Verifier(BoolExpr psi, VerifierOptions options)
   XCV_CHECK_MSG(options_.num_threads >= 1, "need at least one thread");
 }
 
-namespace {
-
-// Shared state of one Run(): report accumulation and a free-list of solver
-// instances (tape compilation is expensive for big functionals, so solvers
-// are reused across subdomains; one is in use per worker at a time).
-class RunContext {
- public:
-  RunContext(const BoolExpr& not_psi, const VerifierOptions& options)
-      : not_psi_(not_psi), options_(options),
-        deadline_(std::isfinite(options.total_time_budget_seconds)
-                      ? Deadline::After(options.total_time_budget_seconds)
-                      : Deadline::Never()) {}
-
-  std::unique_ptr<DeltaSolver> AcquireSolver() {
-    {
-      std::lock_guard<std::mutex> lock(solver_mu_);
-      if (!free_solvers_.empty()) {
-        auto s = std::move(free_solvers_.back());
-        free_solvers_.pop_back();
-        return s;
-      }
-    }
-    return std::make_unique<DeltaSolver>(not_psi_, options_.solver);
-  }
-
-  void ReleaseSolver(std::unique_ptr<DeltaSolver> s) {
-    std::lock_guard<std::mutex> lock(solver_mu_);
-    free_solvers_.push_back(std::move(s));
-  }
-
-  void RecordLeaf(Region region) {
-    std::lock_guard<std::mutex> lock(report_mu_);
-    report_.leaves.push_back(std::move(region));
-  }
-
-  void RecordWitness(std::vector<double> witness) {
-    std::lock_guard<std::mutex> lock(report_mu_);
-    report_.witnesses.push_back(std::move(witness));
-  }
-
-  void RecordSolverCall(bool timed_out) {
-    std::lock_guard<std::mutex> lock(report_mu_);
-    ++report_.solver_calls;
-    if (timed_out) ++report_.solver_timeouts;
-  }
-
-  bool Expired() const { return deadline_.Expired(); }
-  const VerifierOptions& options() const { return options_; }
-
-  VerificationReport TakeReport(double seconds) {
-    report_.seconds = seconds;
-    return std::move(report_);
-  }
-
- private:
-  const BoolExpr& not_psi_;
-  const VerifierOptions& options_;
-  Deadline deadline_;
-  std::mutex report_mu_;
-  VerificationReport report_;
-  std::mutex solver_mu_;
-  std::vector<std::unique_ptr<DeltaSolver>> free_solvers_;
-};
-
-// Splits `box` into 2^d children (every dimension bisected), skipping
-// point-width dimensions. Falls back to widest-dimension bisection when
-// split_all_dims is off.
-std::vector<Box> SplitBox(const Box& box, bool split_all_dims) {
-  if (!split_all_dims) {
-    auto [a, b] = box.Bisect(box.WidestDim());
-    return {std::move(a), std::move(b)};
-  }
-  std::vector<Box> out{box};
-  for (std::size_t dim = 0; dim < box.size(); ++dim) {
-    if (box[dim].IsPoint()) continue;
-    std::vector<Box> next;
-    next.reserve(out.size() * 2);
-    for (const Box& b : out) {
-      auto [left, right] = b.Bisect(dim);
-      next.push_back(std::move(left));
-      next.push_back(std::move(right));
-    }
-    out = std::move(next);
-  }
-  return out;
-}
-
-// One node of Algorithm 1's recursion. `submit` schedules child work (on
-// the pool in parallel mode, direct recursion in sequential mode).
-void ProcessBox(RunContext& ctx, const expr::BoolExpr& psi, Box box,
-                const std::function<void(Box)>& submit) {
-  const VerifierOptions& opts = ctx.options();
-
-  // Overall budget exhausted: classify the remaining area as timeout
-  // without spending solver time (keeps the partition total).
-  if (ctx.Expired()) {
-    ctx.RecordLeaf({std::move(box), RegionStatus::kTimeout, {}});
-    return;
-  }
-
-  auto solver = ctx.AcquireSolver();
-  CheckResult result = solver->Check(box);
-  ctx.ReleaseSolver(std::move(solver));
-  ctx.RecordSolverCall(result.kind == SatKind::kTimeout);
-
-  if (result.kind == SatKind::kUnsat) {
-    ctx.RecordLeaf({std::move(box), RegionStatus::kVerified, {}});
-    return;
-  }
-
-  RegionStatus status = RegionStatus::kTimeout;
-  std::vector<double> witness;
-  if (result.kind == SatKind::kDeltaSat) {
-    // Algorithm 1's valid(x): the model must violate ψ beyond the witness
-    // tolerance (see VerifierOptions::witness_tolerance).
-    const bool violates_psi =
-        !expr::EvalBoolWithSlack(psi, result.model, opts.witness_tolerance);
-    if (violates_psi) {
-      status = RegionStatus::kCounterexample;
-      witness = result.model;
-      ctx.RecordWitness(result.model);
-    } else {
-      status = RegionStatus::kInconclusive;
-    }
-  }
-
-  // Leaf when children would fall below the threshold t.
-  if (box.MaxWidth() / 2.0 < opts.split_threshold) {
-    ctx.RecordLeaf({std::move(box), status, std::move(witness)});
-    return;
-  }
-  for (Box& child : SplitBox(box, opts.split_all_dims))
-    submit(std::move(child));
-}
-
-}  // namespace
-
 VerificationReport Verifier::Run(const Box& domain) const {
   Stopwatch watch;
-  RunContext ctx(not_psi_, options_);
-
-  if (options_.num_threads == 1) {
-    // Sequential: breadth-first work queue. Algorithm 1's recursion order
-    // is not semantic, and BFS gives far better anytime behaviour under a
-    // global budget: the whole domain is covered coarsely before any
-    // region is refined, so counterexample regions are found early instead
-    // of after an exhaustive descent into one slow quadrant.
-    std::deque<Box> queue{domain};
-    std::function<void(Box)> submit = [&queue](Box b) {
-      queue.push_back(std::move(b));
-    };
-    while (!queue.empty()) {
-      Box box = std::move(queue.front());
-      queue.pop_front();
-      ProcessBox(ctx, psi_, std::move(box), submit);
-    }
-  } else {
-    ThreadPool pool(static_cast<std::size_t>(options_.num_threads));
-    // Tasks re-submit children onto the pool; WaitIdle() is the barrier.
-    std::function<void(Box)> submit = [&](Box b) {
-      pool.Submit([&ctx, this, &submit, box = std::move(b)]() mutable {
-        ProcessBox(ctx, psi_, std::move(box), submit);
-      });
-    };
-    submit(domain);
-    pool.WaitIdle();
-  }
-
-  return ctx.TakeReport(watch.ElapsedSeconds());
+  PairEngine engine(psi_, options_);
+  engine.Seed(domain);
+  RunEngineToCompletion(engine, options_.num_threads);
+  VerificationReport report = engine.TakeReport();
+  report.seconds = watch.ElapsedSeconds();
+  return report;
 }
 
 }  // namespace xcv::verifier

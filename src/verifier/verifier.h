@@ -12,8 +12,11 @@
 // threshold t (the paper uses t = 0.05).
 //
 // The recursion tree is embarrassingly parallel; with num_threads > 1 the
-// subdomains are processed on a work-queue thread pool with one solver
-// instance per worker.
+// subdomains are processed as prioritized tasks on the process-wide
+// work-stealing scheduler (ThreadPool::Global), capped at num_threads
+// concurrent boxes. The task-graph engine behind Run lives in engine.h and
+// is shared with the campaign layer (src/campaign/), which interleaves many
+// (functional, condition) pairs on the same pool.
 #pragma once
 
 #include <limits>
@@ -24,6 +27,22 @@
 
 namespace xcv::verifier {
 
+/// Ordering of the open-subdomain frontier (see engine.h). Priorities only
+/// change the order boxes are processed in, never the final partition of a
+/// budget-free run — but under a wall-clock budget they decide what gets
+/// decided before the money runs out.
+enum class FrontierStrategy {
+  /// Widest box first: breadth-first coverage, the best anytime behaviour
+  /// (the whole domain is covered coarsely before any region is refined).
+  kWidestFirst,
+  /// Widest-first, but boxes containing a delta-sat model of the parent
+  /// (counterexample suspects from DeltaSolver presampling/search) jump
+  /// the queue, so violations are isolated early.
+  kSuspectFirst,
+  /// Submission order (the historical BFS deque; ablation baseline).
+  kFifo,
+};
+
 struct VerifierOptions {
   /// Minimum subdomain width t (Algorithm 1 line 1). Children that would be
   /// narrower than this are not split further; the leaf keeps the parent's
@@ -31,8 +50,13 @@ struct VerifierOptions {
   double split_threshold = 0.05;
   /// Per-solver-call budget (the paper's per-call dReal timeout).
   solver::SolverOptions solver;
-  /// Overall wall-clock budget for the whole run; once expired, remaining
-  /// subdomains are recorded as timeouts without solving.
+  /// Overall processing-time budget for the run, in seconds of this pair's
+  /// own (busy) solver/split time; once spent, remaining subdomains are
+  /// recorded as timeouts without solving. Busy time equals wall time for a
+  /// sequential stand-alone run, and stays fair when many pairs interleave
+  /// on the shared pool or a checkpointed pair resumes (the clock carries
+  /// over). With num_threads > 1 the budget is consumed up to num_threads
+  /// times faster than the wall clock.
   double total_time_budget_seconds =
       std::numeric_limits<double>::infinity();
   /// Worker threads for the recursion (1 = sequential Algorithm 1).
@@ -47,6 +71,8 @@ struct VerifierOptions {
   /// discussion) must not be reported as violations of the mathematical
   /// condition. 0 restores Algorithm 1's exact valid(x).
   double witness_tolerance = 1e-6;
+  /// Ordering of the open-subdomain frontier.
+  FrontierStrategy frontier = FrontierStrategy::kWidestFirst;
 };
 
 /// Verifies one local condition over a domain.
@@ -55,7 +81,10 @@ class Verifier {
   /// `psi` is the local condition ψ; the solver decides ¬ψ.
   Verifier(expr::BoolExpr psi, VerifierOptions options);
 
-  /// Runs Algorithm 1 on `domain` and returns the region partition.
+  /// Runs Algorithm 1 on `domain` and returns the region partition. The
+  /// report is canonically ordered (leaves by box bounds, witnesses
+  /// lexicographically), so budget-free runs are byte-identical for every
+  /// num_threads.
   VerificationReport Run(const solver::Box& domain) const;
 
   const expr::BoolExpr& psi() const { return psi_; }

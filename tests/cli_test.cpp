@@ -1,0 +1,77 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "support/check.h"
+
+namespace xcv::cli {
+namespace {
+
+std::vector<std::string> ConditionIds(const std::string& spec) {
+  std::vector<std::string> ids;
+  for (const auto* c : ParseConditionList(spec)) ids.push_back(c->short_id);
+  return ids;
+}
+
+std::vector<std::string> FunctionalNames(const std::string& spec) {
+  std::vector<std::string> names;
+  for (const auto* f : ParseFunctionalList(spec)) names.push_back(f->name);
+  return names;
+}
+
+TEST(Cli, ParsesSingleConditions) {
+  EXPECT_EQ(ConditionIds("EC1"), (std::vector<std::string>{"EC1"}));
+  EXPECT_EQ(ConditionIds("ec3,EC1"),
+            (std::vector<std::string>{"EC1", "EC3"}));  // paper row order
+}
+
+TEST(Cli, ParsesConditionRanges) {
+  // Ranges follow Table I row order: EC1 EC2 EC3 EC6 EC7 EC4 EC5.
+  EXPECT_EQ(ConditionIds("EC1..EC3"),
+            (std::vector<std::string>{"EC1", "EC2", "EC3"}));
+  EXPECT_EQ(ConditionIds("EC6-EC7"),
+            (std::vector<std::string>{"EC6", "EC7"}));
+  EXPECT_EQ(ConditionIds("EC1..EC7").size(), 7u);
+  EXPECT_EQ(ConditionIds("all").size(), 7u);
+}
+
+TEST(Cli, RejectsBadConditionSpecs) {
+  EXPECT_THROW(ParseConditionList("EC9"), InternalError);
+  EXPECT_THROW(ParseConditionList(""), InternalError);
+  EXPECT_THROW(ParseConditionList("EC7..EC1"), InternalError);
+}
+
+TEST(Cli, ParsesFunctionalNames) {
+  EXPECT_EQ(FunctionalNames("pbe"), (std::vector<std::string>{"PBE"}));
+  EXPECT_EQ(FunctionalNames("scan,pbe"),
+            (std::vector<std::string>{"PBE", "SCAN"}));  // column order
+  EXPECT_EQ(FunctionalNames("all").size(), 5u);
+}
+
+TEST(Cli, FamilySelectors) {
+  // "lda" selects the LDA paper functional (VWN RPA) — the acceptance
+  // spelling `--functionals=lda,pbe`.
+  EXPECT_EQ(FunctionalNames("lda"), (std::vector<std::string>{"VWN_RPA"}));
+  EXPECT_EQ(FunctionalNames("lda,pbe"),
+            (std::vector<std::string>{"PBE", "VWN_RPA"}));
+  const auto mgga = FunctionalNames("mgga");
+  EXPECT_NE(std::find(mgga.begin(), mgga.end(), "SCAN"), mgga.end());
+}
+
+TEST(Cli, ExtensionFunctionalsAreOptIn) {
+  const auto all = FunctionalNames("all");
+  EXPECT_EQ(std::find(all.begin(), all.end(), "PBEsol"), all.end());
+  EXPECT_EQ(FunctionalNames("pbesol"),
+            (std::vector<std::string>{"PBEsol"}));
+}
+
+TEST(Cli, RejectsBadFunctionalSpecs) {
+  EXPECT_THROW(ParseFunctionalList("b3lyp"), InternalError);
+  EXPECT_THROW(ParseFunctionalList(""), InternalError);
+}
+
+}  // namespace
+}  // namespace xcv::cli

@@ -119,7 +119,9 @@ TEST(Verifier, SplitAllDimsVsWidestOnly) {
   EXPECT_EQ(r_quad.Summarize(), r_binary.Summarize());
 }
 
-TEST(Verifier, ParallelMatchesSequentialVerdict) {
+TEST(Verifier, ParallelMatchesSequentialExactly) {
+  // Reports are canonically ordered, so a budget-free run must be
+  // *identical* — leaf by leaf, witness by witness — at any thread count.
   BoolExpr psi = BoolExpr::Ge(X() * X() + Y() * Y(), C(1));
   VerifierOptions seq = Fast();
   VerifierOptions par = Fast();
@@ -127,11 +129,16 @@ TEST(Verifier, ParallelMatchesSequentialVerdict) {
   auto r_seq = Verifier(psi, seq).Run(UnitSquare());
   auto r_par = Verifier(psi, par).Run(UnitSquare());
   EXPECT_EQ(r_seq.Summarize(), r_par.Summarize());
-  // Same leaf partition volume.
-  double v_seq = 0.0, v_par = 0.0;
-  for (const auto& l : r_seq.leaves) v_seq += BoxVolume(l.box);
-  for (const auto& l : r_par.leaves) v_par += BoxVolume(l.box);
-  EXPECT_NEAR(v_seq, v_par, 1e-9);
+  EXPECT_EQ(r_seq.solver_calls, r_par.solver_calls);
+  ASSERT_EQ(r_seq.leaves.size(), r_par.leaves.size());
+  for (std::size_t i = 0; i < r_seq.leaves.size(); ++i) {
+    EXPECT_EQ(r_seq.leaves[i].status, r_par.leaves[i].status);
+    ASSERT_EQ(r_seq.leaves[i].box.size(), r_par.leaves[i].box.size());
+    for (std::size_t d = 0; d < r_seq.leaves[i].box.size(); ++d)
+      EXPECT_EQ(r_seq.leaves[i].box[d], r_par.leaves[i].box[d]);
+    EXPECT_EQ(r_seq.leaves[i].witness, r_par.leaves[i].witness);
+  }
+  EXPECT_EQ(r_seq.witnesses, r_par.witnesses);
 }
 
 TEST(Verifier, RejectsBadOptions) {
