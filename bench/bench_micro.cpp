@@ -139,6 +139,35 @@ void BM_TapeEvalIntervalOptimized(benchmark::State& state) {
 }
 BENCHMARK(BM_TapeEvalIntervalOptimized)->DenseRange(0, 4);
 
+void BM_TapeEvalIntervalBatch64(benchmark::State& state) {
+  const auto& f = FunctionalByIndex(static_cast<int>(state.range(0)));
+  const auto tape = expr::CompileOptimized(f.eps_c);
+  constexpr std::size_t kLanes = 64;
+  std::vector<std::vector<double>> lo(3), hi(3);
+  std::vector<const double*> lop(3), hip(3);
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      const double base = 0.5 + 0.02 * static_cast<double>(k) +
+                          0.25 * static_cast<double>(d);
+      lo[d].push_back(base);
+      hi[d].push_back(base + 0.05);
+    }
+    lop[d] = lo[d].data();
+    hip[d] = hi[d].data();
+  }
+  expr::TapeIntervalBatchScratch scratch;
+  scratch.Reserve(tape.size(), kLanes);
+  for (auto _ : state) {
+    expr::EvalTapeIntervalBatch(tape, lop, hip, kLanes, scratch);
+    benchmark::DoNotOptimize(
+        scratch.At(static_cast<std::size_t>(tape.root()), 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes));
+  state.SetLabel(f.name + " (64 boxes/sweep)");
+}
+BENCHMARK(BM_TapeEvalIntervalBatch64)->DenseRange(0, 4);
+
 // ---- Grid-evaluation engine comparison (JSON trajectory) --------------------
 
 // The seed's EvaluateOnGrid: per-point Coords()/Point() heap allocations and
@@ -218,6 +247,127 @@ void RunGridComparison(const functionals::Functional& f) {
       max_rel_diff, nan_mismatches);
 }
 
+// ---- Interval-batch classification comparison (JSON trajectory) -------------
+
+// A realistic branch-and-prune frontier: the paper domain bisected
+// widest-first into `count` sibling boxes.
+std::vector<std::vector<Interval>> FrontierBoxes(const solver::Box& domain,
+                                                 std::size_t count) {
+  std::vector<std::vector<Interval>> boxes{
+      {domain.dims().begin(), domain.dims().end()}};
+  std::size_t next = 0;
+  while (boxes.size() < count) {
+    std::vector<Interval> box = boxes[next];
+    const std::size_t dim = solver::WidestDim(box);
+    Interval left, right;
+    box[dim].Bisect(&left, &right);
+    boxes[next] = box;
+    boxes[next][dim] = left;
+    box[dim] = right;
+    boxes.push_back(std::move(box));
+    next = (next + 1) % boxes.size();
+  }
+  return boxes;
+}
+
+// Scalar-vs-batched forward interval classification over the same frontier:
+// the exact hot path of the solver's wave classifier. Scalar runs
+// EvalTapeIntervalForward box by box (the pre-wave code path); batched runs
+// EvalTapeIntervalBatch at the given wave widths. Endpoints are
+// bit-identical; the JSON line records the throughput ratio.
+void RunIntervalBatchComparison(const functionals::Functional& f) {
+  const expr::Expr fc = conditions::CorrelationEnhancement(f);
+  const expr::Tape tape = expr::CompileOptimized(expr::Neg(fc));
+  const solver::Box domain = conditions::PaperDomain(f);
+  constexpr std::size_t kBoxes = 4096;
+  const auto boxes = FrontierBoxes(domain, kBoxes);
+  const std::size_t dims = domain.size();
+
+  // SoA gather, once (the solver re-gathers per wave; that cost is part of
+  // the batched timings below via the per-wave copy loop).
+  std::vector<std::vector<double>> lo(dims), hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    lo[d].reserve(kBoxes);
+    hi[d].reserve(kBoxes);
+    for (const auto& b : boxes) {
+      lo[d].push_back(b[d].lo());
+      hi[d].push_back(b[d].hi());
+    }
+  }
+
+  const int reps = 40;
+  expr::TapeScratch scratch;
+  scratch.Reserve(tape.size());
+  double sink = 0.0;
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r)
+    for (const auto& b : boxes)
+      sink += expr::EvalTapeIntervalForward(tape, b, scratch).lo();
+  const double scalar_s = watch.ElapsedSeconds();
+
+  auto time_width = [&](std::size_t width) {
+    expr::TapeIntervalBatchScratch batch;
+    batch.Reserve(tape.size(), width);
+    std::vector<const double*> lop(dims), hip(dims);
+    Stopwatch w;
+    for (int r = 0; r < reps; ++r) {
+      for (std::size_t start = 0; start < kBoxes; start += width) {
+        const std::size_t n = std::min(width, kBoxes - start);
+        for (std::size_t d = 0; d < dims; ++d) {
+          lop[d] = lo[d].data() + start;
+          hip[d] = hi[d].data() + start;
+        }
+        expr::EvalTapeIntervalBatch(tape, lop, hip, n, batch);
+        sink += batch.At(static_cast<std::size_t>(tape.root()), 0).lo();
+      }
+    }
+    return w.ElapsedSeconds();
+  };
+  const double batch8_s = time_width(8);
+  const double batch64_s = time_width(64);
+
+  std::printf(
+      "{\"bench\":\"interval_batch\",\"functional\":\"%s\",\"boxes\":%zu,"
+      "\"slots\":%zu,\"scalar_s\":%.6f,\"batch_w8_s\":%.6f,"
+      "\"batch_w64_s\":%.6f,\"speedup_w8\":%.2f,\"speedup_w64\":%.2f,"
+      "\"sink\":%.3g}\n",
+      f.name.c_str(), kBoxes, tape.size(), scalar_s, batch8_s, batch64_s,
+      scalar_s / batch8_s, scalar_s / batch64_s, sink);
+}
+
+// ICP node throughput: one full solver call (fixed node budget, presample
+// off so every node does interval work) at wave width 1 vs the default.
+void RunIcpNodeThroughput(const functionals::Functional& f) {
+  const auto psi =
+      conditions::BuildCondition(*conditions::FindCondition("EC1"), f);
+  const auto domain = conditions::PaperDomain(f);
+
+  auto run = [&](int wave_width, std::uint64_t* nodes) {
+    solver::SolverOptions opts;
+    opts.max_nodes = 50'000;
+    opts.delta = 1e-5;  // deep splitting: the node budget is the stopper
+    opts.max_invalid_models = 1 << 20;
+    opts.presample_points = 0;
+    opts.wave_width = wave_width;
+    solver::DeltaSolver solver(expr::BoolExpr::Not(*psi), opts);
+    Stopwatch watch;
+    const auto result = solver.Check(domain);
+    *nodes = result.stats.nodes;
+    return watch.ElapsedSeconds();
+  };
+  std::uint64_t nodes1 = 0, nodes8 = 0;
+  const double w1_s = run(1, &nodes1);
+  const double w8_s = run(8, &nodes8);
+
+  std::printf(
+      "{\"bench\":\"icp_nodes\",\"functional\":\"%s\",\"nodes\":%llu,"
+      "\"wave1_s\":%.6f,\"wave8_s\":%.6f,\"wave1_nodes_per_s\":%.0f,"
+      "\"wave8_nodes_per_s\":%.0f,\"speedup\":%.2f,\"nodes_match\":%d}\n",
+      f.name.c_str(), static_cast<unsigned long long>(nodes1), w1_s, w8_s,
+      static_cast<double>(nodes1) / w1_s, static_cast<double>(nodes8) / w8_s,
+      w1_s / w8_s, nodes1 == nodes8 ? 1 : 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,5 +377,9 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   RunGridComparison(*functionals::FindFunctional("PBE"));
   RunGridComparison(*functionals::FindFunctional("SCAN"));
+  RunIntervalBatchComparison(*functionals::FindFunctional("PBE"));
+  RunIntervalBatchComparison(*functionals::FindFunctional("SCAN"));
+  RunIcpNodeThroughput(*functionals::FindFunctional("PBE"));
+  RunIcpNodeThroughput(*functionals::FindFunctional("SCAN"));
   return 0;
 }

@@ -436,7 +436,9 @@ std::string CheckpointToJson(const CampaignOptions& options,
   out += "      \"max_invalid_models\": " +
          std::to_string(v.solver.max_invalid_models) + ",\n";
   out += "      \"presample_points\": " +
-         std::to_string(v.solver.presample_points) + "\n";
+         std::to_string(v.solver.presample_points) + ",\n";
+  out += "      \"wave_width\": " + std::to_string(v.solver.wave_width) +
+         "\n";
   out += "    }\n";
   out += "  },\n";
   out += "  \"pairs\": [";
@@ -499,6 +501,10 @@ Checkpoint CheckpointFromJson(const std::string& json) {
       static_cast<int>(s.At("max_invalid_models").AsDouble());
   v.solver.presample_points =
       static_cast<int>(s.At("presample_points").AsDouble());
+  // Added after checkpoint version 1 shipped; absent in older checkpoints
+  // (and irrelevant to results — the wave width never changes verdicts).
+  if (const JsonValue* w = s.Find("wave_width"))
+    v.solver.wave_width = static_cast<int>(w->AsDouble());
 
   for (const JsonValue& pv : root.At("pairs").array) {
     PairState p;

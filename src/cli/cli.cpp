@@ -47,6 +47,9 @@ Options (verify/resume):
   --split-threshold=T  Algorithm 1 split threshold t.             [0.3125]
   --solver-nodes=N     Per-solver-call node budget.               [30000]
   --delta=D            Solver precision delta.                    [0.001]
+  --wave-width=K       Sibling boxes per batched interval sweep in the
+                       solver (1 = scalar; results are identical at any
+                       width, only the speed changes).            [8]
   --frontier=S         Frontier order: widest | suspect | fifo.   [widest]
   --checkpoint=PATH    Write checkpoints here (after every completed pair,
                        on Ctrl-C, and at the end); resume reads it.
@@ -135,6 +138,11 @@ CampaignOptions OptionsFromFlags(const ParsedArgs& args,
       FlagDouble(args, "solver-nodes",
                  static_cast<double>(o.verifier.solver.max_nodes)));
   o.verifier.solver.delta = FlagDouble(args, "delta", o.verifier.solver.delta);
+  o.verifier.solver.wave_width = static_cast<int>(
+      FlagDouble(args, "wave-width",
+                 static_cast<double>(o.verifier.solver.wave_width)));
+  XCV_CHECK_MSG(o.verifier.solver.wave_width >= 1,
+                "--wave-width must be at least 1");
   if (const auto it = args.flags.find("frontier"); it != args.flags.end())
     o.verifier.frontier = campaign::FrontierFromToken(ToLower(it->second));
   if (const auto it = args.flags.find("checkpoint"); it != args.flags.end())

@@ -137,7 +137,12 @@ double EvalTape(const Tape& tape, std::span<const double> env,
 Interval EvalTapeIntervalForward(const Tape& tape,
                                  std::span<const Interval> box,
                                  TapeScratch& scratch) {
-  auto& v = scratch.intervals;
+  return EvalTapeIntervalForward(tape, box, scratch.intervals);
+}
+
+Interval EvalTapeIntervalForward(const Tape& tape,
+                                 std::span<const Interval> box,
+                                 std::vector<Interval>& v) {
   // Every slot is overwritten below, so a resize (no refill) suffices.
   v.resize(tape.size());
   for (std::size_t i = 0; i < tape.size(); ++i) {

@@ -50,6 +50,13 @@ Tape Compile(const Expr& e);
 struct TapeScratch {
   std::vector<double> values;
   std::vector<Interval> intervals;
+
+  /// Pre-sizes both buffers for tapes of up to `slots` instructions, so the
+  /// hot loop never grows them lazily.
+  void Reserve(std::size_t slots) {
+    values.reserve(slots);
+    intervals.reserve(slots);
+  }
 };
 
 /// Double evaluation of the tape at `env`. Resizes `scratch` as needed.
@@ -71,6 +78,13 @@ Interval EvalTapeIntervalForward(const Tape& tape,
                                  std::span<const Interval> box,
                                  TapeScratch& scratch);
 
+/// Core of the above: per-slot enclosures land in `slots` (resized to the
+/// tape). Exposed so callers can keep per-atom enclosure caches without
+/// routing them through a shared TapeScratch.
+Interval EvalTapeIntervalForward(const Tape& tape,
+                                 std::span<const Interval> box,
+                                 std::vector<Interval>& slots);
+
 // ---- Batched structure-of-arrays evaluation ---------------------------------
 
 /// Reusable scratch for EvalTapeBatch: one row of `n` doubles per tape slot,
@@ -80,6 +94,13 @@ struct TapeBatchScratch {
   std::vector<double> lanes;        // tape.size() rows × row capacity
   std::vector<const double*> rows;  // slot -> row base (lane or input array)
   std::size_t capacity = 0;         // current row capacity (points)
+
+  /// Pre-sizes for `slots`-instruction tapes over `n`-point batches so the
+  /// first evaluations do not grow the buffers mid-flight.
+  void Reserve(std::size_t slots, std::size_t n) {
+    lanes.reserve(slots * n);
+    rows.reserve(slots);
+  }
 };
 
 /// Evaluates the tape at `n` points in one sweep (structure-of-arrays).
@@ -93,5 +114,56 @@ struct TapeBatchScratch {
 /// calling EvalTape point by point on the same tape.
 void EvalTapeBatch(const Tape& tape, std::span<const double* const> inputs,
                    std::size_t n, double* out, TapeBatchScratch& scratch);
+
+// ---- Batched structure-of-arrays interval evaluation ------------------------
+
+/// Reusable scratch for EvalTapeIntervalBatch: one lo row and one hi row of
+/// `n` doubles per tape slot, plus per-slot operand row tables. Grows
+/// monotonically; reuse one instance per thread across waves.
+struct TapeIntervalBatchScratch {
+  std::vector<double> lo_lanes, hi_lanes;  // tape.size() rows × row capacity
+  std::vector<const double*> lo_rows;      // slot -> lo row (lane or input)
+  std::vector<const double*> hi_rows;      // slot -> hi row
+  std::size_t capacity = 0;                // current row capacity (boxes)
+
+  /// Pre-sizes for `slots`-instruction tapes over `n`-box waves.
+  void Reserve(std::size_t slots, std::size_t n) {
+    lo_lanes.reserve(slots * n);
+    hi_lanes.reserve(slots * n);
+    lo_rows.reserve(slots);
+    hi_rows.reserve(slots);
+  }
+
+  /// Enclosure of slot `slot` in lane `k` after a sweep.
+  Interval At(std::size_t slot, std::size_t k) const {
+    return Interval(lo_rows[slot][k], hi_rows[slot][k]);
+  }
+};
+
+/// Sound interval evaluation of the tape over `n` boxes in one sweep
+/// (structure-of-arrays). `box_lo[v]` / `box_hi[v]` must point to `n`
+/// contiguous lower/upper endpoints for environment slot `v` (only slots the
+/// tape reads are dereferenced; unused entries may be null). After the call,
+/// `scratch.At(slot, k)` is the enclosure of slot `slot` over box `k`; the
+/// root enclosures live at `scratch.At(tape.root(), k)`.
+///
+/// Each instruction runs over all `n` boxes in a tight branch-light loop
+/// before the next instruction, so per-instruction dispatch is amortized
+/// n-fold and the lo/hi lanes of the ring operations auto-vectorize (the
+/// one-ulp outward widening is integer bit-stepping, see interval.h).
+/// Endpoints are bit-identical to running EvalTapeIntervalForward box by
+/// box on the same tape; empty enclosures use the canonical [1, 0]
+/// representation, exactly as the scalar evaluator produces them.
+void EvalTapeIntervalBatch(const Tape& tape,
+                           std::span<const double* const> box_lo,
+                           std::span<const double* const> box_hi,
+                           std::size_t n, TapeIntervalBatchScratch& scratch);
+
+/// Copies lane `k` of a finished batched sweep into `slots` (resized to the
+/// tape) — the per-slot forward enclosures EvalTapeIntervalForward would
+/// have produced for that box, ready for the HC4 backward sweep.
+void ExtractIntervalLane(const Tape& tape,
+                         const TapeIntervalBatchScratch& scratch,
+                         std::size_t k, std::vector<Interval>& slots);
 
 }  // namespace xcv::expr

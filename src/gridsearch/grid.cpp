@@ -72,6 +72,7 @@ void EvalGridRange(const Grid& grid, const expr::Tape& tape,
   std::vector<const double*> inputs(env_slots);
   for (std::size_t d = 0; d < env_slots; ++d) inputs[d] = rows[d].data();
   expr::TapeBatchScratch scratch;
+  scratch.Reserve(tape.size(), kGridChunk);  // no lazy growth mid-range
 
   for (std::size_t start = begin; start < end; start += kGridChunk) {
     const std::size_t n = std::min(kGridChunk, end - start);

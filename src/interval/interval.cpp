@@ -10,13 +10,6 @@ namespace xcv {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Multiplication endpoint with the IEEE convention 0 * inf = 0 (the zero
-// operand is an exact zero of the factor, so the true product bound is 0).
-double MulEndpoint(double a, double b) {
-  if (a == 0.0 || b == 0.0) return 0.0;
-  return a * b;
-}
 }  // namespace
 
 double Interval::Midpoint() const {
@@ -57,21 +50,6 @@ std::ostream& operator<<(std::ostream& os, const Interval& iv) {
   return os << iv.ToString();
 }
 
-double NextDown(double v) {
-  if (v == -kInf) return v;
-  return std::nextafter(v, -kInf);
-}
-
-double NextUp(double v) {
-  if (v == kInf) return v;
-  return std::nextafter(v, kInf);
-}
-
-Interval Widen(const Interval& iv) {
-  if (iv.IsEmpty()) return iv;
-  return Interval(NextDown(iv.lo()), NextUp(iv.hi()));
-}
-
 Interval WidenUlps(const Interval& iv, int ulps) {
   if (iv.IsEmpty()) return iv;
   double lo = iv.lo(), hi = iv.hi();
@@ -80,45 +58,6 @@ Interval WidenUlps(const Interval& iv, int ulps) {
     hi = NextUp(hi);
   }
   return Interval(lo, hi);
-}
-
-Interval operator+(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
-  double lo = a.lo() + b.lo();
-  double hi = a.hi() + b.hi();
-  // -inf + inf never occurs within one endpoint pair of valid intervals:
-  // lo endpoints can both be -inf (sum -inf, fine) etc. But mixed infinite
-  // endpoints of opposite signs (a.lo=-inf, b.lo=+inf) cannot happen since
-  // b.lo=+inf implies b empty or b.hi=+inf and b=[+inf,+inf] is not valid
-  // for our constructors except via explicit infinities; guard anyway.
-  if (std::isnan(lo)) lo = -kInf;
-  if (std::isnan(hi)) hi = kInf;
-  return Widen(Interval(lo, hi));
-}
-
-Interval operator-(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
-  double lo = a.lo() - b.hi();
-  double hi = a.hi() - b.lo();
-  if (std::isnan(lo)) lo = -kInf;
-  if (std::isnan(hi)) hi = kInf;
-  return Widen(Interval(lo, hi));
-}
-
-Interval operator-(const Interval& a) {
-  if (a.IsEmpty()) return a;
-  return Interval(-a.hi(), -a.lo());
-}
-
-Interval operator*(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
-  const double p1 = MulEndpoint(a.lo(), b.lo());
-  const double p2 = MulEndpoint(a.lo(), b.hi());
-  const double p3 = MulEndpoint(a.hi(), b.lo());
-  const double p4 = MulEndpoint(a.hi(), b.hi());
-  double lo = std::fmin(std::fmin(p1, p2), std::fmin(p3, p4));
-  double hi = std::fmax(std::fmax(p1, p2), std::fmax(p3, p4));
-  return Widen(Interval(lo, hi));
 }
 
 Interval operator/(const Interval& a, const Interval& b) {
@@ -157,25 +96,5 @@ Interval operator+(double a, const Interval& b) { return Interval(a) + b; }
 Interval operator-(double a, const Interval& b) { return Interval(a) - b; }
 Interval operator*(double a, const Interval& b) { return Interval(a) * b; }
 Interval operator/(double a, const Interval& b) { return Interval(a) / b; }
-
-bool CertainlyLe(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return true;
-  return a.hi() <= b.lo();
-}
-
-bool CertainlyLt(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return true;
-  return a.hi() < b.lo();
-}
-
-bool PossiblyLe(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return false;
-  return a.lo() <= b.hi();
-}
-
-bool PossiblyLt(const Interval& a, const Interval& b) {
-  if (a.IsEmpty() || b.IsEmpty()) return false;
-  return a.lo() < b.hi();
-}
 
 }  // namespace xcv

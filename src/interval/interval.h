@@ -11,7 +11,9 @@
 // arithmetic but portable and branch-free.
 #pragma once
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <iosfwd>
 #include <limits>
 #include <string>
@@ -123,21 +125,102 @@ std::ostream& operator<<(std::ostream& os, const Interval& iv);
 
 // ---- Rounding helpers -------------------------------------------------------
 
-/// Next double below v (identity on -inf).
-double NextDown(double v);
-/// Next double above v (identity on +inf).
-double NextUp(double v);
+// NextDown/NextUp step one representable double toward ∓inf by integer
+// arithmetic on the bit pattern instead of calling std::nextafter: agreeing
+// with it bit-for-bit on every input (zeros, denormals, infinities — see the
+// nextafter-equivalence property test) while compiling to compare/select
+// sequences the auto-vectorizer handles. These sit inside every outward
+// widening of every interval op, so the batched evaluator needs them inline
+// and branch-free.
+
+/// Next double below v (identity on -inf and NaN).
+inline double NextDown(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  // Positive values step down by decrementing the pattern, negative values
+  // by incrementing the magnitude bits: delta = 2*sign - 1.
+  const std::uint64_t sign = bits >> 63;
+  double stepped = std::bit_cast<double>(bits + 2 * sign - 1);
+  // ±0 both step to the smallest negative subnormal (-0x1p-1074), matching
+  // nextafter; the raw decrement of +0 would wrap to NaN.
+  stepped = v == 0.0 ? -0x1p-1074 : stepped;
+  const bool keep = v != v || v == -std::numeric_limits<double>::infinity();
+  return keep ? v : stepped;
+}
+
+/// Next double above v (identity on +inf and NaN).
+inline double NextUp(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  const std::uint64_t sign = bits >> 63;
+  double stepped = std::bit_cast<double>(bits + 1 - 2 * sign);
+  stepped = v == 0.0 ? 0x1p-1074 : stepped;
+  const bool keep = v != v || v == std::numeric_limits<double>::infinity();
+  return keep ? v : stepped;
+}
+
 /// [NextDown(lo), NextUp(hi)] — one-ulp outward widening.
-Interval Widen(const Interval& iv);
+inline Interval Widen(const Interval& iv) {
+  if (iv.IsEmpty()) return iv;
+  return Interval(NextDown(iv.lo()), NextUp(iv.hi()));
+}
+
 /// Outward widening by `ulps` steps on each side (for libm enclosures).
 Interval WidenUlps(const Interval& iv, int ulps);
 
 // ---- Arithmetic -------------------------------------------------------------
 
-Interval operator+(const Interval& a, const Interval& b);
-Interval operator-(const Interval& a, const Interval& b);
-Interval operator-(const Interval& a);
-Interval operator*(const Interval& a, const Interval& b);
+// The four ring operations are defined inline: they are the inner loop of
+// forward interval sweeps (batched and scalar), and out-of-line calls would
+// dominate the per-instruction cost and defeat lane vectorization.
+
+namespace detail {
+/// Multiplication endpoint with the IEEE convention 0 * inf = 0 (the zero
+/// operand is an exact zero of the factor, so the true product bound is 0).
+inline double MulEndpoint(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+constexpr double kIntervalInf = std::numeric_limits<double>::infinity();
+}  // namespace detail
+
+inline Interval operator+(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo() + b.lo();
+  double hi = a.hi() + b.hi();
+  // -inf + inf never occurs within one endpoint pair of valid intervals:
+  // lo endpoints can both be -inf (sum -inf, fine) etc. But mixed infinite
+  // endpoints of opposite signs (a.lo=-inf, b.lo=+inf) cannot happen since
+  // b.lo=+inf implies b empty or b.hi=+inf and b=[+inf,+inf] is not valid
+  // for our constructors except via explicit infinities; guard anyway.
+  if (std::isnan(lo)) lo = -detail::kIntervalInf;
+  if (std::isnan(hi)) hi = detail::kIntervalInf;
+  return Widen(Interval(lo, hi));
+}
+
+inline Interval operator-(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  double lo = a.lo() - b.hi();
+  double hi = a.hi() - b.lo();
+  if (std::isnan(lo)) lo = -detail::kIntervalInf;
+  if (std::isnan(hi)) hi = detail::kIntervalInf;
+  return Widen(Interval(lo, hi));
+}
+
+inline Interval operator-(const Interval& a) {
+  if (a.IsEmpty()) return a;
+  return Interval(-a.hi(), -a.lo());
+}
+
+inline Interval operator*(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Interval::Empty();
+  const double p1 = detail::MulEndpoint(a.lo(), b.lo());
+  const double p2 = detail::MulEndpoint(a.lo(), b.hi());
+  const double p3 = detail::MulEndpoint(a.hi(), b.lo());
+  const double p4 = detail::MulEndpoint(a.hi(), b.hi());
+  const double lo = std::fmin(std::fmin(p1, p2), std::fmin(p3, p4));
+  const double hi = std::fmax(std::fmax(p1, p2), std::fmax(p3, p4));
+  return Widen(Interval(lo, hi));
+}
+
 /// Division. If 0 is interior to `b`, the result is the entire line (the
 /// solver splits such boxes rather than reasoning about unions).
 Interval operator/(const Interval& a, const Interval& b);
@@ -181,12 +264,24 @@ Interval LambertW0(const Interval& a);
 // ---- Relational predicates ---------------------------------------------------
 
 /// Certainly a ≤ b: every pair (x∈a, y∈b) satisfies x ≤ y. Empty → true.
-bool CertainlyLe(const Interval& a, const Interval& b);
+inline bool CertainlyLe(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return true;
+  return a.hi() <= b.lo();
+}
 /// Certainly a < b.
-bool CertainlyLt(const Interval& a, const Interval& b);
+inline bool CertainlyLt(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return true;
+  return a.hi() < b.lo();
+}
 /// Possibly a ≤ b: some pair satisfies x ≤ y. Empty → false.
-bool PossiblyLe(const Interval& a, const Interval& b);
+inline bool PossiblyLe(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  return a.lo() <= b.hi();
+}
 /// Possibly a < b.
-bool PossiblyLt(const Interval& a, const Interval& b);
+inline bool PossiblyLt(const Interval& a, const Interval& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  return a.lo() < b.hi();
+}
 
 }  // namespace xcv

@@ -6,36 +6,55 @@
 
 namespace xcv::solver {
 
-bool Box::AnyEmpty() const {
-  for (const Interval& d : dims_)
+bool AnyEmpty(std::span<const Interval> dims) {
+  for (const Interval& d : dims)
     if (d.IsEmpty()) return true;
   return false;
 }
 
-double Box::MaxWidth() const {
+double MaxWidth(std::span<const Interval> dims) {
   double w = 0.0;
-  for (const Interval& d : dims_) w = std::fmax(w, d.Width());
+  for (const Interval& d : dims) w = std::fmax(w, d.Width());
   return w;
 }
 
-std::size_t Box::WidestDim() const {
-  XCV_CHECK(!dims_.empty());
+std::size_t WidestDim(std::span<const Interval> dims) {
+  XCV_CHECK(!dims.empty());
   std::size_t best = 0;
   double w = -1.0;
-  for (std::size_t i = 0; i < dims_.size(); ++i) {
-    if (dims_[i].Width() > w) {
-      w = dims_[i].Width();
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i].Width() > w) {
+      w = dims[i].Width();
       best = i;
     }
   }
   return best;
 }
 
-std::vector<double> Box::Midpoint() const {
+std::vector<double> Midpoint(std::span<const Interval> dims) {
   std::vector<double> p;
-  p.reserve(dims_.size());
-  for (const Interval& d : dims_) p.push_back(d.Midpoint());
+  p.reserve(dims.size());
+  for (const Interval& d : dims) p.push_back(d.Midpoint());
   return p;
+}
+
+bool ContainsPoint(std::span<const Interval> dims,
+                   std::span<const double> point) {
+  if (point.size() != dims.size()) return false;
+  for (std::size_t i = 0; i < dims.size(); ++i)
+    if (!dims[i].Contains(point[i])) return false;
+  return true;
+}
+
+std::string BoxToString(std::span<const Interval> dims) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << " x ";
+    os << dims[i].ToString();
+  }
+  os << "}";
+  return os.str();
 }
 
 std::pair<Box, Box> Box::Bisect(std::size_t dim) const {
@@ -48,22 +67,38 @@ std::pair<Box, Box> Box::Bisect(std::size_t dim) const {
   return {std::move(a), std::move(b)};
 }
 
-bool Box::Contains(std::span<const double> point) const {
-  if (point.size() != dims_.size()) return false;
-  for (std::size_t i = 0; i < dims_.size(); ++i)
-    if (!dims_[i].Contains(point[i])) return false;
-  return true;
+void BoxStore::Reset(std::size_t dims) {
+  dims_ = dims;
+  slots_ = 0;
+  arena_.clear();
+  free_.clear();
 }
 
-std::string Box::ToString() const {
-  std::ostringstream os;
-  os << "{";
-  for (std::size_t i = 0; i < dims_.size(); ++i) {
-    if (i) os << " x ";
-    os << dims_[i].ToString();
+BoxStore::Ref BoxStore::Allocate() {
+  if (!free_.empty()) {
+    const Ref ref = free_.back();
+    free_.pop_back();
+    return ref;
   }
-  os << "}";
-  return os.str();
+  const auto ref = static_cast<Ref>(slots_);
+  ++slots_;
+  arena_.resize(slots_ * dims_);
+  return ref;
+}
+
+BoxStore::Ref BoxStore::AllocateCopy(std::span<const Interval> src) {
+  XCV_DCHECK(src.size() == dims_);
+  // Stage first: Allocate may grow the arena and invalidate `src` when it
+  // aliases one of our own slots (the bisect-into-children path).
+  staging_.assign(src.begin(), src.end());
+  const Ref ref = Allocate();
+  std::copy(staging_.begin(), staging_.end(), View(ref).begin());
+  return ref;
+}
+
+void BoxStore::Release(Ref ref) {
+  XCV_DCHECK(ref >= 0 && static_cast<std::size_t>(ref) < slots_);
+  free_.push_back(ref);
 }
 
 }  // namespace xcv::solver

@@ -1,6 +1,8 @@
-// An axis-aligned box: one interval per solver variable.
+// An axis-aligned box: one interval per solver variable — plus the pooled
+// flat storage the branch-and-prune frontier lives in.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <utility>
@@ -10,41 +12,126 @@
 
 namespace xcv::solver {
 
+// ---- Span-based box operations ----------------------------------------------
+// The frontier stores boxes as flat interval runs inside an arena (BoxStore
+// below); these free functions are the box vocabulary over any contiguous
+// interval run, and the Box value type delegates to them.
+
+/// True if any dimension is the empty interval (box denotes ∅).
+bool AnyEmpty(std::span<const Interval> dims);
+
+/// Width of the widest dimension (0 for a point box).
+double MaxWidth(std::span<const Interval> dims);
+
+/// Index of the widest dimension. Requires a non-empty span.
+std::size_t WidestDim(std::span<const Interval> dims);
+
+/// Geometric midpoint, one coordinate per dimension.
+std::vector<double> Midpoint(std::span<const Interval> dims);
+
+/// True if the point (sized like the span) lies inside every dimension.
+bool ContainsPoint(std::span<const Interval> dims,
+                   std::span<const double> point);
+
+std::string BoxToString(std::span<const Interval> dims);
+
 /// Interval vector indexed by variable index. Value type; cheap to copy for
 /// the dimensionalities used here (2–3 variables).
 class Box {
  public:
   Box() = default;
   explicit Box(std::vector<Interval> dims) : dims_(std::move(dims)) {}
+  explicit Box(std::span<const Interval> dims)
+      : dims_(dims.begin(), dims.end()) {}
 
   std::size_t size() const { return dims_.size(); }
   const Interval& operator[](std::size_t i) const { return dims_[i]; }
   Interval& operator[](std::size_t i) { return dims_[i]; }
   std::span<const Interval> dims() const { return dims_; }
+  std::span<Interval> MutableDims() { return dims_; }
 
   /// True if any dimension is the empty interval (box denotes ∅).
-  bool AnyEmpty() const;
+  bool AnyEmpty() const { return solver::AnyEmpty(dims_); }
 
   /// Width of the widest dimension (0 for a point box).
-  double MaxWidth() const;
+  double MaxWidth() const { return solver::MaxWidth(dims_); }
 
   /// Index of the widest dimension. Requires size() > 0.
-  std::size_t WidestDim() const;
+  std::size_t WidestDim() const { return solver::WidestDim(dims_); }
 
   /// Geometric midpoint, one coordinate per dimension.
-  std::vector<double> Midpoint() const;
+  std::vector<double> Midpoint() const { return solver::Midpoint(dims_); }
 
   /// Splits dimension `dim` at its midpoint. Requires that dimension to be
   /// non-empty and wider than a point.
   std::pair<Box, Box> Bisect(std::size_t dim) const;
 
   /// True if the point (sized like the box) lies inside every dimension.
-  bool Contains(std::span<const double> point) const;
+  bool Contains(std::span<const double> point) const {
+    return ContainsPoint(dims_, point);
+  }
 
-  std::string ToString() const;
+  std::string ToString() const { return BoxToString(dims_); }
 
  private:
   std::vector<Interval> dims_;
+};
+
+// ---- Pooled frontier storage ------------------------------------------------
+
+/// Flat arena of fixed-dimension boxes with free-list recycling: the open
+/// frontier of branch-and-prune (and of the verifier engine) allocates one
+/// slot per node instead of one heap vector per box. A slot is `dims`
+/// contiguous Intervals (dims × 2 doubles), so a wave of sibling boxes can
+/// be gathered into SoA lanes with simple strided reads.
+///
+/// Slots are addressed by index (Ref); Allocate may grow the arena, which
+/// invalidates outstanding spans (like vector iterators) but never Refs.
+/// Not thread-safe; owners lock around it (the verifier engine) or confine
+/// it to one worker (the solver).
+class BoxStore {
+ public:
+  using Ref = std::int32_t;
+
+  BoxStore() = default;
+  explicit BoxStore(std::size_t dims) : dims_(dims) {}
+
+  std::size_t dims() const { return dims_; }
+
+  /// Number of live (allocated, unreleased) slots.
+  std::size_t live() const { return slots_ - free_.size(); }
+
+  /// Total slots ever allocated (high-water mark).
+  std::size_t capacity() const { return slots_; }
+
+  /// Drops every slot and switches to `dims`-dimensional boxes, keeping the
+  /// arena memory for reuse.
+  void Reset(std::size_t dims);
+
+  /// Allocates a slot with uninitialized contents. Invalidates spans
+  /// obtained from View (the arena may grow).
+  Ref Allocate();
+
+  /// Allocates a slot holding a copy of `src` (sized dims()). `src` may
+  /// alias this store's own arena — the copy is staged.
+  Ref AllocateCopy(std::span<const Interval> src);
+
+  /// Returns `ref`'s slot to the free list for recycling.
+  void Release(Ref ref);
+
+  std::span<Interval> View(Ref ref) {
+    return {arena_.data() + static_cast<std::size_t>(ref) * dims_, dims_};
+  }
+  std::span<const Interval> View(Ref ref) const {
+    return {arena_.data() + static_cast<std::size_t>(ref) * dims_, dims_};
+  }
+
+ private:
+  std::size_t dims_ = 0;
+  std::size_t slots_ = 0;             // arena size in slots
+  std::vector<Interval> arena_;       // slots_ × dims_ intervals
+  std::vector<Ref> free_;             // recycled slot indices (LIFO)
+  std::vector<Interval> staging_;     // AllocateCopy bounce buffer
 };
 
 }  // namespace xcv::solver

@@ -51,14 +51,13 @@ AtomContractor::AtomContractor(const expr::BoolExpr& atom)
 AtomContractor::AtomContractor(expr::Expr e, expr::Rel rel)
     : expr_(std::move(e)), rel_(rel), tape_(expr::CompileOptimized(expr_)) {}
 
-Interval AtomContractor::Evaluate(const Box& box,
+Interval AtomContractor::Evaluate(std::span<const Interval> box,
                                   expr::TapeScratch& scratch) const {
-  return expr::EvalTapeInterval(tape_, box.dims(), scratch);
+  return expr::EvalTapeInterval(tape_, box, scratch);
 }
 
-AtomContractor::Status AtomContractor::Classify(
-    const Box& box, expr::TapeScratch& scratch) const {
-  const Interval v = Evaluate(box, scratch);
+AtomContractor::Status AtomContractor::ClassifyRoot(
+    const Interval& v) const {
   if (v.IsEmpty()) return Status::kCertainlyFalse;  // nowhere defined
   if (rel_ == Rel::kLe) {
     if (v.hi() <= 0.0) return Status::kCertainlyTrue;
@@ -70,10 +69,15 @@ AtomContractor::Status AtomContractor::Classify(
   return Status::kUnknown;
 }
 
-ContractOutcome AtomContractor::Contract(Box& box,
+ContractOutcome AtomContractor::Contract(std::span<Interval> box,
                                          expr::TapeScratch& scratch) const {
-  const Interval root =
-      expr::EvalTapeIntervalForward(tape_, box.dims(), scratch);
+  expr::EvalTapeIntervalForward(tape_, box, scratch);
+  return ContractFromForward(box, scratch.intervals);
+}
+
+ContractOutcome AtomContractor::ContractFromForward(
+    std::span<Interval> box, std::vector<Interval>& v) const {
+  const Interval root = v[static_cast<std::size_t>(tape_.root())];
   if (root.IsEmpty()) return ContractOutcome::kEmpty;
 
   // The constraint set is (-inf, 0]; for strict < the closure is the same,
@@ -81,7 +85,6 @@ ContractOutcome AtomContractor::Contract(Box& box,
   Interval narrowed = root.Intersect(Interval::NonPositive());
   if (narrowed.IsEmpty()) return ContractOutcome::kEmpty;
 
-  auto& v = scratch.intervals;
   v[static_cast<std::size_t>(tape_.root())] = narrowed;
 
   // Reverse sweep. Because the tape is in topological order, every parent is

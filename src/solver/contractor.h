@@ -26,6 +26,10 @@ enum class ContractOutcome {
 };
 
 /// Compiled contractor for the atom "expr rel 0".
+///
+/// Boxes are passed as interval spans so the solver's pooled frontier slots
+/// (BoxStore) contract in place; the Box overloads forward to the span
+/// versions.
 class AtomContractor {
  public:
   /// `atom` must be an atom-kind BoolExpr.
@@ -33,15 +37,41 @@ class AtomContractor {
   AtomContractor(expr::Expr e, expr::Rel rel);
 
   /// Interval enclosure of the atom's expression over `box` (forward only).
-  Interval Evaluate(const Box& box, expr::TapeScratch& scratch) const;
+  Interval Evaluate(std::span<const Interval> box,
+                    expr::TapeScratch& scratch) const;
+  Interval Evaluate(const Box& box, expr::TapeScratch& scratch) const {
+    return Evaluate(box.dims(), scratch);
+  }
 
   /// Atom truth status over a box, derived from Evaluate().
   enum class Status { kCertainlyTrue, kCertainlyFalse, kUnknown };
-  Status Classify(const Box& box, expr::TapeScratch& scratch) const;
+  Status Classify(std::span<const Interval> box,
+                  expr::TapeScratch& scratch) const {
+    return ClassifyRoot(Evaluate(box, scratch));
+  }
+  Status Classify(const Box& box, expr::TapeScratch& scratch) const {
+    return Classify(box.dims(), scratch);
+  }
+
+  /// Truth status given an already-computed root enclosure (the wave
+  /// classifier reads these straight out of the batched sweep's lanes).
+  Status ClassifyRoot(const Interval& root) const;
 
   /// HC4-revise: narrows `box` in place to (a superset of) the subset
   /// satisfying the atom. Returns kEmpty if the atom holds nowhere in `box`.
-  ContractOutcome Contract(Box& box, expr::TapeScratch& scratch) const;
+  ContractOutcome Contract(std::span<Interval> box,
+                           expr::TapeScratch& scratch) const;
+  ContractOutcome Contract(Box& box, expr::TapeScratch& scratch) const {
+    return Contract(box.MutableDims(), scratch);
+  }
+
+  /// The backward half of HC4-revise: `slots` must hold this tape's forward
+  /// enclosures over `box` (from EvalTapeIntervalForward or an extracted
+  /// batch lane), which lets a caller that already classified the box skip
+  /// the second forward sweep. `slots` is clobbered by the backward
+  /// narrowing. Byte-identical to Contract on the same box.
+  ContractOutcome ContractFromForward(std::span<Interval> box,
+                                      std::vector<Interval>& slots) const;
 
   const expr::Tape& tape() const { return tape_; }
   expr::Rel rel() const { return rel_; }

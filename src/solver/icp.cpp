@@ -14,6 +14,12 @@ namespace xcv::solver {
 
 using expr::BoolExpr;
 
+namespace {
+// Presample lattice chunk: bounds the batch scratch to tape slots × kChunk
+// doubles.
+constexpr std::size_t kPresampleChunk = 1024;
+}  // namespace
+
 std::string SatKindName(SatKind kind) {
   switch (kind) {
     case SatKind::kUnsat: return "UNSAT";
@@ -27,12 +33,39 @@ DeltaSolver::DeltaSolver(expr::BoolExpr formula, SolverOptions options)
     : formula_(std::move(formula)), options_(options) {
   XCV_CHECK(!formula_.IsNull());
   XCV_CHECK_MSG(options_.delta > 0.0, "delta must be positive");
+  XCV_CHECK_MSG(options_.wave_width >= 1, "wave width must be at least 1");
   skeleton_ = CompileFormula(formula_);
   CollectRequiredAtoms(skeleton_, required_atoms_);
   std::sort(required_atoms_.begin(), required_atoms_.end());
   required_atoms_.erase(
       std::unique(required_atoms_.begin(), required_atoms_.end()),
       required_atoms_.end());
+  is_required_.assign(contractors_.size(), 0);
+  for (int atom : required_atoms_)
+    is_required_[static_cast<std::size_t>(atom)] = 1;
+
+  // Reserve every evaluation scratch once, up front: the hot loop must not
+  // grow buffers lazily (one solver serves thousands of nodes per Check,
+  // and campaign workers each own a solver from the engine's free-list).
+  std::size_t max_slots = 0;
+  for (const AtomContractor& c : contractors_)
+    max_slots = std::max(max_slots, c.tape().size());
+  scratch_.Reserve(max_slots);
+  interval_batch_.Reserve(max_slots,
+                          static_cast<std::size_t>(options_.wave_width));
+  // The presample lattice never exceeds presample_points points, so cap the
+  // chunk reservation accordingly (and skip it entirely when presampling is
+  // off — engine workers each own a solver, so idle scratch multiplies).
+  if (options_.presample_points > 0) {
+    presample_.batch.Reserve(
+        max_slots,
+        std::min(kPresampleChunk,
+                 static_cast<std::size_t>(options_.presample_points)));
+  }
+  forward_cache_.resize(contractors_.size());
+  forward_cache_valid_.assign(contractors_.size(), 0);
+  for (std::size_t a = 0; a < contractors_.size(); ++a)
+    if (is_required_[a]) forward_cache_[a].reserve(contractors_[a].tape().size());
 }
 
 namespace {
@@ -171,14 +204,12 @@ bool DeltaSolver::PresampleLattice(const Box& domain, CheckResult& result) {
 
   auto& values = presample_.values;
   values.resize(contractors_.size());
-  // Chunk to bound the batch scratch (tape slots × chunk doubles).
-  constexpr std::size_t kChunk = 1024;
   std::vector<const double*> inputs(dims);
   for (std::size_t a = 0; a < contractors_.size(); ++a) {
     values[a].resize(total);
     const expr::Tape& tape = contractors_[a].tape();
-    for (std::size_t start = 0; start < total; start += kChunk) {
-      const std::size_t n = std::min(kChunk, total - start);
+    for (std::size_t start = 0; start < total; start += kPresampleChunk) {
+      const std::size_t n = std::min(kPresampleChunk, total - start);
       for (std::size_t d = 0; d < dims; ++d)
         inputs[d] = coords[d].data() + start;
       expr::EvalTapeBatch(tape, inputs, n, values[a].data() + start,
@@ -211,6 +242,66 @@ bool DeltaSolver::PresampleLattice(const Box& domain, CheckResult& result) {
   return false;
 }
 
+BoxStore::Ref DeltaSolver::NewNodeFromTmp() {
+  const BoxStore::Ref ref = store_.AllocateCopy(tmp_box_);
+  const std::size_t atoms = contractors_.size();
+  if (classified_.size() < store_.capacity()) {
+    classified_.resize(store_.capacity(), 0);
+    status_arena_.resize(store_.capacity() * atoms);
+  }
+  classified_[static_cast<std::size_t>(ref)] = 0;
+  return ref;
+}
+
+void DeltaSolver::ClassifyWave(BoxStore::Ref popped) {
+  // The wave: the popped box plus the unclassified open boxes nearest the
+  // top of the stack. Those boxes will be popped later with these exact
+  // bounds (stack entries are immutable until popped), so classifying them
+  // early is pure speculation-free batching: after a split, the two fresh
+  // children ride the same sweep, and deeper stack boxes fill the
+  // remaining lanes.
+  const auto width = static_cast<std::size_t>(options_.wave_width);
+  wave_refs_.clear();
+  wave_refs_.push_back(popped);
+  for (auto it = stack_.rbegin();
+       it != stack_.rend() && wave_refs_.size() < width; ++it)
+    if (!classified_[static_cast<std::size_t>(*it)]) wave_refs_.push_back(*it);
+
+  const std::size_t k_boxes = wave_refs_.size();
+  const std::size_t dims = store_.dims();
+  for (std::size_t d = 0; d < dims; ++d) {
+    double* lo = wave_lo_.data() + d * width;
+    double* hi = wave_hi_.data() + d * width;
+    for (std::size_t k = 0; k < k_boxes; ++k) {
+      const Interval& iv = store_.View(wave_refs_[k])[d];
+      lo[k] = iv.lo();
+      hi[k] = iv.hi();
+    }
+  }
+
+  const std::size_t atoms = contractors_.size();
+  for (std::size_t a = 0; a < atoms; ++a) {
+    const expr::Tape& tape = contractors_[a].tape();
+    expr::EvalTapeIntervalBatch(tape, wave_lo_ptrs_, wave_hi_ptrs_, k_boxes,
+                                interval_batch_);
+    const auto root = static_cast<std::size_t>(tape.root());
+    for (std::size_t k = 0; k < k_boxes; ++k) {
+      status_arena_[static_cast<std::size_t>(wave_refs_[k]) * atoms + a] =
+          static_cast<char>(
+              contractors_[a].ClassifyRoot(interval_batch_.At(root, k)));
+    }
+    // The popped box is contracted next; keep its forward enclosures so
+    // HC4 round 0 skips the re-sweep (satisfying atoms are never
+    // contracted, so only required atoms keep a lane).
+    if (is_required_[a]) {
+      expr::ExtractIntervalLane(tape, interval_batch_, 0, forward_cache_[a]);
+      forward_cache_valid_[a] = 1;
+    }
+  }
+  for (std::size_t k = 0; k < k_boxes; ++k)
+    classified_[static_cast<std::size_t>(wave_refs_[k])] = 1;
+}
+
 CheckResult DeltaSolver::Check(const Box& domain) {
   CheckResult result;
   Stopwatch watch;
@@ -233,14 +324,34 @@ CheckResult DeltaSolver::Check(const Box& domain) {
     return result;
   }
 
-  std::vector<Box> stack;
-  stack.push_back(domain);
-  std::vector<Tri> atom_status(contractors_.size(), Tri::kUnknown);
+  // Frontier setup: pooled flat slots, refs on a LIFO stack. Dimensions can
+  // change between Check calls (different domains), so re-key the store;
+  // its arena memory is retained across calls.
+  const std::size_t dims = domain.size();
+  const std::size_t atoms = contractors_.size();
+  store_.Reset(dims);
+  stack_.clear();
+  classified_.clear();
+  status_arena_.clear();
+  const auto width = static_cast<std::size_t>(options_.wave_width);
+  wave_lo_.resize(dims * width);
+  wave_hi_.resize(dims * width);
+  wave_lo_ptrs_.resize(dims);
+  wave_hi_ptrs_.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    wave_lo_ptrs_[d] = wave_lo_.data() + d * width;
+    wave_hi_ptrs_[d] = wave_hi_.data() + d * width;
+  }
+
+  tmp_box_.assign(domain.dims().begin(), domain.dims().end());
+  stack_.push_back(NewNodeFromTmp());
+
+  std::vector<Tri> atom_status(atoms, Tri::kUnknown);
   int invalid_candidates = 0;
   std::vector<double> last_invalid_model;
   Box last_invalid_box;
 
-  while (!stack.empty()) {
+  while (!stack_.empty()) {
     if (result.stats.nodes >= options_.max_nodes ||
         (result.stats.nodes % 128 == 0 && deadline.Expired())) {
       // Budget exhausted. A set-aside invalid candidate is still an
@@ -255,13 +366,21 @@ CheckResult DeltaSolver::Check(const Box& domain) {
       result.stats.seconds = watch.ElapsedSeconds();
       return result;
     }
-    Box box = std::move(stack.back());
-    stack.pop_back();
+    const BoxStore::Ref ref = stack_.back();
+    stack_.pop_back();
     ++result.stats.nodes;
 
     // 1) Classify every atom over the box; prune / accept by certainty.
-    for (std::size_t i = 0; i < contractors_.size(); ++i) {
-      switch (contractors_[i].Classify(box, scratch_)) {
+    // Unclassified pops trigger a batched wave (which also covers upcoming
+    // pops); otherwise the statuses were computed by an earlier wave on
+    // these exact bounds — bit-identical either way, and identical to the
+    // scalar per-box classification this loop used to run.
+    std::fill(forward_cache_valid_.begin(), forward_cache_valid_.end(), 0);
+    if (!classified_[static_cast<std::size_t>(ref)]) ClassifyWave(ref);
+    const char* statuses =
+        status_arena_.data() + static_cast<std::size_t>(ref) * atoms;
+    for (std::size_t i = 0; i < atoms; ++i) {
+      switch (static_cast<AtomContractor::Status>(statuses[i])) {
         case AtomContractor::Status::kCertainlyTrue:
           atom_status[i] = Tri::kTrue;
           break;
@@ -276,31 +395,44 @@ CheckResult DeltaSolver::Check(const Box& domain) {
     const Tri truth = EvaluateSkeleton(skeleton_, atom_status);
     if (truth == Tri::kFalse) {
       ++result.stats.prunes;
+      store_.Release(ref);
       continue;
     }
+    const std::span<Interval> box = store_.View(ref);
     if (truth == Tri::kTrue) {
       // Certainly satisfiable: the midpoint is a genuine model.
       result.kind = SatKind::kDeltaSat;
-      result.model = box.Midpoint();
-      result.model_box = std::move(box);
+      result.model = solver::Midpoint(box);
+      result.model_box = Box(std::span<const Interval>(box));
       result.stats.seconds = watch.ElapsedSeconds();
       return result;
     }
 
-    // 2) Contract with necessary atoms (HC4 fixpoint rounds).
+    // 2) Contract with necessary atoms (HC4 fixpoint rounds). While the box
+    // is still untouched, an atom whose forward enclosures were cached by
+    // the wave skips straight to the backward sweep.
     bool empty = false;
+    bool box_untouched = true;
     for (int round = 0; round < options_.contraction_rounds && !empty;
          ++round) {
       bool any = false;
       for (int atom : required_atoms_) {
         ++result.stats.contractions;
-        switch (contractors_[static_cast<std::size_t>(atom)].Contract(
-            box, scratch_)) {
+        const auto a = static_cast<std::size_t>(atom);
+        ContractOutcome outcome;
+        if (box_untouched && forward_cache_valid_[a] != 0) {
+          outcome = contractors_[a].ContractFromForward(box, forward_cache_[a]);
+          forward_cache_valid_[a] = 0;  // backward sweep clobbers the cache
+        } else {
+          outcome = contractors_[a].Contract(box, scratch_);
+        }
+        switch (outcome) {
           case ContractOutcome::kEmpty:
             empty = true;
             break;
           case ContractOutcome::kContracted:
             any = true;
+            box_untouched = false;
             break;
           case ContractOutcome::kNoChange:
             break;
@@ -311,6 +443,7 @@ CheckResult DeltaSolver::Check(const Box& domain) {
     }
     if (empty) {
       ++result.stats.prunes;
+      store_.Release(ref);
       continue;
     }
 
@@ -320,26 +453,37 @@ CheckResult DeltaSolver::Check(const Box& domain) {
     // counterexample corners without changing the delta semantics: when the
     // rejection budget is exhausted, the invalid model is reported, which
     // is the paper's "inconclusive" path.
-    if (box.MaxWidth() <= options_.delta) {
-      std::vector<double> model = box.Midpoint();
+    if (solver::MaxWidth(box) <= options_.delta) {
+      std::vector<double> model = solver::Midpoint(box);
       if (expr::EvalBool(formula_, model) ||
           invalid_candidates >= options_.max_invalid_models) {
         result.kind = SatKind::kDeltaSat;
         result.model = std::move(model);
-        result.model_box = std::move(box);
+        result.model_box = Box(std::span<const Interval>(box));
         result.stats.seconds = watch.ElapsedSeconds();
         return result;
       }
       ++invalid_candidates;
       last_invalid_model = std::move(model);
-      last_invalid_box = std::move(box);
+      last_invalid_box = Box(std::span<const Interval>(box));
+      store_.Release(ref);
       continue;
     }
 
-    // 4) Branch on the widest dimension (LIFO: depth-first).
-    auto [left, right] = box.Bisect(box.WidestDim());
-    stack.push_back(std::move(right));
-    stack.push_back(std::move(left));
+    // 4) Branch on the widest dimension (LIFO: depth-first). The children
+    // are written into recycled frontier slots — the parent's slot is
+    // released first, so a split is allocation-free at steady state.
+    const std::size_t widest = solver::WidestDim(box);
+    tmp_box_.assign(box.begin(), box.end());
+    store_.Release(ref);
+    Interval left, right;
+    tmp_box_[widest].Bisect(&left, &right);
+    tmp_box_[widest] = right;
+    const BoxStore::Ref right_ref = NewNodeFromTmp();
+    tmp_box_[widest] = left;
+    const BoxStore::Ref left_ref = NewNodeFromTmp();
+    stack_.push_back(right_ref);
+    stack_.push_back(left_ref);
   }
 
   // Stack exhausted. If invalid delta-sat candidates were set aside, the

@@ -50,6 +50,15 @@ struct SolverOptions {
   /// exact evaluation — and decouples counterexample discovery from the
   /// delta-resolution crawl. 0 disables.
   int presample_points = 225;
+  /// Up to this many open sibling boxes are classified per batched interval
+  /// sweep (the SoA wave): when the solver pops a box whose atoms are not
+  /// yet classified, it speculatively classifies it together with the other
+  /// unclassified boxes nearest the top of the stack, one
+  /// EvalTapeIntervalBatch dispatch per atom. Purely an evaluation-batching
+  /// knob: verdicts, models, and stats are byte-identical at every width
+  /// (the batched kernels are bit-identical to the scalar evaluator and the
+  /// DFS order never changes). 1 degenerates to scalar classification.
+  int wave_width = 8;
 };
 
 enum class SatKind { kUnsat, kDeltaSat, kTimeout };
@@ -112,12 +121,43 @@ class DeltaSolver {
   /// and fills `result` when a genuine model was found.
   bool PresampleLattice(const Box& domain, CheckResult& result);
 
+  /// Allocates a frontier slot holding `tmp_box_` and marks it
+  /// unclassified (sizing the per-slot side arrays as needed).
+  BoxStore::Ref NewNodeFromTmp();
+  /// Classifies `popped` plus up to wave_width-1 other unclassified stack
+  /// boxes in one batched sweep per atom; fills the status arena, marks the
+  /// wave classified, and caches the popped box's forward enclosures for
+  /// every required atom (contraction round 0 reuses them).
+  void ClassifyWave(BoxStore::Ref popped);
+
   expr::BoolExpr formula_;
   SolverOptions options_;
   FNode skeleton_;
   std::vector<AtomContractor> contractors_;  // one per distinct atom
   std::vector<int> required_atoms_;  // atoms on every conjunctive path
+  std::vector<char> is_required_;    // atom index -> on a conjunctive path
   expr::TapeScratch scratch_;
+
+  // Pooled branch-and-prune frontier: one BoxStore slot per open box, the
+  // stack holds slot refs, and the per-slot side arrays carry the wave
+  // classifier's results to the (possibly much later) pop.
+  BoxStore store_;
+  std::vector<BoxStore::Ref> stack_;
+  std::vector<char> classified_;   // slot -> atoms classified?
+  std::vector<char> status_arena_; // slot * num_atoms + atom -> Status
+  std::vector<Interval> tmp_box_;  // bisect staging
+
+  // Wave classification buffers (sized once per Check).
+  std::vector<BoxStore::Ref> wave_refs_;
+  std::vector<double> wave_lo_, wave_hi_;          // dims × wave_width SoA
+  std::vector<const double*> wave_lo_ptrs_, wave_hi_ptrs_;
+  expr::TapeIntervalBatchScratch interval_batch_;
+
+  // Per-required-atom forward enclosures of the most recently classified
+  // popped box, valid until the box is first narrowed (HC4 round 0 consumes
+  // them instead of re-running the forward sweep).
+  std::vector<std::vector<Interval>> forward_cache_;
+  std::vector<char> forward_cache_valid_;
 
   // Reusable presample buffers (Check runs once per verifier subdomain; the
   // lattice is rebuilt but never reallocated).

@@ -47,13 +47,14 @@ bool BoxLess(const Box& a, const Box& b) {
 
 }  // namespace
 
-double FrontierPriority(FrontierStrategy strategy, const Box& box,
-                        bool suspect, std::uint64_t seq) {
+double FrontierPriority(FrontierStrategy strategy,
+                        std::span<const Interval> box, bool suspect,
+                        std::uint64_t seq) {
   switch (strategy) {
     case FrontierStrategy::kWidestFirst:
-      return box.MaxWidth();
+      return solver::MaxWidth(box);
     case FrontierStrategy::kSuspectFirst:
-      return box.MaxWidth() + (suspect ? kSuspectBoost : 0.0);
+      return solver::MaxWidth(box) + (suspect ? kSuspectBoost : 0.0);
     case FrontierStrategy::kFifo:
       return -static_cast<double>(seq);
   }
@@ -114,16 +115,24 @@ void PairEngine::EmitTicketsForOpen() {
   if (sink) for (double p : tickets) sink(p);
 }
 
-void PairEngine::PushLocked(Box box, bool suspect,
+void PairEngine::PushLocked(std::span<const Interval> box, bool suspect,
                             std::vector<double>* ticket_priorities) {
+  if (store_.dims() != box.size()) {
+    // Re-keying the store drops every slot; with live refs on the frontier
+    // that would dangle them (possible only via a checkpoint whose open
+    // boxes disagree on dimensionality — reject it loudly instead).
+    XCV_CHECK_MSG(open_.empty() && in_flight_.empty(),
+                  "open frontier boxes must share one dimensionality");
+    store_.Reset(box.size());
+  }
   OpenBox entry;
   entry.seq = next_seq_++;
   entry.priority =
       FrontierPriority(options_.frontier, box, suspect, entry.seq);
-  entry.box = std::move(box);
+  entry.box_ref = store_.AllocateCopy(box);
   if (ticket_priorities != nullptr)
     ticket_priorities->push_back(entry.priority);
-  open_.push_back(std::move(entry));
+  open_.push_back(entry);
   std::push_heap(open_.begin(), open_.end(), OpenBoxLess{});
 }
 
@@ -133,7 +142,7 @@ void PairEngine::Seed(const Box& domain) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     seeded_ = true;
-    PushLocked(domain, /*suspect=*/false, &tickets);
+    PushLocked(domain.dims(), /*suspect=*/false, &tickets);
     sink = sink_;
   }
   if (sink) for (double p : tickets) sink(p);
@@ -149,7 +158,8 @@ void PairEngine::Restore(VerificationReport partial, std::vector<Box> open) {
     solver_timeouts_.store(partial.solver_timeouts);
     busy_seconds_ = partial.seconds;
     report_ = std::move(partial);
-    for (Box& b : open) PushLocked(std::move(b), /*suspect=*/false, &tickets);
+    for (const Box& b : open)
+      PushLocked(b.dims(), /*suspect=*/false, &tickets);
     sink = sink_;
   }
   if (sink) for (double p : tickets) sink(p);
@@ -177,14 +187,19 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
     return false;
 
   OpenBox item;
+  Box box;
   bool expired;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (open_.empty()) return false;
     std::pop_heap(open_.begin(), open_.end(), OpenBoxLess{});
-    item = std::move(open_.back());
+    item = open_.back();
     open_.pop_back();
-    in_flight_.emplace_back(item.seq, item.box);
+    // Materialize a value copy for the unlocked solver call; the pooled
+    // slot stays live (and in the in-flight set) until the outcome is
+    // recorded, so Snapshot still sees the box.
+    box = Box(store_.View(item.box_ref));
+    in_flight_.emplace_back(item.seq, item.box_ref);
     // The budget covers this pair's own processing time, not the wall time
     // it spent queued behind other pairs on the shared pool (and not other
     // pairs' work): compare against accumulated busy seconds.
@@ -192,7 +207,6 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
   }
 
   Stopwatch watch;
-  Box& box = item.box;
 
   RegionStatus status = RegionStatus::kTimeout;
   std::vector<double> witness;
@@ -251,13 +265,14 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
         break;
       }
     }
+    store_.Release(item.box_ref);  // leaf or split: the slot is recycled
     if (!witness.empty()) report_.witnesses.push_back(witness);
     if (is_leaf) {
       report_.leaves.push_back(
           {std::move(box), status, std::move(witness)});
     } else {
       for (std::size_t i = 0; i < children.size(); ++i)
-        PushLocked(std::move(children[i]), child_suspect[i] != 0, &tickets);
+        PushLocked(children[i].dims(), child_suspect[i] != 0, &tickets);
     }
     sink = sink_;
   }
@@ -294,8 +309,10 @@ EngineSnapshot PairEngine::Snapshot() const {
   snap.report.solver_timeouts = solver_timeouts_.load();
   snap.report.seconds = busy_seconds_;
   snap.open.reserve(open_.size() + in_flight_.size());
-  for (const OpenBox& b : open_) snap.open.push_back(b.box);
-  for (const auto& [seq, b] : in_flight_) snap.open.push_back(b);
+  for (const OpenBox& b : open_)
+    snap.open.push_back(Box(store_.View(b.box_ref)));
+  for (const auto& [seq, ref] : in_flight_)
+    snap.open.push_back(Box(store_.View(ref)));
   CanonicalizeReport(snap.report);
   std::sort(snap.open.begin(), snap.open.end(), BoxLess);
   return snap;
@@ -319,7 +336,10 @@ std::vector<Box> PairEngine::TakeOpenFrontier() {
                 "TakeOpenFrontier while boxes are in flight");
   std::vector<Box> out;
   out.reserve(open_.size());
-  for (OpenBox& b : open_) out.push_back(std::move(b.box));
+  for (const OpenBox& b : open_) {
+    out.push_back(Box(store_.View(b.box_ref)));
+    store_.Release(b.box_ref);
+  }
   open_.clear();
   std::sort(out.begin(), out.end(), BoxLess);
   return out;

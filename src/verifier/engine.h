@@ -23,6 +23,8 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "expr/bool_expr.h"
@@ -35,8 +37,14 @@ namespace xcv::verifier {
 /// Priority of an open box under `strategy`. `suspect` marks a box that
 /// contains a delta-sat model of its parent (a counterexample suspect);
 /// `seq` is the engine-local submission counter (FIFO tie-break).
-double FrontierPriority(FrontierStrategy strategy, const solver::Box& box,
-                        bool suspect, std::uint64_t seq);
+double FrontierPriority(FrontierStrategy strategy,
+                        std::span<const Interval> box, bool suspect,
+                        std::uint64_t seq);
+inline double FrontierPriority(FrontierStrategy strategy,
+                               const solver::Box& box, bool suspect,
+                               std::uint64_t seq) {
+  return FrontierPriority(strategy, box.dims(), suspect, seq);
+}
 
 /// Consistent mid-run snapshot (what a checkpoint serializes): the leaves
 /// and witnesses recorded so far plus every box still open or in flight.
@@ -103,13 +111,16 @@ class PairEngine {
   double BusySeconds() const;
 
  private:
+  // Open boxes live in the pooled frontier store (one flat slot per box,
+  // recycled on release) rather than as per-entry heap vectors; the heap
+  // entries and the in-flight set carry slot refs.
   struct OpenBox {
-    solver::Box box;
+    solver::BoxStore::Ref box_ref = -1;
     double priority = 0.0;
     std::uint64_t seq = 0;
   };
 
-  void PushLocked(solver::Box box, bool suspect,
+  void PushLocked(std::span<const Interval> box, bool suspect,
                   std::vector<double>* ticket_priorities);
   std::unique_ptr<solver::DeltaSolver> AcquireSolver();
   void ReleaseSolver(std::unique_ptr<solver::DeltaSolver> s);
@@ -118,9 +129,10 @@ class PairEngine {
   expr::BoolExpr not_psi_;
   VerifierOptions options_;
 
-  mutable std::mutex mu_;  // frontier, in-flight, report, deadline, sink
+  mutable std::mutex mu_;  // frontier, store, in-flight, report, sink
+  solver::BoxStore store_;     // keyed to the domain dims at Seed/Restore
   std::vector<OpenBox> open_;  // max-heap (std::push_heap/pop_heap)
-  std::vector<std::pair<std::uint64_t, solver::Box>> in_flight_;
+  std::vector<std::pair<std::uint64_t, solver::BoxStore::Ref>> in_flight_;
   VerificationReport report_;
   std::function<void(double)> sink_;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,293 @@
+// Property tests for the batched SoA interval engine and the frontier
+// store behind the ICP wave classifier:
+//   1. The bit-stepped NextDown/NextUp agree with std::nextafter on every
+//      double (specials and a large random bit-pattern sweep) — they sit
+//      inside every outward rounding the solver's verdicts rest on.
+//   2. EvalTapeIntervalBatch is bit-identical, slot by slot and lane by
+//      lane, to the scalar EvalTapeIntervalForward — across random tapes,
+//      optimized paper tapes, wave widths 1/7/64, and boxes with empty,
+//      point, and ±inf-endpoint dimensions.
+//   3. ContractFromForward on extracted batch lanes contracts exactly like
+//      Contract's own forward sweep.
+//   4. BoxStore allocates, recycles, and stages self-aliasing copies
+//      correctly.
+//   5. DeltaSolver verdicts, models, and stats are identical at every wave
+//      width, and verifier reports are byte-equal across wave widths and
+//      thread counts.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "conditions/conditions.h"
+#include "conditions/enhancement.h"
+#include "expr/compile.h"
+#include "expr/optimize.h"
+#include "functionals/functional.h"
+#include "solver/box.h"
+#include "solver/contractor.h"
+#include "solver/icp.h"
+#include "test_util.h"
+#include "verifier/verifier.h"
+
+namespace xcv {
+namespace {
+
+using solver::Box;
+using solver::BoxStore;
+using testing::RandomExprGen;
+using testing::Rng;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// ---- 1. NextDown / NextUp == nextafter --------------------------------------
+
+void ExpectNextEq(double v) {
+  if (std::isnan(v)) {
+    EXPECT_TRUE(std::isnan(NextDown(v)));
+    EXPECT_TRUE(std::isnan(NextUp(v)));
+    return;
+  }
+  const double rd = v == -kInf ? v : std::nextafter(v, -kInf);
+  const double ru = v == kInf ? v : std::nextafter(v, kInf);
+  EXPECT_EQ(Bits(NextDown(v)), Bits(rd)) << "v=" << v;
+  EXPECT_EQ(Bits(NextUp(v)), Bits(ru)) << "v=" << v;
+}
+
+TEST(NextAfterEquivalence, Specials) {
+  for (double v :
+       {0.0, -0.0, 0x1p-1074, -0x1p-1074, 0x1p-1022, -0x1p-1022, 1.0, -1.0,
+        0.5, -2.0, 1.7976931348623157e308, -1.7976931348623157e308, kInf,
+        -kInf, std::numeric_limits<double>::quiet_NaN(), 1e-300, -1e-300})
+    ExpectNextEq(v);
+}
+
+TEST(NextAfterEquivalence, RandomBitPatterns) {
+  Rng rng(7);
+  for (int i = 0; i < 200'000; ++i)
+    ExpectNextEq(std::bit_cast<double>(rng.engine()()));
+}
+
+// ---- 2. Batch == scalar, bit for bit ----------------------------------------
+
+std::vector<std::vector<Interval>> TestBoxes(Rng& rng, std::size_t count,
+                                             std::size_t dims) {
+  std::vector<std::vector<Interval>> boxes(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    boxes[k].reserve(dims);
+    for (std::size_t d = 0; d < dims; ++d)
+      boxes[k].push_back(rng.RandomInterval(-3.0, 4.0));
+  }
+  // Sprinkle the endpoint zoo: empty, point, half-infinite, entire,
+  // negative-only dimensions.
+  if (count >= 8) {
+    boxes[1][0] = Interval::Empty();
+    boxes[2][dims - 1] = Interval(0.25);
+    boxes[3][0] = Interval(1.0, kInf);
+    boxes[4][dims - 1] = Interval(-kInf, -0.5);
+    boxes[5][0] = Interval::Entire();
+    boxes[6][dims % 2] = Interval(-2.0, -1.0);
+    boxes[7][0] = Interval(0.0, 0.0);
+  }
+  return boxes;
+}
+
+void ExpectBatchMatchesScalar(const expr::Tape& tape,
+                              const std::vector<std::vector<Interval>>& boxes,
+                              std::size_t width) {
+  const std::size_t dims = boxes.front().size();
+  std::vector<std::vector<double>> lo(dims), hi(dims);
+  std::vector<const double*> lop(dims), hip(dims);
+  expr::TapeScratch scalar;
+  expr::TapeIntervalBatchScratch batch;
+  std::vector<Interval> lane;
+  for (std::size_t start = 0; start < boxes.size(); start += width) {
+    const std::size_t n = std::min(width, boxes.size() - start);
+    for (std::size_t d = 0; d < dims; ++d) {
+      lo[d].clear();
+      hi[d].clear();
+      for (std::size_t k = 0; k < n; ++k) {
+        lo[d].push_back(boxes[start + k][d].lo());
+        hi[d].push_back(boxes[start + k][d].hi());
+      }
+      lop[d] = lo[d].data();
+      hip[d] = hi[d].data();
+    }
+    expr::EvalTapeIntervalBatch(tape, lop, hip, n, batch);
+    for (std::size_t k = 0; k < n; ++k) {
+      expr::EvalTapeIntervalForward(tape, boxes[start + k], scalar);
+      expr::ExtractIntervalLane(tape, batch, k, lane);
+      ASSERT_EQ(lane.size(), scalar.intervals.size());
+      for (std::size_t s = 0; s < lane.size(); ++s) {
+        EXPECT_EQ(Bits(lane[s].lo()), Bits(scalar.intervals[s].lo()))
+            << "slot " << s << " lane " << k << " width " << width;
+        EXPECT_EQ(Bits(lane[s].hi()), Bits(scalar.intervals[s].hi()))
+            << "slot " << s << " lane " << k << " width " << width;
+      }
+    }
+  }
+}
+
+expr::Expr Var(const char* name, int index) {
+  return expr::Expr::Variable(name, index);
+}
+
+TEST(IntervalBatch, BitIdenticalOnRandomTapes) {
+  Rng rng(42);
+  RandomExprGen gen(rng, {Var("x", 0), Var("y", 1), Var("z", 2)});
+  for (int trial = 0; trial < 40; ++trial) {
+    const expr::Expr e = gen.Gen(5);
+    for (const expr::Tape& tape :
+         {expr::Compile(e), expr::CompileOptimized(e)}) {
+      const auto boxes = TestBoxes(rng, 70, 3);
+      for (std::size_t width : {1u, 7u, 64u})
+        ExpectBatchMatchesScalar(tape, boxes, width);
+    }
+  }
+}
+
+TEST(IntervalBatch, BitIdenticalOnPaperTapes) {
+  Rng rng(11);
+  for (const auto& f : functionals::PaperFunctionals()) {
+    const expr::Expr fc = conditions::CorrelationEnhancement(f);
+    const expr::Tape tape = expr::CompileOptimized(expr::Neg(fc));
+    const auto boxes = TestBoxes(rng, 70, 3);
+    for (std::size_t width : {1u, 7u, 64u})
+      ExpectBatchMatchesScalar(tape, boxes, width);
+  }
+}
+
+// ---- 3. ContractFromForward == Contract -------------------------------------
+
+TEST(IntervalBatch, ContractFromForwardMatchesContract) {
+  Rng rng(5);
+  RandomExprGen gen(rng, {Var("x", 0), Var("y", 1), Var("z", 2)});
+  expr::TapeScratch scratch;
+  std::vector<Interval> forward;
+  for (int trial = 0; trial < 60; ++trial) {
+    const solver::AtomContractor contractor(
+        gen.Gen(4), rng.Bernoulli() ? expr::Rel::kLe : expr::Rel::kLt);
+    std::vector<Interval> dims;
+    for (int d = 0; d < 3; ++d) dims.push_back(rng.RandomInterval(0.2, 3.0));
+    Box a{dims}, b{dims};
+    const auto out_a = contractor.Contract(a, scratch);
+    expr::EvalTapeIntervalForward(contractor.tape(), b.dims(), forward);
+    const auto out_b = contractor.ContractFromForward(b.MutableDims(), forward);
+    EXPECT_EQ(out_a, out_b);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(a[static_cast<std::size_t>(d)],
+                b[static_cast<std::size_t>(d)])
+          << "dim " << d;
+    }
+  }
+}
+
+// ---- 4. BoxStore ------------------------------------------------------------
+
+TEST(BoxStoreTest, AllocateReleaseRecycle) {
+  BoxStore store(2);
+  const auto a = store.AllocateCopy(
+      std::vector<Interval>{Interval(0.0, 1.0), Interval(2.0, 3.0)});
+  const auto b = store.AllocateCopy(
+      std::vector<Interval>{Interval(-1.0, 0.5), Interval(4.0, 5.0)});
+  EXPECT_EQ(store.live(), 2u);
+  EXPECT_EQ(store.View(a)[1], Interval(2.0, 3.0));
+  EXPECT_EQ(store.View(b)[0], Interval(-1.0, 0.5));
+
+  store.Release(a);
+  EXPECT_EQ(store.live(), 1u);
+  const auto c = store.AllocateCopy(
+      std::vector<Interval>{Interval(7.0, 8.0), Interval(9.0, 10.0)});
+  EXPECT_EQ(c, a) << "released slot should be recycled LIFO";
+  EXPECT_EQ(store.capacity(), 2u) << "no growth when the free list serves";
+  EXPECT_EQ(store.View(c)[0], Interval(7.0, 8.0));
+  EXPECT_EQ(store.View(b)[1], Interval(4.0, 5.0)) << "b untouched";
+}
+
+TEST(BoxStoreTest, AllocateCopyAliasingOwnArena) {
+  BoxStore store(2);
+  const auto a = store.AllocateCopy(
+      std::vector<Interval>{Interval(1.0, 2.0), Interval(3.0, 4.0)});
+  // Copy from the store's own (possibly reallocating) arena.
+  const auto b = store.AllocateCopy(store.View(a));
+  EXPECT_EQ(store.View(b)[0], Interval(1.0, 2.0));
+  EXPECT_EQ(store.View(b)[1], Interval(3.0, 4.0));
+  EXPECT_EQ(store.View(a)[0], Interval(1.0, 2.0));
+}
+
+TEST(BoxStoreTest, ResetKeepsNothingLive) {
+  BoxStore store(3);
+  store.Allocate();
+  store.Allocate();
+  store.Reset(2);
+  EXPECT_EQ(store.live(), 0u);
+  EXPECT_EQ(store.dims(), 2u);
+  const auto r = store.Allocate();
+  EXPECT_EQ(store.View(r).size(), 2u);
+}
+
+// ---- 5. Solver / verifier invariance across wave widths ---------------------
+
+TEST(WaveInvariance, SolverResultsIdenticalAtEveryWidth) {
+  for (const char* fname : {"PBE", "SCAN"}) {
+    const auto& f = *functionals::FindFunctional(fname);
+    const auto psi =
+        conditions::BuildCondition(*conditions::FindCondition("EC1"), f);
+    ASSERT_TRUE(psi.has_value());
+    const auto domain = conditions::PaperDomain(f);
+    solver::CheckResult ref;
+    for (int width : {1, 2, 7, 8, 64}) {
+      solver::SolverOptions opts;
+      opts.max_nodes = 1500;
+      opts.wave_width = width;
+      solver::DeltaSolver s(expr::BoolExpr::Not(*psi), opts);
+      const auto result = s.Check(domain);
+      if (width == 1) {
+        ref = result;
+        continue;
+      }
+      EXPECT_EQ(result.kind, ref.kind) << fname << " width " << width;
+      EXPECT_EQ(result.model, ref.model) << fname << " width " << width;
+      EXPECT_EQ(result.stats.nodes, ref.stats.nodes);
+      EXPECT_EQ(result.stats.prunes, ref.stats.prunes);
+      EXPECT_EQ(result.stats.contractions, ref.stats.contractions);
+    }
+  }
+}
+
+TEST(WaveInvariance, VerifierReportsIdenticalAcrossWidthsAndThreads) {
+  const auto& f = *functionals::FindFunctional("LYP");
+  const auto psi =
+      conditions::BuildCondition(*conditions::FindCondition("EC1"), f);
+  ASSERT_TRUE(psi.has_value());
+  const auto domain = conditions::PaperDomain(f);
+
+  auto run = [&](int width, int threads) {
+    verifier::VerifierOptions opts;
+    opts.split_threshold = 0.7;
+    opts.solver.max_nodes = 1500;
+    opts.solver.wave_width = width;
+    opts.num_threads = threads;
+    return verifier::Verifier(*psi, opts).Run(domain);
+  };
+  const auto ref = run(1, 1);
+  for (const auto [width, threads] :
+       {std::pair{8, 1}, std::pair{64, 1}, std::pair{8, 4}}) {
+    const auto report = run(width, threads);
+    ASSERT_EQ(report.leaves.size(), ref.leaves.size());
+    for (std::size_t i = 0; i < ref.leaves.size(); ++i) {
+      EXPECT_EQ(report.leaves[i].status, ref.leaves[i].status);
+      ASSERT_EQ(report.leaves[i].box.size(), ref.leaves[i].box.size());
+      for (std::size_t d = 0; d < ref.leaves[i].box.size(); ++d)
+        EXPECT_EQ(report.leaves[i].box[d], ref.leaves[i].box[d]);
+    }
+    EXPECT_EQ(report.witnesses, ref.witnesses);
+    EXPECT_EQ(report.solver_calls, ref.solver_calls);
+  }
+}
+
+}  // namespace
+}  // namespace xcv
