@@ -11,7 +11,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "campaign/campaign.h"
 #include "conditions/conditions.h"
 #include "conditions/enhancement.h"
 #include "expr/compile.h"
@@ -326,11 +328,13 @@ void RunIntervalBatchComparison(const functionals::Functional& f) {
   const double batch8_s = time_width(8);
   const double batch64_s = time_width(64);
 
+  // sink is an anti-DCE accumulator; it can be ±inf, which JSON numbers
+  // cannot spell — print it as a string so the trajectory stays parseable.
   std::printf(
       "{\"bench\":\"interval_batch\",\"functional\":\"%s\",\"boxes\":%zu,"
       "\"slots\":%zu,\"scalar_s\":%.6f,\"batch_w8_s\":%.6f,"
       "\"batch_w64_s\":%.6f,\"speedup_w8\":%.2f,\"speedup_w64\":%.2f,"
-      "\"sink\":%.3g}\n",
+      "\"sink\":\"%.3g\"}\n",
       f.name.c_str(), kBoxes, tape.size(), scalar_s, batch8_s, batch64_s,
       scalar_s / batch8_s, scalar_s / batch64_s, sink);
 }
@@ -368,6 +372,66 @@ void RunIcpNodeThroughput(const functionals::Functional& f) {
       w1_s / w8_s, nodes1 == nodes8 ? 1 : 0);
 }
 
+// ---- Verdict-cache replay (JSON trajectory) ---------------------------------
+
+// Cold-vs-warm campaign wall time on the lda/pbe matrix (the shape the CI
+// cache-smoke job runs): the cold run populates a verdict-cache file, the
+// warm run replays it. Budget-free and node-capped, so both runs compute
+// byte-identical reports — the JSON line asserts that along with the
+// speedup and hit rate.
+void RunCacheReplay() {
+  const std::string path = "bench_cache_replay.cache.json";
+  std::remove(path.c_str());
+
+  const std::vector<functionals::Functional> funcs{
+      *functionals::FindFunctional("VWN_RPA"),
+      *functionals::FindFunctional("PBE")};
+  std::vector<conditions::ConditionInfo> conds;
+  for (const char* id : {"EC1", "EC2", "EC3", "EC4"})
+    conds.push_back(*conditions::FindCondition(id));
+
+  auto run = [&] {
+    campaign::CampaignOptions o;
+    o.verifier.split_threshold = 0.625;
+    o.verifier.solver.max_nodes = 3'000;
+    o.verifier.solver.max_invalid_models = 512;
+    o.num_threads = 1;
+    o.cache_path = path;
+    campaign::Campaign c(o);
+    c.AddMatrix(funcs, conds);
+    Stopwatch watch;
+    campaign::CampaignResult result = c.Run();
+    const double seconds = watch.ElapsedSeconds();
+    return std::make_pair(std::move(result), seconds);
+  };
+
+  auto [cold, cold_s] = run();
+  auto [warm, warm_s] = run();
+
+  // Verdict equality, leaf for leaf (the cache may only skip work).
+  bool verdicts_match = cold.pairs.size() == warm.pairs.size();
+  for (std::size_t i = 0; verdicts_match && i < cold.pairs.size(); ++i)
+    verdicts_match = cold.pairs[i].verdict == warm.pairs[i].verdict &&
+                     cold.pairs[i].report.leaves.size() ==
+                         warm.pairs[i].report.leaves.size();
+
+  const double denom =
+      static_cast<double>(warm.CacheHits() + warm.CacheMisses());
+  std::printf(
+      "{\"bench\":\"cache_replay\",\"matrix\":\"lda+pbe x EC1-EC4\","
+      "\"pairs\":%zu,\"entries\":%llu,\"cold_s\":%.6f,\"warm_s\":%.6f,"
+      "\"speedup\":%.2f,\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
+      "\"rejected\":%llu,\"verdicts_match\":%d}\n",
+      cold.pairs.size(), static_cast<unsigned long long>(warm.cache_entries),
+      cold_s, warm_s, cold_s / warm_s,
+      static_cast<unsigned long long>(warm.CacheHits()),
+      static_cast<unsigned long long>(warm.CacheMisses()),
+      denom > 0.0 ? static_cast<double>(warm.CacheHits()) / denom : 0.0,
+      static_cast<unsigned long long>(warm.CacheRejected()),
+      verdicts_match ? 1 : 0);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -381,5 +445,6 @@ int main(int argc, char** argv) {
   RunIntervalBatchComparison(*functionals::FindFunctional("SCAN"));
   RunIcpNodeThroughput(*functionals::FindFunctional("PBE"));
   RunIcpNodeThroughput(*functionals::FindFunctional("SCAN"));
+  RunCacheReplay();
   return 0;
 }

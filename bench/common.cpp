@@ -52,6 +52,14 @@ int BenchNumThreads() {
 
 namespace {
 
+// Benchmarks honour the same XCV_CACHE variable as the xcv CLI: point it at
+// a verdict-cache file to replay previously decided boxes (reports are
+// byte-identical either way; only the wall time changes).
+std::string EnvCachePath() {
+  const char* value = std::getenv("XCV_CACHE");
+  return value != nullptr ? value : "";
+}
+
 PairRun ToPairRun(campaign::PairState state) {
   PairRun run;
   run.applicable = state.applicable;
@@ -69,6 +77,7 @@ PairRun RunPair(const functionals::Functional& f,
   campaign::CampaignOptions copts;
   copts.verifier = options;
   copts.num_threads = options.num_threads;
+  copts.cache_path = EnvCachePath();
   campaign::Campaign c(copts);
   c.Add(f, cond);
   campaign::CampaignResult result = c.Run();
@@ -87,6 +96,7 @@ std::vector<std::vector<PairRun>> RunMatrix(
   campaign::CampaignOptions copts;
   copts.verifier = options;
   copts.num_threads = num_threads;
+  copts.cache_path = EnvCachePath();
   campaign::Campaign c(copts);
   c.AddMatrix(functionals, conditions);
   campaign::CampaignResult result = c.Run(

@@ -13,6 +13,9 @@
 //   XCV_WAVE_WIDTH       solver boxes per batched interval sweep (default 8)
 //   XCV_PB_GRID          PB baseline grid points per axis (default 150)
 //   XCV_THREADS          campaign workers on the shared pool (default 1)
+//   XCV_CACHE            persistent verdict-cache file (default: none);
+//                        repeated runs replay decided boxes instead of
+//                        re-solving — identical reports, less wall time
 //
 // All verification runs go through the campaign engine (src/campaign/):
 // RunPair is a one-pair campaign, RunMatrix interleaves a whole matrix of

@@ -1,0 +1,271 @@
+#include "cache/verdict_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "expr/optimize.h"
+#include "support/check.h"
+#include "support/json.h"
+
+namespace xcv::cache {
+
+using expr::FnvMix;
+using json::JsonDouble;
+using json::JsonValue;
+
+std::string CachedKindToken(CachedKind kind) {
+  switch (kind) {
+    case CachedKind::kUnsat: return "unsat";
+    case CachedKind::kDeltaSat: return "delta_sat";
+    case CachedKind::kTimeout: return "timeout";
+  }
+  return "unsat";
+}
+
+CachedKind CachedKindFromToken(const std::string& token) {
+  if (token == "unsat") return CachedKind::kUnsat;
+  if (token == "delta_sat") return CachedKind::kDeltaSat;
+  if (token == "timeout") return CachedKind::kTimeout;
+  XCV_CHECK_MSG(false, "unknown cached verdict kind '" << token << "'");
+  return CachedKind::kUnsat;
+}
+
+namespace {
+
+// Endpoint identity is bit-pattern identity: -0.0 and 0.0 are different
+// keys, exactly as the solver's splitting arithmetic produces them.
+bool SameDouble(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool SameBox(std::span<const Interval> a, std::span<const Interval> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!SameDouble(a[i].lo(), b[i].lo()) || !SameDouble(a[i].hi(), b[i].hi()))
+      return false;
+  return true;
+}
+
+bool BoxBitsLess(const std::vector<Interval>& a,
+                 const std::vector<Interval>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto alo = std::bit_cast<std::uint64_t>(a[i].lo());
+    const auto blo = std::bit_cast<std::uint64_t>(b[i].lo());
+    if (alo != blo) return alo < blo;
+    const auto ahi = std::bit_cast<std::uint64_t>(a[i].hi());
+    const auto bhi = std::bit_cast<std::uint64_t>(b[i].hi());
+    if (ahi != bhi) return ahi < bhi;
+  }
+  return a.size() < b.size();
+}
+
+void AppendDoubles(std::string& out, std::span<const double> values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += JsonDouble(values[i]);
+  }
+  out += ']';
+}
+
+void AppendIntervals(std::string& out, std::span<const Interval> dims) {
+  out += '[';
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) out += ',';
+    out += '[';
+    out += JsonDouble(dims[i].lo());
+    out += ',';
+    out += JsonDouble(dims[i].hi());
+    out += ']';
+  }
+  out += ']';
+}
+
+std::vector<Interval> IntervalsFromJson(const JsonValue& v) {
+  std::vector<Interval> dims;
+  dims.reserve(v.array.size());
+  for (const JsonValue& d : v.array) {
+    XCV_CHECK_MSG(d.array.size() == 2, "cache box dimension needs [lo, hi]");
+    dims.emplace_back(d.array[0].AsDouble(), d.array[1].AsDouble());
+  }
+  return dims;
+}
+
+}  // namespace
+
+std::uint64_t VerdictCache::MapKey(std::uint64_t scope,
+                                   std::span<const Interval> box) {
+  std::uint64_t h = expr::kFnvOffset;
+  h = FnvMix(h, scope);
+  h = FnvMix(h, box.size());
+  for (const Interval& iv : box) {
+    h = FnvMix(h, std::bit_cast<std::uint64_t>(iv.lo()));
+    h = FnvMix(h, std::bit_cast<std::uint64_t>(iv.hi()));
+  }
+  return h;
+}
+
+bool VerdictCache::Lookup(std::uint64_t scope, std::span<const Interval> box,
+                          CachedVerdict* out) const {
+  const std::uint64_t key = MapKey(scope, box);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    for (const Entry& e : it->second) {
+      if (e.scope == scope && SameBox(e.box, box)) {
+        *out = e.verdict;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void VerdictCache::Store(std::uint64_t scope, std::span<const Interval> box,
+                         CachedVerdict verdict) {
+  const std::uint64_t key = MapKey(scope, box);
+  std::lock_guard<std::mutex> lock(mu_);
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Entry>& bucket = entries_[key];
+  for (Entry& e : bucket) {
+    if (e.scope == scope && SameBox(e.box, box)) {
+      e.verdict = std::move(verdict);  // refresh (e.g. after a rejected hit)
+      return;
+    }
+  }
+  Entry entry;
+  entry.scope = scope;
+  entry.box.assign(box.begin(), box.end());
+  entry.verdict = std::move(verdict);
+  bucket.push_back(std::move(entry));
+  ++count_;
+}
+
+std::size_t VerdictCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+CacheCounters VerdictCache::counters() const {
+  CacheCounters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.stores = stores_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string VerdictCache::ToJson() const {
+  // Canonical entry order → byte-identical files for equal caches (CI
+  // uploads the cache as an artifact; stable bytes make diffs meaningful).
+  std::vector<const Entry*> sorted;
+  std::lock_guard<std::mutex> lock(mu_);
+  sorted.reserve(count_);
+  for (const auto& [key, bucket] : entries_)
+    for (const Entry& e : bucket) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->scope != b->scope) return a->scope < b->scope;
+    return BoxBitsLess(a->box, b->box);
+  });
+
+  std::string out = "{\n";
+  out += "  \"format\": \"xcv-verdict-cache\",\n";
+  out += "  \"version\": 1,\n";
+  out += "  \"entries\": [";
+  char buf[32];
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Entry& e = *sorted[i];
+    if (i) out += ',';
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(e.scope));
+    out += "\n    {\"scope\": \"";
+    out += buf;
+    out += "\", \"box\": ";
+    AppendIntervals(out, e.box);
+    out += ", \"kind\": \"" + CachedKindToken(e.verdict.kind) + "\"";
+    out += ", \"nodes\": " + std::to_string(e.verdict.nodes);
+    if (!e.verdict.model.empty()) {
+      out += ", \"model\": ";
+      AppendDoubles(out, e.verdict.model);
+    }
+    if (!e.verdict.model_box.empty()) {
+      out += ", \"model_box\": ";
+      AppendIntervals(out, e.verdict.model_box);
+    }
+    out += '}';
+  }
+  if (!sorted.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+bool VerdictCache::FromJson(const std::string& json_text) {
+  // Parse into a staging map first so malformed input cannot leave the
+  // cache half-loaded.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> staged;
+  std::size_t count = 0;
+  try {
+    const JsonValue root = json::ParseJson(json_text);
+    XCV_CHECK_MSG(root.At("format").AsString() == "xcv-verdict-cache",
+                  "not an xcv verdict cache");
+    XCV_CHECK_MSG(root.At("version").AsDouble() == 1.0,
+                  "unsupported verdict cache version");
+    for (const JsonValue& ev : root.At("entries").array) {
+      Entry e;
+      const std::string& scope_hex = ev.At("scope").AsString();
+      char* end = nullptr;
+      e.scope = std::strtoull(scope_hex.c_str(), &end, 16);
+      XCV_CHECK_MSG(end != scope_hex.c_str() && *end == '\0',
+                    "bad cache scope '" << scope_hex << "'");
+      e.box = IntervalsFromJson(ev.At("box"));
+      e.verdict.kind = CachedKindFromToken(ev.At("kind").AsString());
+      e.verdict.nodes =
+          static_cast<std::uint64_t>(ev.At("nodes").AsDouble());
+      if (const JsonValue* m = ev.Find("model"))
+        for (const JsonValue& c : m->array)
+          e.verdict.model.push_back(c.AsDouble());
+      if (const JsonValue* mb = ev.Find("model_box"))
+        e.verdict.model_box = IntervalsFromJson(*mb);
+      staged[MapKey(e.scope, e.box)].push_back(std::move(e));
+      ++count;
+    }
+  } catch (const InternalError&) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    count_ = 0;
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(staged);
+  count_ = count;
+  return true;
+}
+
+bool VerdictCache::Load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return false;  // absent file: cold start
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return FromJson(buf.str());
+}
+
+void VerdictCache::Save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    XCV_CHECK_MSG(os.good(), "cannot open '" << tmp << "' for writing");
+    os << ToJson();
+    XCV_CHECK_MSG(os.good(), "write to '" << tmp << "' failed");
+  }
+  XCV_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "rename '" << tmp << "' -> '" << path << "' failed");
+}
+
+}  // namespace xcv::cache

@@ -1,0 +1,126 @@
+// Persistent verdict cache: memoizes DeltaSolver::Check results across
+// campaigns, so repeated runs (CI smoke matrices, parameter sweeps, EC×DFA
+// matrices) skip solver work they have already paid for.
+//
+// Key = (scope, box):
+//   * scope is a 64-bit fingerprint the solver derives from the canonical
+//     optimized tapes of the formula's atoms, the formula skeleton, every
+//     verdict-affecting solver option (delta, node budget, contraction
+//     rounds, …— NOT wave_width, which is a pure batching knob), and a
+//     caller-supplied salt (the campaign folds the condition id in);
+//   * box is the queried domain's endpoints as exact bit patterns — lookups
+//     match only boxes that are bit-for-bit the ones solved before, which is
+//     what makes replay sound: deterministic splitting regenerates the exact
+//     same boxes.
+// Value = the solver's verdict (UNSAT / delta-sat model+box / node-budget
+// timeout) plus node-count provenance. Verified (UNSAT) and counterexample
+// leaves never change for a fixed scope; wall-clock-caused timeouts are
+// never recorded (they are not reproducible).
+//
+// The cache may only skip work, never change verdicts: a hit replays the
+// exact CheckResult the cold run produced, and the verifier engine
+// batch-revalidates hits against a fresh interval sweep before trusting
+// them (defense against scope-hash collisions and stale files).
+//
+// Thread-safe: one mutex around the map; counters are atomics. On-disk
+// format is the repo's %.17g JSON (support/json.h), written atomically
+// (temp file + rename). A corrupt, truncated or missing file degrades to an
+// empty (cold) cache — it never throws out of Load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <mutex>
+
+#include "interval/interval.h"
+
+namespace xcv::cache {
+
+/// Cached solver outcome kinds. kTimeout entries are only ever recorded
+/// when the deterministic node budget (part of the scope hash) was the
+/// stopper, so replaying them is as sound as replaying UNSAT.
+enum class CachedKind { kUnsat, kDeltaSat, kTimeout };
+
+std::string CachedKindToken(CachedKind kind);
+CachedKind CachedKindFromToken(const std::string& token);
+
+/// One cached verdict (the parts of a CheckResult that replay).
+struct CachedVerdict {
+  CachedKind kind = CachedKind::kUnsat;
+  std::vector<double> model;      // delta-sat witness point (may be empty)
+  std::vector<Interval> model_box;  // terminal box of a delta-sat result
+  std::uint64_t nodes = 0;        // provenance: branch-and-prune nodes spent
+};
+
+/// Counter snapshot (monotonic since construction/Load).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+};
+
+class VerdictCache {
+ public:
+  VerdictCache() = default;
+
+  VerdictCache(const VerdictCache&) = delete;
+  VerdictCache& operator=(const VerdictCache&) = delete;
+
+  /// Exact lookup: scope must match bit-for-bit and `box` must equal the
+  /// recorded box endpoint-for-endpoint. Fills `out` and returns true on a
+  /// hit. Thread-safe.
+  bool Lookup(std::uint64_t scope, std::span<const Interval> box,
+              CachedVerdict* out) const;
+
+  /// Inserts or overwrites the entry for (scope, box). Thread-safe.
+  void Store(std::uint64_t scope, std::span<const Interval> box,
+             CachedVerdict verdict);
+
+  std::size_t size() const;
+  CacheCounters counters() const;
+
+  /// Serializes every entry as one JSON document, entries in a canonical
+  /// order (scope, then box lexicographically) so equal caches produce
+  /// byte-identical files.
+  std::string ToJson() const;
+
+  /// Replaces the contents with the entries parsed from `json_text`.
+  /// Returns false (leaving the cache empty) on malformed input.
+  bool FromJson(const std::string& json_text);
+
+  /// Loads `path`, tolerating absent/corrupt/truncated files: any failure
+  /// leaves the cache empty and returns false — a cold start, never a
+  /// crash.
+  bool Load(const std::string& path);
+
+  /// Writes the cache to `path` atomically (temp file + rename). Throws
+  /// xcv::InternalError on I/O failure.
+  void Save(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::uint64_t scope = 0;
+    std::vector<Interval> box;
+    CachedVerdict verdict;
+  };
+
+  static std::uint64_t MapKey(std::uint64_t scope,
+                              std::span<const Interval> box);
+
+  mutable std::mutex mu_;
+  // Buckets by combined (scope, box-bits) hash; entries inside a bucket are
+  // disambiguated by exact scope and box comparison.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  std::size_t count_ = 0;
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace xcv::cache

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "campaign/serialize.h"
+#include "expr/optimize.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
@@ -19,6 +20,24 @@ std::size_t CampaignResult::CompletedCount() const {
   std::size_t n = 0;
   for (const PairState& p : pairs)
     if (p.done) ++n;
+  return n;
+}
+
+std::uint64_t CampaignResult::CacheHits() const {
+  std::uint64_t n = 0;
+  for (const PairState& p : pairs) n += p.report.cache_hits;
+  return n;
+}
+
+std::uint64_t CampaignResult::CacheMisses() const {
+  std::uint64_t n = 0;
+  for (const PairState& p : pairs) n += p.report.cache_misses;
+  return n;
+}
+
+std::uint64_t CampaignResult::CacheRejected() const {
+  std::uint64_t n = 0;
+  for (const PairState& p : pairs) n += p.report.cache_rejected;
   return n;
 }
 
@@ -42,14 +61,29 @@ struct Campaign::Entry {
 
 Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
   XCV_CHECK_MSG(options_.num_threads >= 1, "need at least one thread");
+  if (!options_.cache_path.empty()) {
+    cache_ = std::make_unique<cache::VerdictCache>();
+    // Absent/corrupt/truncated files are a cold start, never an error: a
+    // campaign must run to completion with whatever cache it finds.
+    cache_was_warm_ = cache_->Load(options_.cache_path);
+  }
 }
 
 Campaign::~Campaign() = default;
 
-verifier::VerifierOptions Campaign::TunedOptions(const Functional& f) const {
+verifier::VerifierOptions Campaign::TunedOptions(
+    const Functional& f, const ConditionInfo& cond) const {
   verifier::VerifierOptions tuned = options_.verifier;
   if (options_.tune_lda_delta && f.family == functionals::Family::kLda)
     tuned.solver.delta = 1e-5;
+  if (cache_ != nullptr) {
+    tuned.solver.cache = cache_.get();
+    // Salt with the condition id: the cache key then names the full
+    // (functional tape, condition, options, box) coordinate even if two
+    // conditions happened to compile to identical atom tapes.
+    tuned.solver.cache_salt =
+        expr::FnvMixString(expr::kFnvOffset, cond.short_id);
+  }
   return tuned;
 }
 
@@ -149,7 +183,7 @@ CampaignResult Campaign::Run(ProgressFn progress) {
                                        << e->state.functional << " x "
                                        << e->state.condition);
     e->engine = std::make_unique<verifier::PairEngine>(
-        *psi, TunedOptions(*e->functional));
+        *psi, TunedOptions(*e->functional, *e->condition));
     const bool has_restored_frontier = !e->state.open.empty();
     if (has_restored_frontier) {
       e->engine->Restore(e->state.report, std::move(e->state.open));
@@ -220,6 +254,11 @@ CampaignResult Campaign::Run(ProgressFn progress) {
   result.seconds = watch.ElapsedSeconds();
   result.pairs.reserve(entries_.size());
   for (const auto& e : entries_) result.pairs.push_back(e->state);
+  if (cache_ != nullptr) {
+    result.cache_entries = cache_->size();
+    result.cache_was_warm = cache_was_warm_;
+    if (!options_.cache_readonly) cache_->Save(options_.cache_path);
+  }
   {
     std::lock_guard<std::mutex> lock(progress_mu_);
     if (!options_.checkpoint_path.empty())

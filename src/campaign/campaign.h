@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/verdict_cache.h"
 #include "conditions/conditions.h"
 #include "functionals/functional.h"
 #include "verifier/verifier.h"
@@ -57,14 +58,30 @@ struct CampaignOptions {
   /// When non-empty, a checkpoint is written here after every completed
   /// pair and when Run returns (including after cancellation).
   std::string checkpoint_path;
+  /// When non-empty, the campaign owns a persistent verdict cache
+  /// (src/cache/): loaded from this path before Run (a missing or corrupt
+  /// file degrades to a cold cache), consulted/extended by every solver
+  /// call, and written back atomically when Run returns. The cache only
+  /// skips solver work — verdicts, leaves and witnesses are byte-identical
+  /// with the cache on, off, warm, or cold.
+  std::string cache_path;
+  /// Consult the cache but never write the file back (shared/CI caches).
+  bool cache_readonly = false;
 };
 
 struct CampaignResult {
   std::vector<PairState> pairs;  // in enqueue order
   double seconds = 0.0;          // wall time of Run()
   bool cancelled = false;
+  /// Verdict-cache summary (all zero when no cache was configured).
+  std::uint64_t cache_entries = 0;   // entries held after the run
+  bool cache_was_warm = false;       // the cache file loaded successfully
 
   std::size_t CompletedCount() const;
+  /// Sums of the per-pair report counters.
+  std::uint64_t CacheHits() const;
+  std::uint64_t CacheMisses() const;
+  std::uint64_t CacheRejected() const;
 };
 
 class Campaign {
@@ -109,15 +126,21 @@ class Campaign {
   const CampaignOptions& options() const { return options_; }
   std::size_t PairCount() const { return entries_.size(); }
 
+  /// The campaign's verdict cache; nullptr when cache_path is empty.
+  const cache::VerdictCache* verdict_cache() const { return cache_.get(); }
+
  private:
   struct Entry;
 
   verifier::VerifierOptions TunedOptions(
-      const functionals::Functional& f) const;
+      const functionals::Functional& f,
+      const conditions::ConditionInfo& cond) const;
   void FinishPair(Entry& entry, const ProgressFn& progress);
   void WriteCheckpointLocked();
 
   CampaignOptions options_;
+  std::unique_ptr<cache::VerdictCache> cache_;
+  bool cache_was_warm_ = false;
   std::atomic<bool> cancel_{false};
   std::vector<std::unique_ptr<Entry>> entries_;
   std::mutex progress_mu_;  // serializes progress callbacks + checkpoints

@@ -1,20 +1,17 @@
 #include "campaign/serialize.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <limits>
 #include <sstream>
-#include <string_view>
 #include <utility>
 
 #include "support/check.h"
+#include "support/json.h"
 
 namespace xcv::campaign {
 
+using json::JsonValue;
 using verifier::FrontierStrategy;
 using verifier::Region;
 using verifier::RegionStatus;
@@ -23,36 +20,10 @@ using verifier::Verdict;
 
 // ---- Tokens -----------------------------------------------------------------
 
-std::string JsonDouble(double v) {
-  if (std::isnan(v)) return "\"nan\"";
-  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+// The %.17g/non-finite conventions live in support/json (shared with the
+// verdict cache); these aliases keep the historical serialize.h API.
+std::string JsonDouble(double v) { return json::JsonDouble(v); }
+std::string JsonEscape(const std::string& s) { return json::JsonEscape(s); }
 
 std::string VerdictToken(Verdict verdict) {
   switch (verdict) {
@@ -137,6 +108,12 @@ void AppendReport(std::string& out, const VerificationReport& report,
   out += indent + "  \"solver_calls\": " + std::to_string(report.solver_calls);
   out += ",\n" + indent +
          "  \"solver_timeouts\": " + std::to_string(report.solver_timeouts);
+  out += ",\n" + indent +
+         "  \"cache_hits\": " + std::to_string(report.cache_hits);
+  out += ",\n" + indent +
+         "  \"cache_misses\": " + std::to_string(report.cache_misses);
+  out += ",\n" + indent +
+         "  \"cache_rejected\": " + std::to_string(report.cache_rejected);
   out += ",\n" + indent + "  \"seconds\": " + JsonDouble(report.seconds);
   out += ",\n" + indent + "  \"leaves\": [";
   for (std::size_t i = 0; i < report.leaves.size(); ++i) {
@@ -162,208 +139,7 @@ void AppendReport(std::string& out, const VerificationReport& report,
   out += "]\n" + indent + "}";
 }
 
-// ---- Reader (minimal recursive-descent JSON) --------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-  const JsonValue& At(const std::string& key) const {
-    const JsonValue* v = Find(key);
-    XCV_CHECK_MSG(v != nullptr, "checkpoint missing key '" << key << "'");
-    return *v;
-  }
-  /// Number, or one of the quoted non-finite tokens.
-  double AsDouble() const {
-    if (kind == Kind::kNumber) return number;
-    XCV_CHECK_MSG(kind == Kind::kString, "expected a number");
-    if (str == "inf") return std::numeric_limits<double>::infinity();
-    if (str == "-inf") return -std::numeric_limits<double>::infinity();
-    if (str == "nan") return std::numeric_limits<double>::quiet_NaN();
-    XCV_CHECK_MSG(false, "expected a number, got '" << str << "'");
-    return 0.0;
-  }
-  const std::string& AsString() const {
-    XCV_CHECK_MSG(kind == Kind::kString, "expected a string");
-    return str;
-  }
-  bool AsBool() const {
-    XCV_CHECK_MSG(kind == Kind::kBool, "expected a boolean");
-    return boolean;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue Parse() {
-    JsonValue v = ParseValue();
-    SkipSpace();
-    XCV_CHECK_MSG(pos_ == text_.size(), "trailing bytes after JSON document");
-    return v;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char Peek() {
-    SkipSpace();
-    XCV_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
-    return text_[pos_];
-  }
-
-  void Expect(char c) {
-    XCV_CHECK_MSG(Peek() == c, "expected '" << c << "' at offset " << pos_);
-    ++pos_;
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue ParseValue() {
-    const char c = Peek();
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.str = ParseString();
-      return v;
-    }
-    if (c == 't' || c == 'f') return ParseKeyword();
-    if (c == 'n') return ParseKeyword();
-    return ParseNumber();
-  }
-
-  JsonValue ParseObject() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    Expect('{');
-    if (Consume('}')) return v;
-    for (;;) {
-      std::string key = ParseString();
-      Expect(':');
-      v.object.emplace_back(std::move(key), ParseValue());
-      if (Consume(',')) continue;
-      Expect('}');
-      return v;
-    }
-  }
-
-  JsonValue ParseArray() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    Expect('[');
-    if (Consume(']')) return v;
-    for (;;) {
-      v.array.push_back(ParseValue());
-      if (Consume(',')) continue;
-      Expect(']');
-      return v;
-    }
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        XCV_CHECK_MSG(pos_ < text_.size(), "unterminated escape");
-        char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            XCV_CHECK_MSG(pos_ + 4 <= text_.size(), "short \\u escape");
-            const std::string hex(text_.substr(pos_, 4));
-            pos_ += 4;
-            const long code = std::strtol(hex.c_str(), nullptr, 16);
-            // Checkpoints only escape control characters; anything beyond
-            // Latin-1 would need surrogate handling this reader omits.
-            XCV_CHECK_MSG(code >= 0 && code < 256, "unsupported \\u escape");
-            out += static_cast<char>(code);
-            break;
-          }
-          default:
-            XCV_CHECK_MSG(false, "bad escape '\\" << e << "'");
-        }
-        continue;
-      }
-      out += c;
-    }
-    XCV_CHECK_MSG(false, "unterminated string");
-    return out;
-  }
-
-  JsonValue ParseKeyword() {
-    static constexpr std::string_view kTrue = "true", kFalse = "false",
-                                      kNull = "null";
-    SkipSpace();
-    JsonValue v;
-    auto match = [&](std::string_view kw) {
-      if (text_.substr(pos_, kw.size()) != kw) return false;
-      pos_ += kw.size();
-      return true;
-    };
-    if (match(kTrue)) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-    } else if (match(kFalse)) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = false;
-    } else if (match(kNull)) {
-      v.kind = JsonValue::Kind::kNull;
-    } else {
-      XCV_CHECK_MSG(false, "bad JSON keyword at offset " << pos_);
-    }
-    return v;
-  }
-
-  JsonValue ParseNumber() {
-    SkipSpace();
-    const char* begin = text_.data() + pos_;
-    char* end = nullptr;
-    const double value = std::strtod(begin, &end);
-    XCV_CHECK_MSG(end != begin, "bad JSON number at offset " << pos_);
-    pos_ += static_cast<std::size_t>(end - begin);
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = value;
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// ---- Reader -----------------------------------------------------------------
 
 solver::Box BoxFromJson(const JsonValue& v) {
   std::vector<Interval> dims;
@@ -388,6 +164,13 @@ VerificationReport ReportFromJson(const JsonValue& v) {
       static_cast<std::uint64_t>(v.At("solver_calls").AsDouble());
   report.solver_timeouts =
       static_cast<std::uint64_t>(v.At("solver_timeouts").AsDouble());
+  // Cache counters postdate checkpoint version 1; absent in older files.
+  if (const JsonValue* c = v.Find("cache_hits"))
+    report.cache_hits = static_cast<std::uint64_t>(c->AsDouble());
+  if (const JsonValue* c = v.Find("cache_misses"))
+    report.cache_misses = static_cast<std::uint64_t>(c->AsDouble());
+  if (const JsonValue* c = v.Find("cache_rejected"))
+    report.cache_rejected = static_cast<std::uint64_t>(c->AsDouble());
   report.seconds = v.At("seconds").AsDouble();
   for (const JsonValue& leaf : v.At("leaves").array) {
     Region r;
@@ -470,9 +253,8 @@ std::string CheckpointToJson(const CampaignOptions& options,
   return out;
 }
 
-Checkpoint CheckpointFromJson(const std::string& json) {
-  JsonParser parser(json);
-  const JsonValue root = parser.Parse();
+Checkpoint CheckpointFromJson(const std::string& json_text) {
+  const JsonValue root = json::ParseJson(json_text);
   XCV_CHECK_MSG(root.At("format").AsString() == "xcv-campaign-checkpoint",
                 "not an xcv campaign checkpoint");
   XCV_CHECK_MSG(root.At("version").AsDouble() == 1.0,

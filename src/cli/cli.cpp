@@ -53,6 +53,13 @@ Options (verify/resume):
   --frontier=S         Frontier order: widest | suspect | fifo.   [widest]
   --checkpoint=PATH    Write checkpoints here (after every completed pair,
                        on Ctrl-C, and at the end); resume reads it.
+  --cache=PATH         Persistent verdict cache: load it before the run (a
+                       missing or corrupt file starts cold), record every
+                       decided box, write it back at the end. Repeated
+                       campaigns replay cached verdicts instead of solving;
+                       reports are byte-identical either way. The XCV_CACHE
+                       environment variable supplies a default path.
+  --cache-readonly     Consult --cache but never write it back.
   --format=F           Final output: table | json | csv.          [table]
   --quiet              No per-pair progress on stderr.
 
@@ -147,6 +154,17 @@ CampaignOptions OptionsFromFlags(const ParsedArgs& args,
     o.verifier.frontier = campaign::FrontierFromToken(ToLower(it->second));
   if (const auto it = args.flags.find("checkpoint"); it != args.flags.end())
     o.checkpoint_path = it->second;
+  if (const auto it = args.flags.find("cache"); it != args.flags.end()) {
+    o.cache_path = it->second;
+  } else if (const char* env = std::getenv("XCV_CACHE");
+             env != nullptr && env[0] != '\0') {
+    o.cache_path = env;
+  }
+  if (args.flags.count("cache-readonly") > 0) {
+    XCV_CHECK_MSG(!o.cache_path.empty(),
+                  "--cache-readonly needs --cache=PATH (or XCV_CACHE)");
+    o.cache_readonly = true;
+  }
   o.verifier.num_threads = o.num_threads;
   return o;
 }
@@ -163,24 +181,32 @@ CampaignOptions DefaultOptions() {
 }
 
 void PrintCsv(const CampaignResult& result) {
+  // Columns 1–11 (through witnesses) are deterministic for a budget-free
+  // run configuration — byte-identical across thread counts, wave widths,
+  // and cache states; the cache/timing columns after them are run-local.
   std::printf(
       "functional,condition,applicable,done,verdict,verified_frac,"
       "counterexample_frac,inconclusive_frac,timeout_frac,leaves,witnesses,"
-      "solver_calls,solver_timeouts,seconds\n");
+      "solver_calls,solver_timeouts,cache_hits,cache_misses,cache_rejected,"
+      "seconds\n");
   using verifier::RegionStatus;
   for (const PairState& p : result.pairs) {
-    std::printf("%s,%s,%d,%d,%s,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%llu,%llu,%.3f\n",
-                p.functional.c_str(), p.condition.c_str(),
-                p.applicable ? 1 : 0, p.done ? 1 : 0,
-                campaign::VerdictToken(p.verdict).c_str(),
-                p.report.VolumeFraction(RegionStatus::kVerified),
-                p.report.VolumeFraction(RegionStatus::kCounterexample),
-                p.report.VolumeFraction(RegionStatus::kInconclusive),
-                p.report.VolumeFraction(RegionStatus::kTimeout),
-                p.report.leaves.size(), p.report.witnesses.size(),
-                static_cast<unsigned long long>(p.report.solver_calls),
-                static_cast<unsigned long long>(p.report.solver_timeouts),
-                p.seconds);
+    std::printf(
+        "%s,%s,%d,%d,%s,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%llu,%llu,%llu,%llu,"
+        "%llu,%.3f\n",
+        p.functional.c_str(), p.condition.c_str(), p.applicable ? 1 : 0,
+        p.done ? 1 : 0, campaign::VerdictToken(p.verdict).c_str(),
+        p.report.VolumeFraction(RegionStatus::kVerified),
+        p.report.VolumeFraction(RegionStatus::kCounterexample),
+        p.report.VolumeFraction(RegionStatus::kInconclusive),
+        p.report.VolumeFraction(RegionStatus::kTimeout),
+        p.report.leaves.size(), p.report.witnesses.size(),
+        static_cast<unsigned long long>(p.report.solver_calls),
+        static_cast<unsigned long long>(p.report.solver_timeouts),
+        static_cast<unsigned long long>(p.report.cache_hits),
+        static_cast<unsigned long long>(p.report.cache_misses),
+        static_cast<unsigned long long>(p.report.cache_rejected),
+        p.seconds);
   }
 }
 
@@ -265,6 +291,18 @@ int RunCampaign(Campaign& campaign, const CampaignOptions& options,
     PrintCsv(result);
   } else {
     PrintTable(result);
+    if (!options.cache_path.empty()) {
+      std::printf(
+          "Verdict cache (%s, %s): %llu hits, %llu misses, %llu rejected; "
+          "%llu entries%s\n",
+          options.cache_path.c_str(),
+          result.cache_was_warm ? "warm" : "cold",
+          static_cast<unsigned long long>(result.CacheHits()),
+          static_cast<unsigned long long>(result.CacheMisses()),
+          static_cast<unsigned long long>(result.CacheRejected()),
+          static_cast<unsigned long long>(result.cache_entries),
+          options.cache_readonly ? " (read-only)" : "");
+    }
   }
 
   if (result.cancelled) {

@@ -537,4 +537,45 @@ Tape CompileOptimized(const Expr& e, OptimizeStats* stats) {
   return Optimize(Compile(e), stats);
 }
 
+std::uint64_t FnvMix(std::uint64_t h, std::uint64_t word) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xff;
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t FnvMixString(std::uint64_t h, const std::string& s) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  h = FnvMix(h, s.size());
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t TapeFingerprint(const Tape& tape) {
+  std::uint64_t h = kFnvOffset;
+  h = FnvMix(h, tape.instrs.size());
+  h = FnvMix(h, static_cast<std::uint64_t>(tape.num_env_slots));
+  for (const Instr& in : tape.instrs) {
+    h = FnvMix(h, static_cast<std::uint64_t>(in.op));
+    h = FnvMix(h, static_cast<std::uint64_t>(in.rel));
+    // Constants by bit pattern: NaN payloads and -0.0 stay distinct, exactly
+    // as the optimizer's own value numbering treats them.
+    h = FnvMix(h, std::bit_cast<std::uint64_t>(in.value));
+    h = FnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(in.var)));
+    h = FnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(in.a)));
+    h = FnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(in.b)));
+    h = FnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(in.c)));
+    h = FnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(in.d)));
+    h = FnvMix(h, in.rest.size());
+    for (std::int32_t r : in.rest)
+      h = FnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(r)));
+  }
+  return h;
+}
+
 }  // namespace xcv::expr

@@ -33,6 +33,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "expr/compile.h"
 #include "expr/expr.h"
@@ -59,5 +61,21 @@ Tape Optimize(const Tape& tape, OptimizeStats* stats = nullptr);
 /// Compile(e) followed by Optimize() — the entry point every hot caller
 /// (contractors, solver presampling, grid evaluation) should use.
 Tape CompileOptimized(const Expr& e, OptimizeStats* stats = nullptr);
+
+/// Structural 64-bit fingerprint of a tape: FNV-1a over every instruction's
+/// op, relation, payload (constant bits, variable index / integer exponent)
+/// and operand slots, in tape order. Two tapes get equal fingerprints iff
+/// they are instruction-for-instruction identical; since Optimize() is a
+/// canonicalizing rewrite (deterministic value numbering over a fixed pass
+/// order), the fingerprint of an optimized tape is a stable identity for
+/// "the same compiled formula" across processes — what the persistent
+/// verdict cache (src/cache/) keys solver results by.
+std::uint64_t TapeFingerprint(const Tape& tape);
+
+/// FNV-1a continuation helpers, exposed so cache keys can fold additional
+/// words (options, condition ids) into one running fingerprint.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+std::uint64_t FnvMix(std::uint64_t h, std::uint64_t word);
+std::uint64_t FnvMixString(std::uint64_t h, const std::string& s);
 
 }  // namespace xcv::expr

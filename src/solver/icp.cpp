@@ -6,8 +6,11 @@
 #include <unordered_map>
 #include <utility>
 
-#include "expr/eval.h"
+#include <bit>
 
+#include "cache/verdict_cache.h"
+#include "expr/eval.h"
+#include "expr/optimize.h"
 #include "support/check.h"
 
 namespace xcv::solver {
@@ -66,6 +69,68 @@ DeltaSolver::DeltaSolver(expr::BoolExpr formula, SolverOptions options)
   forward_cache_valid_.assign(contractors_.size(), 0);
   for (std::size_t a = 0; a < contractors_.size(); ++a)
     if (is_required_[a]) forward_cache_[a].reserve(contractors_[a].tape().size());
+
+  cache_scope_ = ComputeCacheScope();
+}
+
+std::uint64_t DeltaSolver::ComputeCacheScope() const {
+  using expr::FnvMix;
+  // Formula identity: canonical optimized tape of every distinct atom (in
+  // compilation order, which is deterministic for a fixed formula) plus the
+  // skeleton's shape over atom indices.
+  std::uint64_t h = expr::kFnvOffset;
+  for (const AtomContractor& c : contractors_) {
+    h = FnvMix(h, expr::TapeFingerprint(c.tape()));
+    h = FnvMix(h, static_cast<std::uint64_t>(c.rel()));
+  }
+  auto hash_skeleton = [&h](auto&& self, const FNode& node) -> void {
+    h = FnvMix(h, static_cast<std::uint64_t>(node.kind));
+    h = FnvMix(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(node.atom)));
+    h = FnvMix(h, node.children.size());
+    for (const FNode& c : node.children) self(self, c);
+  };
+  hash_skeleton(hash_skeleton, skeleton_);
+  // Every verdict-affecting option. wave_width is deliberately absent: it
+  // batches evaluation without changing any verdict, model, or node count,
+  // so caches stay valid across wave-width changes.
+  h = FnvMix(h, std::bit_cast<std::uint64_t>(options_.delta));
+  h = FnvMix(h, options_.max_nodes);
+  h = FnvMix(h, std::bit_cast<std::uint64_t>(options_.time_budget_seconds));
+  h = FnvMix(h, static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(options_.contraction_rounds)));
+  h = FnvMix(h, static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(options_.max_invalid_models)));
+  h = FnvMix(h, static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(options_.presample_points)));
+  h = FnvMix(h, options_.cache_salt);
+  return h;
+}
+
+void DeltaSolver::MaybeRecord(const Box& domain, const CheckResult& result,
+                              bool deadline_stopped) const {
+  if (options_.cache == nullptr) return;
+  // Wall-clock-caused outcomes are not reproducible — a rerun (or another
+  // machine) could get further. Everything else is a pure function of
+  // (formula, options, box) and replays exactly.
+  if (deadline_stopped) return;
+  cache::CachedVerdict cv;
+  switch (result.kind) {
+    case SatKind::kUnsat:
+      cv.kind = cache::CachedKind::kUnsat;
+      break;
+    case SatKind::kDeltaSat:
+      cv.kind = cache::CachedKind::kDeltaSat;
+      cv.model = result.model;
+      cv.model_box.assign(result.model_box.dims().begin(),
+                          result.model_box.dims().end());
+      break;
+    case SatKind::kTimeout:
+      cv.kind = cache::CachedKind::kTimeout;
+      break;
+  }
+  cv.nodes = result.stats.nodes;
+  options_.cache->Store(cache_scope_, domain.dims(), std::move(cv));
 }
 
 namespace {
@@ -302,7 +367,7 @@ void DeltaSolver::ClassifyWave(BoxStore::Ref popped) {
     classified_[static_cast<std::size_t>(wave_refs_[k])] = 1;
 }
 
-CheckResult DeltaSolver::Check(const Box& domain) {
+CheckResult DeltaSolver::Check(const Box& domain, bool consult_cache) {
   CheckResult result;
   Stopwatch watch;
   const Deadline deadline =
@@ -316,10 +381,36 @@ CheckResult DeltaSolver::Check(const Box& domain) {
     return result;
   }
 
+  // Verdict cache: an exact (scope, box) hit replays the recorded result
+  // without any solver work. Callers that must not trust a hit blindly
+  // (the verifier engine) revalidate and re-Check with consult_cache=false
+  // on contradiction.
+  if (consult_cache && options_.cache != nullptr) {
+    cache::CachedVerdict cv;
+    if (options_.cache->Lookup(cache_scope_, domain.dims(), &cv)) {
+      switch (cv.kind) {
+        case cache::CachedKind::kUnsat: result.kind = SatKind::kUnsat; break;
+        case cache::CachedKind::kDeltaSat:
+          result.kind = SatKind::kDeltaSat;
+          result.model = std::move(cv.model);
+          result.model_box = Box(std::move(cv.model_box));
+          break;
+        case cache::CachedKind::kTimeout:
+          result.kind = SatKind::kTimeout;
+          break;
+      }
+      result.stats.nodes = cv.nodes;
+      result.from_cache = true;
+      result.stats.seconds = watch.ElapsedSeconds();
+      return result;
+    }
+  }
+
   // Model guessing: probe an interior lattice before any interval work. The
   // lattice is evaluated in batch over the atoms' optimized tapes; hits are
   // confirmed with the exact evaluator before being reported.
   if (options_.presample_points > 0 && PresampleLattice(domain, result)) {
+    MaybeRecord(domain, result, /*deadline_stopped=*/false);
     result.stats.seconds = watch.ElapsedSeconds();
     return result;
   }
@@ -356,6 +447,7 @@ CheckResult DeltaSolver::Check(const Box& domain) {
         (result.stats.nodes % 128 == 0 && deadline.Expired())) {
       // Budget exhausted. A set-aside invalid candidate is still an
       // unrefuted delta-box, which outranks a plain timeout.
+      const bool by_nodes = result.stats.nodes >= options_.max_nodes;
       if (invalid_candidates > 0) {
         result.kind = SatKind::kDeltaSat;
         result.model = std::move(last_invalid_model);
@@ -363,6 +455,9 @@ CheckResult DeltaSolver::Check(const Box& domain) {
       } else {
         result.kind = SatKind::kTimeout;
       }
+      // Node-budget exhaustion is deterministic (max_nodes is in the scope
+      // hash) and safe to replay; a wall-clock stop is not.
+      MaybeRecord(domain, result, /*deadline_stopped=*/!by_nodes);
       result.stats.seconds = watch.ElapsedSeconds();
       return result;
     }
@@ -404,6 +499,7 @@ CheckResult DeltaSolver::Check(const Box& domain) {
       result.kind = SatKind::kDeltaSat;
       result.model = solver::Midpoint(box);
       result.model_box = Box(std::span<const Interval>(box));
+      MaybeRecord(domain, result, /*deadline_stopped=*/false);
       result.stats.seconds = watch.ElapsedSeconds();
       return result;
     }
@@ -460,6 +556,7 @@ CheckResult DeltaSolver::Check(const Box& domain) {
         result.kind = SatKind::kDeltaSat;
         result.model = std::move(model);
         result.model_box = Box(std::span<const Interval>(box));
+        MaybeRecord(domain, result, /*deadline_stopped=*/false);
         result.stats.seconds = watch.ElapsedSeconds();
         return result;
       }
@@ -497,8 +594,68 @@ CheckResult DeltaSolver::Check(const Box& domain) {
   } else {
     result.kind = SatKind::kUnsat;
   }
+  MaybeRecord(domain, result, /*deadline_stopped=*/false);
   result.stats.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+void DeltaSolver::ClassifyBoxes(std::span<const Box> boxes,
+                                std::vector<int>& out) {
+  const std::size_t n = boxes.size();
+  out.assign(n, 0);
+  if (n == 0) return;
+  const std::size_t dims = boxes[0].size();
+  const std::size_t atoms = contractors_.size();
+
+  // SoA gather into the revalidation lanes (grown monotonically).
+  reval_lo_.resize(dims * n);
+  reval_hi_.resize(dims * n);
+  reval_lo_ptrs_.resize(dims);
+  reval_hi_ptrs_.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    double* lo = reval_lo_.data() + d * n;
+    double* hi = reval_hi_.data() + d * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      XCV_DCHECK(boxes[k].size() == dims);
+      lo[k] = boxes[k][d].lo();
+      hi[k] = boxes[k][d].hi();
+    }
+    reval_lo_ptrs_[d] = lo;
+    reval_hi_ptrs_[d] = hi;
+  }
+
+  // One batched sweep per atom, statuses per (box, atom).
+  std::vector<char>& status = reval_status_;
+  status.resize(n * atoms);
+  for (std::size_t a = 0; a < atoms; ++a) {
+    const expr::Tape& tape = contractors_[a].tape();
+    expr::EvalTapeIntervalBatch(tape, reval_lo_ptrs_, reval_hi_ptrs_, n,
+                                interval_batch_);
+    const auto root = static_cast<std::size_t>(tape.root());
+    for (std::size_t k = 0; k < n; ++k)
+      status[k * atoms + a] = static_cast<char>(
+          contractors_[a].ClassifyRoot(interval_batch_.At(root, k)));
+  }
+
+  std::vector<Tri>& atom_status = reval_atom_status_;
+  atom_status.resize(atoms);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t a = 0; a < atoms; ++a) {
+      switch (static_cast<AtomContractor::Status>(status[k * atoms + a])) {
+        case AtomContractor::Status::kCertainlyTrue:
+          atom_status[a] = Tri::kTrue;
+          break;
+        case AtomContractor::Status::kCertainlyFalse:
+          atom_status[a] = Tri::kFalse;
+          break;
+        case AtomContractor::Status::kUnknown:
+          atom_status[a] = Tri::kUnknown;
+          break;
+      }
+    }
+    const Tri truth = EvaluateSkeleton(skeleton_, atom_status);
+    out[k] = truth == Tri::kTrue ? 1 : truth == Tri::kFalse ? -1 : 0;
+  }
 }
 
 }  // namespace xcv::solver

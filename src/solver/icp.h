@@ -24,6 +24,10 @@
 #include "solver/contractor.h"
 #include "support/stopwatch.h"
 
+namespace xcv::cache {
+class VerdictCache;
+}  // namespace xcv::cache
+
 namespace xcv::solver {
 
 /// Tuning knobs for one CheckSat call.
@@ -59,6 +63,18 @@ struct SolverOptions {
   /// (the batched kernels are bit-identical to the scalar evaluator and the
   /// DFS order never changes). 1 degenerates to scalar classification.
   int wave_width = 8;
+  /// Optional persistent verdict cache (src/cache/). When set, Check
+  /// consults it before any solver work — an exact (formula, options, box)
+  /// hit replays the recorded result with from_cache set — and records its
+  /// own reproducible verdicts (UNSAT, delta-sat, node-budget timeouts;
+  /// never wall-clock timeouts). Non-owning; never serialized. The cache
+  /// only skips work: a cache-less rerun of a deterministic run produces
+  /// byte-identical results.
+  cache::VerdictCache* cache = nullptr;
+  /// Extra word folded into the cache scope hash. Campaigns salt with the
+  /// condition id so cache keys spell out (functional tape, condition,
+  /// options, box) even if two conditions compiled to equal tapes.
+  std::uint64_t cache_salt = 0;
 };
 
 enum class SatKind { kUnsat, kDeltaSat, kTimeout };
@@ -79,6 +95,9 @@ struct CheckResult {
   /// Terminal box for kDeltaSat.
   Box model_box;
   SolverStats stats;
+  /// True when the result was replayed from the verdict cache (stats.nodes
+  /// then reports the recorded cold-run node count; no solver work ran).
+  bool from_cache = false;
 };
 
 /// Decision engine for one fixed formula, reusable across many boxes (the
@@ -89,15 +108,34 @@ class DeltaSolver {
   /// `formula` is an NNF BoolExpr (True/False/atoms/and/or).
   DeltaSolver(expr::BoolExpr formula, SolverOptions options);
 
-  /// Decides `formula` over `domain`.
-  CheckResult Check(const Box& domain);
+  /// Decides `formula` over `domain`, consulting the verdict cache when one
+  /// is configured.
+  CheckResult Check(const Box& domain) { return Check(domain, true); }
+
+  /// Check with explicit cache control: consult_cache=false forces a full
+  /// solve (used after a cache hit fails revalidation; the fresh result
+  /// overwrites the bad entry).
+  CheckResult Check(const Box& domain, bool consult_cache);
 
   const expr::BoolExpr& formula() const { return formula_; }
   const SolverOptions& options() const { return options_; }
 
+  /// Scope half of the verdict-cache key: canonical tape fingerprints of
+  /// every atom + skeleton shape + verdict-affecting options + cache_salt.
+  /// wave_width is deliberately excluded (batching never changes verdicts).
+  std::uint64_t cache_scope() const { return cache_scope_; }
+
   /// Validates a model against the exact (unweakened) formula using IEEE
   /// double evaluation — Algorithm 1's valid(x).
   bool ValidateModel(std::span<const double> model) const;
+
+  /// Classifies the formula skeleton over `boxes` with one batched interval
+  /// sweep per atom (EvalTapeIntervalBatch): out[k] is +1 when the formula
+  /// certainly holds at every point of box k, -1 when it certainly holds
+  /// nowhere in box k, 0 when interval evaluation cannot decide. This is
+  /// the engine's cache-hit revalidation primitive — one sweep covers a
+  /// whole wave of cached frontier boxes.
+  void ClassifyBoxes(std::span<const Box> boxes, std::vector<int>& out);
 
  private:
   // Formula skeleton over atom indices (atoms deduplicated by expression
@@ -121,6 +159,17 @@ class DeltaSolver {
   /// and fills `result` when a genuine model was found.
   bool PresampleLattice(const Box& domain, CheckResult& result);
 
+  /// Scope half of the cache key (see cache_scope()); computed once in the
+  /// constructor from the contractor tapes, skeleton, and options.
+  std::uint64_t ComputeCacheScope() const;
+
+  /// Records `result` for `domain` in the verdict cache when configured and
+  /// when the result is reproducible (see SolverOptions::cache).
+  /// `deadline_stopped` marks results produced because the wall clock — not
+  /// the deterministic node budget — expired; those are never recorded.
+  void MaybeRecord(const Box& domain, const CheckResult& result,
+                   bool deadline_stopped) const;
+
   /// Allocates a frontier slot holding `tmp_box_` and marks it
   /// unclassified (sizing the per-slot side arrays as needed).
   BoxStore::Ref NewNodeFromTmp();
@@ -132,6 +181,7 @@ class DeltaSolver {
 
   expr::BoolExpr formula_;
   SolverOptions options_;
+  std::uint64_t cache_scope_ = 0;
   FNode skeleton_;
   std::vector<AtomContractor> contractors_;  // one per distinct atom
   std::vector<int> required_atoms_;  // atoms on every conjunctive path
@@ -152,6 +202,13 @@ class DeltaSolver {
   std::vector<double> wave_lo_, wave_hi_;          // dims × wave_width SoA
   std::vector<const double*> wave_lo_ptrs_, wave_hi_ptrs_;
   expr::TapeIntervalBatchScratch interval_batch_;
+
+  // ClassifyBoxes SoA buffers (grown monotonically; warm cache replays run
+  // one revalidation sweep per wave, so this is a hot path too).
+  std::vector<double> reval_lo_, reval_hi_;
+  std::vector<const double*> reval_lo_ptrs_, reval_hi_ptrs_;
+  std::vector<char> reval_status_;       // box * atoms + atom
+  std::vector<Tri> reval_atom_status_;   // per-box skeleton inputs
 
   // Per-required-atom forward enclosures of the most recently classified
   // popped box, valid until the box is first narrowed (HC4 round 0 consumes

@@ -1,0 +1,48 @@
+// Minimal JSON machinery shared by every on-disk format in the repo: the
+// campaign checkpoint (src/campaign/serialize.cpp), the persistent verdict
+// cache (src/cache/), and the `xcv --format=json` output document.
+//
+// Two conventions chosen for exact resume:
+//   * doubles print as %.17g, which round-trips every finite binary64;
+//   * non-finite values print as the strings "inf"/"-inf"/"nan" (JSON has
+//     no literals for them); readers accept numbers or those strings.
+// No external JSON dependency: the writer helpers and the small
+// recursive-descent reader live in json.cpp.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xcv::json {
+
+/// %.17g for finite values; "inf"/"-inf"/"nan" (quoted) otherwise.
+std::string JsonDouble(double v);
+std::string JsonEscape(const std::string& s);
+
+/// Parsed JSON value (tree of vectors; objects keep insertion order).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First value under `key`, or nullptr — unknown keys are simply ignored
+  /// by readers, which is what keeps the formats backward-compatible.
+  const JsonValue* Find(const std::string& key) const;
+  /// Find, but throws xcv::InternalError when the key is missing.
+  const JsonValue& At(const std::string& key) const;
+  /// Number, or one of the quoted non-finite tokens.
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+};
+
+/// Parses one JSON document (trailing bytes are an error). Throws
+/// xcv::InternalError on malformed input.
+JsonValue ParseJson(const std::string& text);
+
+}  // namespace xcv::json

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 #include <utility>
 
 #include "expr/eval.h"
@@ -156,6 +157,9 @@ void PairEngine::Restore(VerificationReport partial, std::vector<Box> open) {
     seeded_ = true;
     solver_calls_.store(partial.solver_calls);
     solver_timeouts_.store(partial.solver_timeouts);
+    cache_hits_.store(partial.cache_hits);
+    cache_misses_.store(partial.cache_misses);
+    cache_rejected_.store(partial.cache_rejected);
     busy_seconds_ = partial.seconds;
     report_ = std::move(partial);
     for (const Box& b : open)
@@ -211,6 +215,7 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
   RegionStatus status = RegionStatus::kTimeout;
   std::vector<double> witness;
   bool is_leaf = true;
+  bool hit_rejected = false;
   std::vector<Box> children;
   std::vector<char> child_suspect;
 
@@ -220,10 +225,29 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
   } else {
     auto solver = AcquireSolver();
     CheckResult result = solver->Check(box);
+    if (result.from_cache &&
+        !RevalidateCachedResult(*solver, item.seq, box, result)) {
+      // The cached entry contradicts a fresh interval sweep (scope-hash
+      // collision or a tampered file): distrust it and solve for real. The
+      // fresh result overwrites the bad entry.
+      hit_rejected = true;
+      cache_rejected_.fetch_add(1, std::memory_order_relaxed);
+      result = solver->Check(box, /*consult_cache=*/false);
+    }
     ReleaseSolver(std::move(solver));
-    solver_calls_.fetch_add(1, std::memory_order_relaxed);
-    if (result.kind == SatKind::kTimeout)
-      solver_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    if (result.from_cache) {
+      // No solver ran; the replayed result is byte-equivalent to the cold
+      // run's, so everything below (status, witness, split) replays too.
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // hits / misses / rejected are disjoint per box (see region.h): a
+      // rejected hit was not a miss — the lookup found an entry.
+      if (options_.solver.cache != nullptr && !hit_rejected)
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
+      solver_calls_.fetch_add(1, std::memory_order_relaxed);
+      if (result.kind == SatKind::kTimeout)
+        solver_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     if (result.kind == SatKind::kUnsat) {
       status = RegionStatus::kVerified;
@@ -266,6 +290,7 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
       }
     }
     store_.Release(item.box_ref);  // leaf or split: the slot is recycled
+    reval_tri_.erase(item.seq);    // wave classification is spent either way
     if (!witness.empty()) report_.witnesses.push_back(witness);
     if (is_leaf) {
       report_.leaves.push_back(
@@ -278,6 +303,74 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
   }
   if (sink) for (double p : tickets) sink(p);
   return true;
+}
+
+bool PairEngine::RevalidateCachedResult(DeltaSolver& solver,
+                                        std::uint64_t seq, const Box& box,
+                                        const CheckResult& result) {
+  int tri = 0;
+  bool have_tri = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = reval_tri_.find(seq);
+    if (it != reval_tri_.end()) {
+      tri = it->second;
+      have_tri = true;
+    }
+  }
+  if (!have_tri) {
+    // Build a revalidation wave: this box plus open frontier boxes not yet
+    // classified, up to the solver's wave width, so one batched sweep
+    // covers the pops that follow. (Boxes are copied out under the lock;
+    // frontier entries are immutable until popped, so the classification
+    // stays valid whenever it is consumed.)
+    std::vector<std::uint64_t> seqs{seq};
+    std::vector<Box> wave{box};
+    const auto width = static_cast<std::size_t>(
+        std::max(1, options_.solver.wave_width));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const OpenBox& b : open_) {
+        if (wave.size() >= width) break;
+        if (reval_tri_.count(b.seq) != 0) continue;
+        seqs.push_back(b.seq);
+        wave.push_back(Box(store_.View(b.box_ref)));
+      }
+    }
+    std::vector<int> tris;
+    solver.ClassifyBoxes(wave, tris);
+    tri = tris[0];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Only keep classifications for boxes still open: another worker may
+      // have popped (and finished) a wave member while the sweep ran, and
+      // inserting its tri afterwards would leave a dead entry in the map
+      // forever (its erase already happened). Seqs never recycle, so a
+      // skipped insert is at worst a re-classification later.
+      std::unordered_set<std::uint64_t> open_seqs;
+      open_seqs.reserve(open_.size());
+      for (const OpenBox& b : open_) open_seqs.insert(b.seq);
+      for (std::size_t i = 1; i < seqs.size(); ++i)
+        if (open_seqs.count(seqs[i]) != 0) reval_tri_.emplace(seqs[i], tris[i]);
+    }
+  }
+
+  // The sweep classifies ¬ψ over the box: +1 = certainly satisfiable
+  // everywhere, -1 = certainly unsatisfiable, 0 = undecided. A verdict that
+  // contradicts its box's classification cannot have come from a run of
+  // this solver on this box.
+  switch (result.kind) {
+    case SatKind::kUnsat:
+      return tri != 1;
+    case SatKind::kDeltaSat:
+      if (tri == -1) return false;
+      return !result.model.empty() && box.Contains(result.model);
+    case SatKind::kTimeout:
+      // A box decidable by one forward sweep is decided at node 1 — it can
+      // never exhaust a node budget.
+      return tri == 0;
+  }
+  return false;
 }
 
 bool PairEngine::Finished() const {
@@ -307,6 +400,9 @@ EngineSnapshot PairEngine::Snapshot() const {
   snap.report = report_;
   snap.report.solver_calls = solver_calls_.load();
   snap.report.solver_timeouts = solver_timeouts_.load();
+  snap.report.cache_hits = cache_hits_.load();
+  snap.report.cache_misses = cache_misses_.load();
+  snap.report.cache_rejected = cache_rejected_.load();
   snap.report.seconds = busy_seconds_;
   snap.open.reserve(open_.size() + in_flight_.size());
   for (const OpenBox& b : open_)
@@ -325,6 +421,9 @@ VerificationReport PairEngine::TakeReport() {
   report_ = VerificationReport{};
   report.solver_calls = solver_calls_.load();
   report.solver_timeouts = solver_timeouts_.load();
+  report.cache_hits = cache_hits_.load();
+  report.cache_misses = cache_misses_.load();
+  report.cache_rejected = cache_rejected_.load();
   report.seconds = busy_seconds_;
   CanonicalizeReport(report);
   return report;

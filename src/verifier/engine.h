@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -125,6 +126,17 @@ class PairEngine {
   std::unique_ptr<solver::DeltaSolver> AcquireSolver();
   void ReleaseSolver(std::unique_ptr<solver::DeltaSolver> s);
 
+  /// Decides whether a cache-replayed CheckResult for `box` may be trusted.
+  /// The box's interval classification comes from the revalidation map if an
+  /// earlier wave covered it; otherwise one batched sweep classifies the box
+  /// together with up to wave_width-1 open frontier boxes (so a warm replay
+  /// pays one EvalTapeIntervalBatch dispatch per wave, not per box). Returns
+  /// false when the classification or the cached model contradicts the
+  /// cached verdict — the caller then re-solves with the cache bypassed.
+  bool RevalidateCachedResult(solver::DeltaSolver& solver, std::uint64_t seq,
+                              const solver::Box& box,
+                              const solver::CheckResult& result);
+
   expr::BoolExpr psi_;
   expr::BoolExpr not_psi_;
   VerifierOptions options_;
@@ -141,6 +153,15 @@ class PairEngine {
 
   std::atomic<std::uint64_t> solver_calls_{0};
   std::atomic<std::uint64_t> solver_timeouts_{0};
+
+  // Verdict-cache bookkeeping. reval_tri_ holds interval classifications
+  // (+1/-1/0) of open boxes computed by revalidation waves, keyed by the
+  // box's frontier seq (slot refs recycle, seqs never do); entries are
+  // consumed/cleared when the box is processed.
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_rejected_{0};
+  std::unordered_map<std::uint64_t, int> reval_tri_;  // guarded by mu_
 
   // Free-list of solver instances (tape compilation is expensive for big
   // functionals; one solver is in use per concurrent box at a time).

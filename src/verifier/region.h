@@ -48,6 +48,13 @@ struct VerificationReport {
   std::vector<std::vector<double>> witnesses;
   std::uint64_t solver_calls = 0;
   std::uint64_t solver_timeouts = 0;
+  /// Verdict-cache traffic (zero when no cache is configured): boxes decided
+  /// from a revalidated cache hit, boxes that missed, and hits discarded by
+  /// revalidation. Hits do not count as solver_calls — the cache's whole
+  /// point is that no solver ran.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_rejected = 0;
   double seconds = 0.0;
 
   /// Fraction of the domain volume with the given leaf status.
