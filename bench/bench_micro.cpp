@@ -14,6 +14,7 @@
 #include <string>
 
 #include "campaign/campaign.h"
+#include "campaign/serialize.h"
 #include "conditions/conditions.h"
 #include "conditions/enhancement.h"
 #include "expr/compile.h"
@@ -22,6 +23,8 @@
 #include "functionals/variables.h"
 #include "gridsearch/grid.h"
 #include "interval/interval.h"
+#include "shard/merge.h"
+#include "shard/partition.h"
 #include "solver/contractor.h"
 #include "solver/icp.h"
 #include "support/stopwatch.h"
@@ -432,6 +435,85 @@ void RunCacheReplay() {
   std::remove(path.c_str());
 }
 
+// ---- Shard partition + merge (JSON trajectory) ------------------------------
+
+// Distributed-run overhead on a 4-shard lda/pbe matrix: how long the pure
+// checkpoint transformations (PartitionCheckpoint, MergeCheckpoints) take
+// relative to solving the shards, with the merged report asserted equal to
+// the single-node run (seconds zeroed — busy time is the one run-local
+// field).
+void RunShardMerge() {
+  const std::vector<const functionals::Functional*> funcs{
+      functionals::FindFunctional("VWN_RPA"),
+      functionals::FindFunctional("PBE")};
+  std::vector<const conditions::ConditionInfo*> conds;
+  for (const char* id : {"EC1", "EC2", "EC3", "EC4"})
+    conds.push_back(conditions::FindCondition(id));
+
+  campaign::CampaignOptions options;
+  options.verifier.split_threshold = 0.625;
+  options.verifier.solver.max_nodes = 3'000;
+  options.verifier.solver.max_invalid_models = 512;
+
+  campaign::Checkpoint fresh;
+  fresh.options = options;
+  for (const conditions::ConditionInfo* cond : conds)
+    for (const functionals::Functional* f : funcs)
+      fresh.pairs.push_back(campaign::InitialPairState(*f, *cond));
+
+  auto run = [](campaign::Checkpoint cp) {
+    campaign::Campaign c(cp.options);
+    for (campaign::PairState& p : cp.pairs) c.Restore(std::move(p));
+    campaign::CampaignResult result = c.Run();
+    cp.pairs = std::move(result.pairs);
+    return cp;
+  };
+  // Seconds and origin provenance are the two fields that legitimately
+  // differ from the single-node document; everything else must match.
+  auto normalized = [](campaign::Checkpoint cp) {
+    for (campaign::PairState& p : cp.pairs) {
+      p.seconds = 0.0;
+      p.report.seconds = 0.0;
+      p.origin_index = -1;
+    }
+    return campaign::CheckpointToJson(cp.options, cp.pairs, false);
+  };
+
+  Stopwatch watch;
+  const campaign::Checkpoint single = run(fresh);
+  const double single_s = watch.ElapsedSeconds();
+
+  constexpr int kShards = 4;
+  shard::PartitionOptions popts;
+  popts.shards = kShards;
+  popts.by = shard::ShardBy::kPairs;
+  watch.Reset();
+  std::vector<campaign::Checkpoint> shards =
+      shard::PartitionCheckpoint(fresh, popts);
+  const double partition_s = watch.ElapsedSeconds();
+
+  watch.Reset();
+  std::vector<campaign::Checkpoint> finished;
+  for (campaign::Checkpoint& s : shards) finished.push_back(run(std::move(s)));
+  const double resume_s = watch.ElapsedSeconds();
+
+  shard::MergeStats stats;
+  watch.Reset();
+  const campaign::Checkpoint merged =
+      shard::MergeCheckpoints(std::move(finished), &stats);
+  const double merge_s = watch.ElapsedSeconds();
+
+  const bool merged_equal = normalized(merged) == normalized(single);
+  std::printf(
+      "{\"bench\":\"shard_merge\",\"matrix\":\"lda+pbe x EC1-EC4\","
+      "\"shards\":%d,\"pairs\":%zu,\"fragments\":%zu,\"single_s\":%.6f,"
+      "\"partition_s\":%.6f,\"resume_s\":%.6f,\"merge_s\":%.6f,"
+      "\"overhead_frac\":%.6f,\"merged_equal\":%d}\n",
+      kShards, merged.pairs.size(), stats.pair_fragments, single_s,
+      partition_s, resume_s, merge_s,
+      (partition_s + merge_s) / single_s, merged_equal ? 1 : 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -446,5 +528,6 @@ int main(int argc, char** argv) {
   RunIcpNodeThroughput(*functionals::FindFunctional("PBE"));
   RunIcpNodeThroughput(*functionals::FindFunctional("SCAN"));
   RunCacheReplay();
+  RunShardMerge();
   return 0;
 }

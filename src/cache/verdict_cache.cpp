@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "expr/optimize.h"
+#include "solver/box.h"
 #include "support/check.h"
 #include "support/json.h"
 
@@ -38,32 +39,10 @@ CachedKind CachedKindFromToken(const std::string& token) {
 namespace {
 
 // Endpoint identity is bit-pattern identity: -0.0 and 0.0 are different
-// keys, exactly as the solver's splitting arithmetic produces them.
-bool SameDouble(double a, double b) {
-  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
-}
-
-bool SameBox(std::span<const Interval> a, std::span<const Interval> b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    if (!SameDouble(a[i].lo(), b[i].lo()) || !SameDouble(a[i].hi(), b[i].hi()))
-      return false;
-  return true;
-}
-
-bool BoxBitsLess(const std::vector<Interval>& a,
-                 const std::vector<Interval>& b) {
-  const std::size_t n = std::min(a.size(), b.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto alo = std::bit_cast<std::uint64_t>(a[i].lo());
-    const auto blo = std::bit_cast<std::uint64_t>(b[i].lo());
-    if (alo != blo) return alo < blo;
-    const auto ahi = std::bit_cast<std::uint64_t>(a[i].hi());
-    const auto bhi = std::bit_cast<std::uint64_t>(b[i].hi());
-    if (ahi != bhi) return ahi < bhi;
-  }
-  return a.size() < b.size();
-}
+// keys, exactly as the solver's splitting arithmetic produces them. The
+// comparisons live in solver/box.h (shared with the shard merge).
+using solver::BoxBitsLess;
+using solver::SameBoxBits;
 
 void AppendDoubles(std::string& out, std::span<const double> values) {
   out += '[';
@@ -118,7 +97,7 @@ bool VerdictCache::Lookup(std::uint64_t scope, std::span<const Interval> box,
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     for (const Entry& e : it->second) {
-      if (e.scope == scope && SameBox(e.box, box)) {
+      if (e.scope == scope && SameBoxBits(e.box, box)) {
         *out = e.verdict;
         hits_.fetch_add(1, std::memory_order_relaxed);
         return true;
@@ -136,7 +115,7 @@ void VerdictCache::Store(std::uint64_t scope, std::span<const Interval> box,
   stores_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Entry>& bucket = entries_[key];
   for (Entry& e : bucket) {
-    if (e.scope == scope && SameBox(e.box, box)) {
+    if (e.scope == scope && SameBoxBits(e.box, box)) {
       e.verdict = std::move(verdict);  // refresh (e.g. after a rejected hit)
       return;
     }
@@ -147,6 +126,38 @@ void VerdictCache::Store(std::uint64_t scope, std::span<const Interval> box,
   entry.verdict = std::move(verdict);
   bucket.push_back(std::move(entry));
   ++count_;
+}
+
+bool VerdictCache::Erase(std::uint64_t scope, std::span<const Interval> box) {
+  const std::uint64_t key = MapKey(scope, box);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  std::vector<Entry>& bucket = it->second;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].scope == scope && SameBoxBits(bucket[i].box, box)) {
+      bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+      if (bucket.empty()) entries_.erase(it);
+      --count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void VerdictCache::ForEach(
+    const std::function<void(std::uint64_t, std::span<const Interval>,
+                             const CachedVerdict&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(count_);
+  for (const auto& [key, bucket] : entries_)
+    for (const Entry& e : bucket) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->scope != b->scope) return a->scope < b->scope;
+    return BoxBitsLess(a->box, b->box);
+  });
+  for (const Entry* e : sorted) fn(e->scope, e->box, e->verdict);
 }
 
 std::size_t VerdictCache::size() const {
@@ -163,45 +174,37 @@ CacheCounters VerdictCache::counters() const {
 }
 
 std::string VerdictCache::ToJson() const {
-  // Canonical entry order → byte-identical files for equal caches (CI
-  // uploads the cache as an artifact; stable bytes make diffs meaningful).
-  std::vector<const Entry*> sorted;
-  std::lock_guard<std::mutex> lock(mu_);
-  sorted.reserve(count_);
-  for (const auto& [key, bucket] : entries_)
-    for (const Entry& e : bucket) sorted.push_back(&e);
-  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
-    if (a->scope != b->scope) return a->scope < b->scope;
-    return BoxBitsLess(a->box, b->box);
-  });
-
+  // Canonical entry order (the ForEach order) → byte-identical files for
+  // equal caches (CI uploads the cache as an artifact; stable bytes make
+  // diffs meaningful).
   std::string out = "{\n";
   out += "  \"format\": \"xcv-verdict-cache\",\n";
   out += "  \"version\": 1,\n";
   out += "  \"entries\": [";
   char buf[32];
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    const Entry& e = *sorted[i];
-    if (i) out += ',';
+  std::size_t i = 0;
+  ForEach([&](std::uint64_t scope, std::span<const Interval> box,
+              const CachedVerdict& verdict) {
+    if (i++) out += ',';
     std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(e.scope));
+                  static_cast<unsigned long long>(scope));
     out += "\n    {\"scope\": \"";
     out += buf;
     out += "\", \"box\": ";
-    AppendIntervals(out, e.box);
-    out += ", \"kind\": \"" + CachedKindToken(e.verdict.kind) + "\"";
-    out += ", \"nodes\": " + std::to_string(e.verdict.nodes);
-    if (!e.verdict.model.empty()) {
+    AppendIntervals(out, box);
+    out += ", \"kind\": \"" + CachedKindToken(verdict.kind) + "\"";
+    out += ", \"nodes\": " + std::to_string(verdict.nodes);
+    if (!verdict.model.empty()) {
       out += ", \"model\": ";
-      AppendDoubles(out, e.verdict.model);
+      AppendDoubles(out, verdict.model);
     }
-    if (!e.verdict.model_box.empty()) {
+    if (!verdict.model_box.empty()) {
       out += ", \"model_box\": ";
-      AppendIntervals(out, e.verdict.model_box);
+      AppendIntervals(out, verdict.model_box);
     }
     out += '}';
-  }
-  if (!sorted.empty()) out += "\n  ";
+  });
+  if (i > 0) out += "\n  ";
   out += "]\n}\n";
   return out;
 }

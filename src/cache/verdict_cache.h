@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -80,6 +81,20 @@ class VerdictCache {
   /// Inserts or overwrites the entry for (scope, box). Thread-safe.
   void Store(std::uint64_t scope, std::span<const Interval> box,
              CachedVerdict verdict);
+
+  /// Removes the entry for (scope, box) if present. Returns true when an
+  /// entry was removed. Thread-safe. Used by the shard cache union
+  /// (src/shard/merge.cpp) to reject-and-drop conflicting entries.
+  bool Erase(std::uint64_t scope, std::span<const Interval> box);
+
+  /// Calls `fn` once per entry, in the same canonical (scope, then box bit
+  /// patterns) order ToJson serializes — so unions and statistics built from
+  /// the visit are deterministic. The mutex is held for the whole walk; `fn`
+  /// must not call back into this cache.
+  void ForEach(const std::function<void(std::uint64_t scope,
+                                        std::span<const Interval> box,
+                                        const CachedVerdict& verdict)>& fn)
+      const;
 
   std::size_t size() const;
   CacheCounters counters() const;

@@ -87,18 +87,25 @@ verifier::VerifierOptions Campaign::TunedOptions(
   return tuned;
 }
 
+PairState InitialPairState(const Functional& f, const ConditionInfo& cond) {
+  PairState p;
+  p.functional = f.name;
+  p.condition = cond.short_id;
+  p.applicable = conditions::Applies(cond, f);
+  if (!p.applicable) {
+    p.done = true;
+    p.verdict = verifier::Verdict::kNotApplicable;
+  }
+  return p;
+}
+
 void Campaign::Add(const Functional& f, const ConditionInfo& cond) {
   XCV_CHECK_MSG(!ran_, "Add after Run");
   auto entry = std::make_unique<Entry>();
-  entry->state.functional = f.name;
-  entry->state.condition = cond.short_id;
-  entry->state.applicable = conditions::Applies(cond, f);
+  entry->state = InitialPairState(f, cond);
   if (entry->state.applicable) {
     entry->functional = &f;
     entry->condition = &cond;
-  } else {
-    entry->state.done = true;
-    entry->state.verdict = verifier::Verdict::kNotApplicable;
   }
   entries_.push_back(std::move(entry));
 }

@@ -36,6 +36,10 @@ struct PairState {
   bool applicable = false;
   /// True once the pair's domain partition is complete.
   bool done = false;
+  /// The pair's position in the pre-shard checkpoint (-1 = unsharded).
+  /// Written by `xcv shard` (src/shard/), carried untouched through
+  /// resume, and used by `xcv merge` to restore the original pair order.
+  int origin_index = -1;
   verifier::Verdict verdict = verifier::Verdict::kNotApplicable;
   /// Final report when done; the partial report recorded so far otherwise.
   verifier::VerificationReport report;
@@ -43,6 +47,17 @@ struct PairState {
   std::vector<solver::Box> open;
   /// Accumulated busy time spent on this pair, in seconds.
   double seconds = 0.0;
+};
+
+/// Provenance of a shard checkpoint produced by `xcv shard` (src/shard/):
+/// which slice of a K-way partition this campaign is. Serialized inside the
+/// checkpoint options (backward-compatible: absent means unsharded) and
+/// carried untouched through resume, so `xcv merge` can identify and order
+/// the shards of one campaign no matter how often each was resumed.
+struct ShardInfo {
+  int index = 0;             ///< this shard's slot in [0, count)
+  int count = 1;             ///< total shards in the partition; 1 = unsharded
+  std::string by = "pairs";  ///< granularity token: "pairs" | "frontier"
 };
 
 struct CampaignOptions {
@@ -67,7 +82,16 @@ struct CampaignOptions {
   std::string cache_path;
   /// Consult the cache but never write the file back (shared/CI caches).
   bool cache_readonly = false;
+  /// Shard provenance (default: unsharded). Set by `xcv shard`.
+  ShardInfo shard;
 };
+
+/// The state an unrun campaign records for one (f, cond) pair — exactly
+/// what Campaign::Add starts from. Exposed so `xcv shard` (and tools that
+/// build shardable checkpoints before any solving) construct fresh pair
+/// lists that cannot drift from what `verify` would run.
+PairState InitialPairState(const functionals::Functional& f,
+                           const conditions::ConditionInfo& cond);
 
 struct CampaignResult {
   std::vector<PairState> pairs;  // in enqueue order

@@ -209,6 +209,15 @@ std::string CheckpointToJson(const CampaignOptions& options,
   out += "    \"witness_tolerance\": " + JsonDouble(v.witness_tolerance) +
          ",\n";
   out += "    \"frontier\": \"" + FrontierToken(v.frontier) + "\",\n";
+  // Shard provenance postdates checkpoint version 1; unsharded campaigns
+  // (count == 1) omit the block entirely so their documents stay
+  // byte-identical to pre-shard writers.
+  if (options.shard.count > 1) {
+    out += "    \"shard\": {\"index\": " +
+           std::to_string(options.shard.index) +
+           ", \"count\": " + std::to_string(options.shard.count) +
+           ", \"by\": \"" + options.shard.by + "\"},\n";
+  }
   out += "    \"solver\": {\n";
   out += "      \"delta\": " + JsonDouble(v.solver.delta) + ",\n";
   out += "      \"max_nodes\": " + std::to_string(v.solver.max_nodes) + ",\n";
@@ -236,6 +245,9 @@ std::string CheckpointToJson(const CampaignOptions& options,
     out += std::string("      \"done\": ") + (p.done ? "true" : "false") +
            ",\n";
     out += "      \"verdict\": \"" + VerdictToken(p.verdict) + "\",\n";
+    if (p.origin_index >= 0)
+      out += "      \"origin_index\": " + std::to_string(p.origin_index) +
+             ",\n";
     out += "      \"seconds\": " + JsonDouble(p.seconds) + ",\n";
     out += "      \"report\": ";
     AppendReport(out, p.report, "      ");
@@ -273,6 +285,12 @@ Checkpoint CheckpointFromJson(const std::string& json_text) {
   v.witness_tolerance = o.At("witness_tolerance").AsDouble();
   v.frontier = FrontierFromToken(o.At("frontier").AsString());
   v.num_threads = std::max(1, cp.options.num_threads);
+  // Shard provenance is optional (absent = unsharded checkpoint).
+  if (const JsonValue* sh = o.Find("shard")) {
+    cp.options.shard.index = static_cast<int>(sh->At("index").AsDouble());
+    cp.options.shard.count = static_cast<int>(sh->At("count").AsDouble());
+    cp.options.shard.by = sh->At("by").AsString();
+  }
   const JsonValue& s = o.At("solver");
   v.solver.delta = s.At("delta").AsDouble();
   v.solver.max_nodes = static_cast<std::uint64_t>(s.At("max_nodes").AsDouble());
@@ -295,6 +313,8 @@ Checkpoint CheckpointFromJson(const std::string& json_text) {
     p.applicable = pv.At("applicable").AsBool();
     p.done = pv.At("done").AsBool();
     p.verdict = VerdictFromToken(pv.At("verdict").AsString());
+    if (const JsonValue* oi = pv.Find("origin_index"))
+      p.origin_index = static_cast<int>(oi->AsDouble());
     p.seconds = pv.At("seconds").AsDouble();
     p.report = ReportFromJson(pv.At("report"));
     for (const JsonValue& b : pv.At("open").array)

@@ -3,17 +3,26 @@
 #include <algorithm>
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
+#include <system_error>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include <unordered_set>
+
+#include "cache/verdict_cache.h"
 #include "campaign/campaign.h"
 #include "campaign/serialize.h"
 #include "report/tables.h"
+#include "shard/merge.h"
+#include "shard/partition.h"
 #include "support/check.h"
 #include "support/strings.h"
 #include "verifier/region.h"
@@ -32,10 +41,15 @@ using functionals::Functional;
 constexpr const char* kUsage = R"(xcv — exact-condition verification campaigns
 
 Usage:
-  xcv verify [options]     Run a (functional x condition) verification matrix
-  xcv resume [options]     Continue a campaign from --checkpoint
-  xcv list                 List known functionals and conditions
-  xcv help                 Show this help
+  xcv verify [options]      Run a (functional x condition) verification matrix
+  xcv resume [options]      Continue a campaign from --checkpoint
+  xcv shard [options]       Partition a campaign checkpoint into K shard
+                            checkpoints, one per node (resume each anywhere)
+  xcv merge FILE... [opts]  Union resumed shard checkpoints (and their
+                            verdict caches) back into one campaign report
+  xcv cache-stats FILE      Inspect a verdict-cache file (read-only)
+  xcv list                  List known functionals and conditions
+  xcv help                  Show this help
 
 Options (verify/resume):
   --functionals=SPEC   Comma list of functionals, family selectors (lda, gga,
@@ -63,6 +77,27 @@ Options (verify/resume):
   --format=F           Final output: table | json | csv.          [table]
   --quiet              No per-pair progress on stderr.
 
+Options (shard):
+  --checkpoint=PATH    Campaign checkpoint to partition. When omitted, an
+                       unrun campaign is built from --functionals,
+                       --conditions and the solver flags above and sharded
+                       before any solving.
+  --shards=K           Number of shard checkpoints to write.      [2]
+  --by=G               Granularity: pairs (whole pairs round-robin) or
+                       frontier (open boxes dealt round-robin in the
+                       campaign's frontier-priority order).       [pairs]
+  --out-dir=DIR        Directory for shard-0.json .. shard-K-1.json.  [.]
+
+Options (merge):
+  -o PATH, --out=PATH  Write the merged checkpoint here (it is a valid,
+                       resumable campaign checkpoint).
+  --cache=LIST         Shard verdict-cache files to union (comma list; the
+                       flag may also repeat, once per file). Conflicting
+                       entries are rejected and dropped.
+  --cache-out=PATH     Merged cache destination.       [merged-cache.json]
+  --format=F           Render the merged report: table | json | csv.
+  --quiet              No merge summary on stderr.
+
 Exit codes: 0 success, 2 usage error, 130 cancelled (checkpoint saved).
 )";
 
@@ -77,6 +112,9 @@ void HandleSignal(int) {
 struct ParsedArgs {
   std::string command;
   std::map<std::string, std::string> flags;
+  /// Non-flag arguments after the command (merge's shard files,
+  /// cache-stats' cache file). Commands that take none reject them.
+  std::vector<std::string> positionals;
 };
 
 std::optional<ParsedArgs> ParseArgs(int argc, const char* const* argv) {
@@ -90,16 +128,40 @@ std::optional<ParsedArgs> ParseArgs(int argc, const char* const* argv) {
         value = key.substr(eq + 1);
         key = key.substr(0, eq);
       }
+      // For merge, --cache accumulates: repeated flags build the same comma
+      // list as --cache=a.json,b.json, so per-node cache files can be
+      // listed one flag at a time. Everywhere else the usual last-flag-wins
+      // applies (verify/resume take exactly one cache path).
+      if (key == "cache" && args.command == "merge" &&
+          args.flags.count(key) > 0)
+        value = args.flags[key] + "," + value;
       args.flags[key] = value;
+    } else if (arg == "-o" && args.command == "merge") {
+      // Merge's one short flag, spelled like every other merge/diff tool;
+      // --out=PATH is the long form. Other commands treat -o as the stray
+      // argument it is.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "xcv: -o needs a path argument\n");
+        return std::nullopt;
+      }
+      args.flags["out"] = argv[++i];
     } else if (args.command.empty()) {
       args.command = arg;
     } else {
-      std::fprintf(stderr, "xcv: unexpected argument '%s'\n", arg.c_str());
-      return std::nullopt;
+      args.positionals.push_back(std::move(arg));
     }
   }
   if (args.command.empty()) args.command = "help";
   return args;
+}
+
+/// Commands without positional operands reject stray arguments loudly
+/// instead of silently ignoring a typo.
+bool RejectPositionals(const ParsedArgs& args) {
+  if (args.positionals.empty()) return false;
+  std::fprintf(stderr, "xcv %s: unexpected argument '%s'\n",
+               args.command.c_str(), args.positionals.front().c_str());
+  return true;
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -317,6 +379,7 @@ int RunCampaign(Campaign& campaign, const CampaignOptions& options,
 }
 
 int CmdVerify(const ParsedArgs& args) {
+  if (RejectPositionals(args)) return 2;
   const CampaignOptions options = OptionsFromFlags(args, DefaultOptions());
   const auto funcs = ParseFunctionalList(
       args.flags.count("functionals") ? args.flags.at("functionals") : "all");
@@ -340,6 +403,7 @@ int CmdVerify(const ParsedArgs& args) {
 }
 
 int CmdResume(const ParsedArgs& args) {
+  if (RejectPositionals(args)) return 2;
   const auto it = args.flags.find("checkpoint");
   if (it == args.flags.end()) {
     std::fprintf(stderr, "xcv resume: --checkpoint=PATH is required\n");
@@ -359,10 +423,261 @@ int CmdResume(const ParsedArgs& args) {
   const std::string format =
       args.flags.count("format") ? args.flags.at("format") : "table";
   const bool quiet = args.flags.count("quiet") > 0;
-  if (!quiet)
-    std::fprintf(stderr, "[xcv] resuming %s: %zu of %zu pairs remaining\n",
-                 it->second.c_str(), remaining, cp.pairs.size());
+  if (!quiet) {
+    if (remaining == 0) {
+      // Nothing left to solve: say so instead of silently re-emitting the
+      // report (the checkpoint is complete; resume is a no-op render).
+      std::fprintf(stderr,
+                   "[xcv] campaign already complete: %zu/%zu pairs done — "
+                   "re-emitting the final report\n",
+                   cp.pairs.size(), cp.pairs.size());
+    } else {
+      std::fprintf(stderr, "[xcv] resuming %s: %zu of %zu pairs remaining\n",
+                   it->second.c_str(), remaining, cp.pairs.size());
+    }
+  }
   return RunCampaign(campaign, options, format, quiet);
+}
+
+// ---- Distributed sharding ---------------------------------------------------
+
+int CmdShard(const ParsedArgs& args) {
+  if (RejectPositionals(args)) return 2;
+  shard::PartitionOptions popts;
+  popts.shards = static_cast<int>(FlagDouble(args, "shards", 2));
+  XCV_CHECK_MSG(popts.shards >= 1, "--shards must be at least 1");
+  if (const auto it = args.flags.find("by"); it != args.flags.end())
+    popts.by = shard::ShardByFromToken(ToLower(it->second));
+
+  campaign::Checkpoint cp;
+  if (const auto it = args.flags.find("checkpoint"); it != args.flags.end()) {
+    cp = campaign::LoadCheckpointFile(it->second);
+    // Like resume: flags override the checkpointed run configuration, so a
+    // matrix can be re-tuned (more nodes, tighter budgets) as it is dealt.
+    cp.options = OptionsFromFlags(args, cp.options);
+  } else {
+    // No checkpoint yet: build the unrun campaign the same way `verify`
+    // would and shard it before the first solve — the day-one multi-node
+    // path (shard, scp, resume each, merge).
+    cp.options = OptionsFromFlags(args, DefaultOptions());
+    const auto funcs = ParseFunctionalList(
+        args.flags.count("functionals") ? args.flags.at("functionals")
+                                        : "all");
+    const auto conds = ParseConditionList(
+        args.flags.count("conditions") ? args.flags.at("conditions") : "all");
+    for (const ConditionInfo* cond : conds)
+      for (const Functional* f : funcs)
+        cp.pairs.push_back(campaign::InitialPairState(*f, *cond));
+  }
+
+  const std::string out_dir =
+      args.flags.count("out-dir") ? args.flags.at("out-dir") : ".";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  XCV_CHECK_MSG(!ec, "cannot create --out-dir '" << out_dir
+                                                 << "': " << ec.message());
+  const bool quiet = args.flags.count("quiet") > 0;
+  const auto shards = shard::PartitionCheckpoint(cp, popts);
+  for (std::size_t k = 0; k < shards.size(); ++k) {
+    const std::string path =
+        out_dir + "/shard-" + std::to_string(k) + ".json";
+    campaign::WriteCheckpointFile(path, shards[k].options, shards[k].pairs,
+                                  shards[k].cancelled);
+    if (!quiet) {
+      std::size_t open_boxes = 0, work_pairs = 0;
+      for (const PairState& p : shards[k].pairs) {
+        if (p.applicable && !p.done) ++work_pairs;
+        open_boxes += p.open.size();
+      }
+      std::fprintf(stderr,
+                   "[xcv] %s: %zu pairs (%zu with work), %zu open boxes\n",
+                   path.c_str(), shards[k].pairs.size(), work_pairs,
+                   open_boxes);
+    }
+  }
+  // A re-shard with a smaller K must not leave higher-numbered files from
+  // the previous partition behind: the advertised `xcv merge shard-*.json`
+  // glob would silently mix two partitions. Shard files are dense by
+  // construction, so removal stops at the first absent index.
+  for (std::size_t k = shards.size();; ++k) {
+    const std::string stale =
+        out_dir + "/shard-" + std::to_string(k) + ".json";
+    if (!std::filesystem::exists(stale, ec)) break;
+    if (std::filesystem::remove(stale, ec) && !ec) {
+      if (!quiet)
+        std::fprintf(stderr,
+                     "[xcv] removed %s (stale leftover of a previous "
+                     "%zu+-way partition)\n",
+                     stale.c_str(), k + 1);
+    } else {
+      std::fprintf(stderr,
+                   "[xcv] WARNING: could not remove stale %s (%s) — delete "
+                   "it before merging, or `xcv merge shard-*.json` will mix "
+                   "two partitions\n",
+                   stale.c_str(), ec.message().c_str());
+    }
+  }
+  if (!quiet)
+    std::fprintf(stderr,
+                 "[xcv] run `xcv resume --checkpoint=%s/shard-K.json` on "
+                 "each node, then `xcv merge %s/shard-*.json`\n",
+                 out_dir.c_str(), out_dir.c_str());
+  return 0;
+}
+
+int CmdMerge(const ParsedArgs& args) {
+  if (args.positionals.empty()) {
+    std::fprintf(stderr,
+                 "xcv merge: needs at least one shard checkpoint file\n");
+    return 2;
+  }
+  std::vector<campaign::Checkpoint> inputs;
+  inputs.reserve(args.positionals.size());
+  for (const std::string& path : args.positionals) {
+    try {
+      inputs.push_back(campaign::LoadCheckpointFile(path));
+    } catch (const InternalError& e) {
+      // Re-raise with the offending file named: a corrupt shard must be a
+      // clear diagnostic, not a stack trace.
+      throw InternalError("shard checkpoint '" + path +
+                          "' is unreadable or malformed: " + e.what());
+    }
+  }
+
+  // Usage errors must fire before any output file is written.
+  XCV_CHECK_MSG(
+      args.flags.count("cache-out") == 0 || args.flags.count("cache") > 0,
+      "--cache-out needs --cache=FILE,... (no shard caches to union)");
+
+  shard::MergeStats stats;
+  campaign::Checkpoint merged =
+      shard::MergeCheckpoints(std::move(inputs), &stats);
+  if (stats.mixed_partitions)
+    std::fprintf(stderr,
+                 "[xcv] note: inputs declare partitions of different sizes "
+                 "(a re-sharded shard, or a stale file swept up by the "
+                 "glob?) — partition coverage cannot be checked; actual "
+                 "overlaps, if any, are reported below\n");
+  if (!stats.missing_shards.empty() || stats.origin_gaps) {
+    std::string slots;
+    for (int i : stats.missing_shards)
+      slots += (slots.empty() ? "" : ",") + std::to_string(i);
+    std::fprintf(stderr,
+                 "[xcv] WARNING: this union does not cover the whole "
+                 "campaign%s%s — pairs are missing from the merged report; "
+                 "merge the remaining shards in later (provenance is "
+                 "preserved)\n",
+                 slots.empty() ? "" : ": missing shard slot(s) ",
+                 slots.c_str());
+  }
+  if (stats.options_mismatch)
+    std::fprintf(stderr,
+                 "[xcv] WARNING: shards were run with different "
+                 "verdict-affecting options (a node overrode solver flags "
+                 "on resume?) — the merged report is not comparable to a "
+                 "single-node run\n");
+  if (stats.duplicate_leaves > 0)
+    std::fprintf(stderr,
+                 "[xcv] WARNING: inputs overlap (%zu boxes decided by more "
+                 "than one input) — verdicts and leaves stay sound, but "
+                 "witness and counter columns double-count the overlapped "
+                 "work\n",
+                 stats.duplicate_leaves);
+  if (const auto it = args.flags.find("out"); it != args.flags.end())
+    campaign::WriteCheckpointFile(it->second, merged.options, merged.pairs,
+                                  merged.cancelled);
+
+  bool cache_merged = false;
+  shard::CacheMergeStats cache_stats;
+  std::string cache_out;
+  if (const auto it = args.flags.find("cache"); it != args.flags.end()) {
+    cache::VerdictCache cache_union;
+    cache_stats = shard::MergeCacheFiles(SplitCommas(it->second),
+                                         &cache_union);
+    cache_out = args.flags.count("cache-out") ? args.flags.at("cache-out")
+                                              : "merged-cache.json";
+    cache_union.Save(cache_out);
+    cache_merged = true;
+  }
+
+  // Counts for the stderr summary, taken before the pair vector is moved
+  // into the render path (reports can hold very large frontiers).
+  const std::size_t pair_count = merged.pairs.size();
+  std::size_t open_boxes = 0, undone = 0;
+  for (const PairState& p : merged.pairs) {
+    open_boxes += p.open.size();
+    if (p.applicable && !p.done) ++undone;
+  }
+
+  const std::string format =
+      args.flags.count("format") ? args.flags.at("format") : "table";
+  if (format == "json") {
+    std::printf("%s", campaign::CheckpointToJson(merged.options, merged.pairs,
+                                                 merged.cancelled)
+                          .c_str());
+  } else {
+    CampaignResult result;
+    result.pairs = std::move(merged.pairs);
+    result.cancelled = merged.cancelled;
+    if (format == "csv") {
+      PrintCsv(result);
+    } else {
+      PrintTable(result);
+    }
+  }
+
+  if (args.flags.count("quiet") == 0) {
+    std::fprintf(stderr,
+                 "[xcv] merged %zu shards: %zu pairs from %zu fragments, "
+                 "%zu duplicate leaves dropped, %zu open boxes deduped\n",
+                 stats.shards, pair_count, stats.pair_fragments,
+                 stats.duplicate_leaves, stats.open_dropped);
+    if (undone > 0)
+      std::fprintf(stderr,
+                   "[xcv] %zu pairs still open (%zu boxes) — the merged "
+                   "checkpoint is resumable\n",
+                   undone, open_boxes);
+    if (cache_merged)
+      std::fprintf(
+          stderr,
+          "[xcv] cache union -> %s: %llu entries (%llu cross-shard "
+          "duplicates, %llu conflicts dropped, %zu files, %zu unreadable)\n",
+          cache_out.c_str(),
+          static_cast<unsigned long long>(cache_stats.added),
+          static_cast<unsigned long long>(cache_stats.duplicates),
+          static_cast<unsigned long long>(cache_stats.conflicts_dropped),
+          cache_stats.files_loaded, cache_stats.files_failed);
+  }
+  return 0;
+}
+
+int CmdCacheStats(const ParsedArgs& args) {
+  if (args.positionals.size() != 1) {
+    std::fprintf(stderr, "xcv cache-stats: needs exactly one cache file\n");
+    return 2;
+  }
+  const std::string& path = args.positionals.front();
+  cache::VerdictCache cache;
+  XCV_CHECK_MSG(cache.Load(path), "cannot load verdict cache '"
+                                      << path << "' (missing or corrupt)");
+  std::size_t unsat = 0, delta_sat = 0, timeout = 0;
+  std::unordered_set<std::uint64_t> scopes;
+  cache.ForEach([&](std::uint64_t scope, std::span<const Interval>,
+                    const cache::CachedVerdict& verdict) {
+    scopes.insert(scope);
+    switch (verdict.kind) {
+      case cache::CachedKind::kUnsat: ++unsat; break;
+      case cache::CachedKind::kDeltaSat: ++delta_sat; break;
+      case cache::CachedKind::kTimeout: ++timeout; break;
+    }
+  });
+  std::printf("verdict cache %s\n", path.c_str());
+  std::printf("  entries:   %zu\n", cache.size());
+  std::printf("  scopes:    %zu\n", scopes.size());
+  std::printf("  unsat:     %zu\n", unsat);
+  std::printf("  delta_sat: %zu\n", delta_sat);
+  std::printf("  timeout:   %zu\n", timeout);
+  return 0;
 }
 
 int CmdList() {
@@ -484,8 +799,15 @@ int Main(int argc, const char* const* argv) {
   try {
     if (args->command == "verify") return CmdVerify(*args);
     if (args->command == "resume") return CmdResume(*args);
-    if (args->command == "list") return CmdList();
+    if (args->command == "shard") return CmdShard(*args);
+    if (args->command == "merge") return CmdMerge(*args);
+    if (args->command == "cache-stats") return CmdCacheStats(*args);
+    if (args->command == "list") {
+      if (RejectPositionals(*args)) return 2;
+      return CmdList();
+    }
     if (args->command == "help" || args->command == "--help") {
+      if (RejectPositionals(*args)) return 2;
       std::printf("%s", kUsage);
       return 0;
     }

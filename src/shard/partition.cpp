@@ -1,0 +1,138 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "support/check.h"
+#include "verifier/engine.h"
+
+namespace xcv::shard {
+
+using campaign::Checkpoint;
+using campaign::PairState;
+
+std::string ShardByToken(ShardBy by) {
+  switch (by) {
+    case ShardBy::kPairs: return "pairs";
+    case ShardBy::kFrontier: return "frontier";
+  }
+  return "pairs";
+}
+
+ShardBy ShardByFromToken(const std::string& token) {
+  if (token == "pairs") return ShardBy::kPairs;
+  if (token == "frontier") return ShardBy::kFrontier;
+  XCV_CHECK_MSG(false, "unknown shard granularity '" << token
+                                                     << "' (pairs|frontier)");
+  return ShardBy::kPairs;
+}
+
+namespace {
+
+// Order of a checkpointed open frontier under the campaign's own
+// FrontierStrategy: best box first (the box a resumed node would pop
+// first), submission index as the tie-break. Dealing boxes round-robin in
+// this order spreads the expensive (widest / suspect-priority) boxes evenly
+// instead of handing one shard the whole deep end.
+std::vector<std::size_t> PriorityOrder(const std::vector<solver::Box>& open,
+                                       verifier::FrontierStrategy strategy) {
+  std::vector<std::size_t> order(open.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> priority(open.size());
+  for (std::size_t i = 0; i < open.size(); ++i)
+    priority[i] = verifier::FrontierPriority(strategy, open[i],
+                                             /*suspect=*/false, i);
+  std::sort(order.begin(), order.end(),
+            [&priority](std::size_t a, std::size_t b) {
+              if (priority[a] != priority[b]) return priority[a] > priority[b];
+              return a < b;
+            });
+  return order;
+}
+
+}  // namespace
+
+std::vector<Checkpoint> PartitionCheckpoint(const Checkpoint& cp,
+                                            const PartitionOptions& options) {
+  const int shard_count = options.shards;
+  XCV_CHECK_MSG(shard_count >= 1,
+                "--shards must be at least 1, got " << shard_count);
+  // K = 1 is the identity: the "partition" is the input document itself,
+  // with no provenance added (byte-identical on rewrite).
+  if (shard_count == 1) return {cp};
+
+  const std::size_t n_shards = static_cast<std::size_t>(shard_count);
+  std::vector<Checkpoint> shards(n_shards);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    shards[k].options = cp.options;
+    shards[k].options.shard = {static_cast<int>(k), shard_count,
+                               ShardByToken(options.by)};
+    shards[k].cancelled = cp.cancelled;
+  }
+
+  // Round-robin counter over the pairs that actually carry work, so shard
+  // loads stay balanced no matter how done/non-applicable pairs interleave.
+  std::size_t work = 0;
+  for (std::size_t i = 0; i < cp.pairs.size(); ++i) {
+    PairState p = cp.pairs[i];
+    // Re-sharding a document that already carries provenance (a shard, or
+    // a partial merge) keeps the original global coordinates; only
+    // provenance-free checkpoints mint them from position.
+    if (p.origin_index < 0) p.origin_index = static_cast<int>(i);
+
+    // Finished and non-applicable pairs carry no work; they ride with
+    // shard 0 so the merged report still covers the full matrix.
+    if (!p.applicable || p.done) {
+      shards[0].pairs.push_back(std::move(p));
+      continue;
+    }
+
+    // Whole-pair assignment: pair granularity always; frontier granularity
+    // when the pair never started (no frontier exists to deal out yet).
+    if (options.by == ShardBy::kPairs || p.open.empty()) {
+      shards[work % n_shards].pairs.push_back(std::move(p));
+      ++work;
+      continue;
+    }
+
+    // Frontier granularity: deal this pair's open boxes round-robin in
+    // priority order, rotating the deal's start by the pair's work index so
+    // successive pairs favour different shards.
+    const std::vector<std::size_t> order =
+        PriorityOrder(p.open, cp.options.verifier.frontier);
+    const std::size_t base = work % n_shards;
+    ++work;
+    std::vector<std::vector<solver::Box>> dealt(n_shards);
+    for (std::size_t j = 0; j < order.size(); ++j)
+      dealt[(base + j) % n_shards].push_back(std::move(p.open[order[j]]));
+
+    // Exactly one fragment (the one holding the pair's best box) inherits
+    // the partial report recorded so far; sibling fragments start from an
+    // empty report so the merged counters sum to the single-node totals.
+    for (std::size_t k = 0; k < n_shards; ++k) {
+      if (dealt[k].empty()) continue;
+      PairState q;
+      q.functional = p.functional;
+      q.condition = p.condition;
+      q.applicable = true;
+      q.done = false;
+      q.origin_index = p.origin_index;
+      if (k == base) {
+        q.report = p.report;
+        q.seconds = p.seconds;
+        q.verdict = p.verdict;
+      } else {
+        q.verdict = verifier::Verdict::kUnknown;
+      }
+      q.open = std::move(dealt[k]);
+      // Checkpoints keep open frontiers in canonical box order (the same
+      // convention EngineSnapshot serializes).
+      verifier::CanonicalizeOpenBoxes(q.open, q.report);
+      shards[k].pairs.push_back(std::move(q));
+    }
+  }
+  return shards;
+}
+
+}  // namespace xcv::shard

@@ -1,0 +1,55 @@
+// Deterministic domain decomposition for multi-node campaigns.
+//
+// A campaign checkpoint is a complete, mergeable description of remaining
+// work (every finished pair's report plus every open frontier box), so
+// distributing a campaign over K nodes is a pure checkpoint transformation:
+// PartitionCheckpoint splits one checkpoint into K smaller ones, each a
+// fully valid checkpoint that `xcv resume` runs unmodified on any node, and
+// src/shard/merge.h reassembles the results into one report identical to
+// the single-node run (for deterministic, node-capped configurations).
+//
+// Two granularities:
+//   * kPairs: whole (functional, condition) pairs round-robin across the
+//     shards — coarse, zero coordination, right for farms where pairs
+//     outnumber nodes;
+//   * kFrontier: each unfinished pair's open frontier boxes are dealt
+//     round-robin in FrontierStrategy priority order (widest/suspect/fifo,
+//     the checkpoint's own ordering), so one skewed pair's work spreads
+//     over every node. Pairs that never started have no frontier yet and
+//     fall back to whole-pair assignment.
+//
+// The partition is a pure function of (checkpoint bytes, options): the same
+// input produces byte-identical shard files on every machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/serialize.h"
+
+namespace xcv::shard {
+
+/// Partition granularity (the `xcv shard --by=` flag).
+enum class ShardBy { kPairs, kFrontier };
+
+std::string ShardByToken(ShardBy by);
+/// Throws xcv::InternalError on unknown tokens.
+ShardBy ShardByFromToken(const std::string& token);
+
+struct PartitionOptions {
+  /// Number of shards K (>= 1).
+  int shards = 1;
+  ShardBy by = ShardBy::kPairs;
+};
+
+/// Splits `cp` into `options.shards` valid checkpoints. Every pair (and
+/// every open frontier box) of `cp` lands in exactly one shard; finished
+/// and non-applicable pairs ride with shard 0 (they carry no work). Shard
+/// k's options gain ShardInfo{k, K, by} and every pair records its
+/// origin_index, so `xcv merge` can restore the original order; with
+/// K == 1 the input is passed through untouched (byte-identical document).
+/// Throws xcv::InternalError when options.shards < 1.
+std::vector<campaign::Checkpoint> PartitionCheckpoint(
+    const campaign::Checkpoint& cp, const PartitionOptions& options);
+
+}  // namespace xcv::shard

@@ -2,6 +2,8 @@
 // flat storage the branch-and-prune frontier lives in.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -34,6 +36,43 @@ bool ContainsPoint(std::span<const Interval> dims,
                    std::span<const double> point);
 
 std::string BoxToString(std::span<const Interval> dims);
+
+// Bit-pattern box identity and order (-0.0 ≠ 0.0), the shared vocabulary of
+// every exact-replay key in the repo: verdict-cache lookups, shard-merge
+// leaf/frontier dedup. Deterministic splitting regenerates boxes bit-for-
+// bit, which is what makes these exact comparisons sound.
+
+/// True if `a` and `b` have identical bit patterns.
+inline bool SameDoubleBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// True if every endpoint of `a` matches `b` bit-for-bit.
+inline bool SameBoxBits(std::span<const Interval> a,
+                        std::span<const Interval> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!SameDoubleBits(a[i].lo(), b[i].lo()) ||
+        !SameDoubleBits(a[i].hi(), b[i].hi()))
+      return false;
+  return true;
+}
+
+/// Strict total order on endpoint bit patterns (canonical entry order for
+/// serialized caches).
+inline bool BoxBitsLess(std::span<const Interval> a,
+                        std::span<const Interval> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto alo = std::bit_cast<std::uint64_t>(a[i].lo());
+    const auto blo = std::bit_cast<std::uint64_t>(b[i].lo());
+    if (alo != blo) return alo < blo;
+    const auto ahi = std::bit_cast<std::uint64_t>(a[i].hi());
+    const auto bhi = std::bit_cast<std::uint64_t>(b[i].hi());
+    if (ahi != bhi) return ahi < bhi;
+  }
+  return a.size() < b.size();
+}
 
 /// Interval vector indexed by variable index. Value type; cheap to copy for
 /// the dimensionalities used here (2–3 variables).

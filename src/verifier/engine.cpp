@@ -1,12 +1,15 @@
 #include "verifier/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "expr/eval.h"
+#include "expr/optimize.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -68,6 +71,120 @@ void CanonicalizeReport(VerificationReport& report) {
               return BoxLess(a.box, b.box);
             });
   std::sort(report.witnesses.begin(), report.witnesses.end(), LexLess);
+}
+
+// ---- Report union (distributed shard merge) ---------------------------------
+
+namespace {
+
+// Endpoint identity for union dedup is bit-pattern identity (-0.0 ≠ 0.0) —
+// solver::SameBoxBits, the same comparison the verdict-cache keys use:
+// shard resumes regenerate the exact boxes the splitting arithmetic
+// produced.
+bool SameBoxBits(const Box& a, const Box& b) {
+  return solver::SameBoxBits(a.dims(), b.dims());
+}
+
+std::uint64_t BoxBitsHash(const Box& box) {
+  std::uint64_t h = expr::FnvMix(expr::kFnvOffset, box.size());
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    h = expr::FnvMix(h, std::bit_cast<std::uint64_t>(box[i].lo()));
+    h = expr::FnvMix(h, std::bit_cast<std::uint64_t>(box[i].hi()));
+  }
+  return h;
+}
+
+}  // namespace
+
+int RegionStatusPrecedence(RegionStatus status) {
+  switch (status) {
+    case RegionStatus::kCounterexample: return 3;  // delta-sat, valid model
+    case RegionStatus::kInconclusive: return 2;    // delta-sat, invalid model
+    case RegionStatus::kVerified: return 1;        // unsat
+    case RegionStatus::kTimeout: return 0;
+  }
+  return 0;
+}
+
+std::size_t MergeReportInto(VerificationReport& into,
+                            VerificationReport&& from) {
+  into.solver_calls += from.solver_calls;
+  into.solver_timeouts += from.solver_timeouts;
+  into.cache_hits += from.cache_hits;
+  into.cache_misses += from.cache_misses;
+  into.cache_rejected += from.cache_rejected;
+  into.seconds += from.seconds;
+  for (auto& w : from.witnesses) into.witnesses.push_back(std::move(w));
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_bits;
+  by_bits.reserve(into.leaves.size());
+  for (std::size_t i = 0; i < into.leaves.size(); ++i)
+    by_bits[BoxBitsHash(into.leaves[i].box)].push_back(i);
+
+  std::size_t dropped = 0;
+  for (Region& leaf : from.leaves) {
+    Region* existing = nullptr;
+    auto it = by_bits.find(BoxBitsHash(leaf.box));
+    if (it != by_bits.end()) {
+      for (std::size_t i : it->second) {
+        if (SameBoxBits(into.leaves[i].box, leaf.box)) {
+          existing = &into.leaves[i];
+          break;
+        }
+      }
+    }
+    if (existing == nullptr) {
+      by_bits[BoxBitsHash(leaf.box)].push_back(into.leaves.size());
+      into.leaves.push_back(std::move(leaf));
+      continue;
+    }
+    ++dropped;
+    if (RegionStatusPrecedence(leaf.status) >
+        RegionStatusPrecedence(existing->status))
+      *existing = std::move(leaf);
+  }
+  return dropped;
+}
+
+std::size_t CanonicalizeOpenBoxes(std::vector<solver::Box>& open,
+                                  const VerificationReport& report) {
+  std::unordered_map<std::uint64_t, std::vector<const Box*>> decided;
+  decided.reserve(report.leaves.size());
+  for (const Region& leaf : report.leaves)
+    decided[BoxBitsHash(leaf.box)].push_back(&leaf.box);
+
+  auto leaf_decided = [&decided](const Box& box) {
+    const auto it = decided.find(BoxBitsHash(box));
+    if (it == decided.end()) return false;
+    for (const Box* b : it->second)
+      if (SameBoxBits(*b, box)) return true;
+    return false;
+  };
+
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> kept_bits;
+  std::vector<Box> kept;
+  kept.reserve(open.size());
+  std::size_t dropped = 0;
+  for (Box& box : open) {
+    const std::uint64_t h = BoxBitsHash(box);
+    bool duplicate = leaf_decided(box);
+    if (!duplicate) {
+      for (std::size_t i : kept_bits[h])
+        if (SameBoxBits(kept[i], box)) {
+          duplicate = true;
+          break;
+        }
+    }
+    if (duplicate) {
+      ++dropped;
+      continue;
+    }
+    kept_bits[h].push_back(kept.size());
+    kept.push_back(std::move(box));
+  }
+  open = std::move(kept);
+  std::sort(open.begin(), open.end(), BoxLess);
+  return dropped;
 }
 
 std::vector<Box> SplitBox(const Box& box, bool split_all_dims) {

@@ -173,6 +173,31 @@ class PairEngine {
 /// run configuration yields byte-identical reports for any thread count.
 void CanonicalizeReport(VerificationReport& report);
 
+// ---- Report union (distributed shard merge, src/shard/) --------------------
+
+/// Precedence when two partial reports disagree about the same leaf box:
+/// delta-sat results (counterexample, then inconclusive) outrank unsat
+/// (verified), which outranks timeout. Higher value wins; open frontier
+/// boxes rank below every leaf (see CanonicalizeOpenBoxes).
+int RegionStatusPrecedence(RegionStatus status);
+
+/// Unions `from` into `into`: solver/cache counters and busy seconds are
+/// summed, witnesses concatenated, leaves concatenated — except that a leaf
+/// whose box already exists bit-for-bit in `into` is merged by
+/// RegionStatusPrecedence instead of duplicated (shards of one campaign
+/// never produce duplicates; overlapping inputs do). Canonical order is NOT
+/// restored — call CanonicalizeReport once after the last union. Returns the
+/// number of duplicate leaves dropped.
+std::size_t MergeReportInto(VerificationReport& into,
+                            VerificationReport&& from);
+
+/// Re-canonicalizes a merged open frontier: drops exact (bit-pattern)
+/// duplicates and boxes `report` has already decided as leaves, then sorts
+/// into the same canonical box order report leaves use. Returns the number
+/// of boxes dropped.
+std::size_t CanonicalizeOpenBoxes(std::vector<solver::Box>& open,
+                                  const VerificationReport& report);
+
 /// Splits `box` into 2^d children (every non-point dimension bisected), or
 /// bisects the widest dimension when `split_all_dims` is false.
 std::vector<solver::Box> SplitBox(const solver::Box& box, bool split_all_dims);
