@@ -4,13 +4,12 @@
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "expr/optimize.h"
 #include "solver/box.h"
 #include "support/check.h"
+#include "support/io.h"
 #include "support/json.h"
 
 namespace xcv::cache {
@@ -221,21 +220,7 @@ bool VerdictCache::FromJson(const std::string& json_text) {
     XCV_CHECK_MSG(root.At("version").AsDouble() == 1.0,
                   "unsupported verdict cache version");
     for (const JsonValue& ev : root.At("entries").array) {
-      Entry e;
-      const std::string& scope_hex = ev.At("scope").AsString();
-      char* end = nullptr;
-      e.scope = std::strtoull(scope_hex.c_str(), &end, 16);
-      XCV_CHECK_MSG(end != scope_hex.c_str() && *end == '\0',
-                    "bad cache scope '" << scope_hex << "'");
-      e.box = IntervalsFromJson(ev.At("box"));
-      e.verdict.kind = CachedKindFromToken(ev.At("kind").AsString());
-      e.verdict.nodes =
-          static_cast<std::uint64_t>(ev.At("nodes").AsDouble());
-      if (const JsonValue* m = ev.Find("model"))
-        for (const JsonValue& c : m->array)
-          e.verdict.model.push_back(c.AsDouble());
-      if (const JsonValue* mb = ev.Find("model_box"))
-        e.verdict.model_box = IntervalsFromJson(*mb);
+      Entry e = EntryFromJson(ev);
       staged[MapKey(e.scope, e.box)].push_back(std::move(e));
       ++count;
     }
@@ -251,24 +236,117 @@ bool VerdictCache::FromJson(const std::string& json_text) {
   return true;
 }
 
-bool VerdictCache::Load(const std::string& path) {
-  std::ifstream is(path);
-  if (!is.good()) return false;  // absent file: cold start
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  return FromJson(buf.str());
+VerdictCache::Entry VerdictCache::EntryFromJson(const JsonValue& ev) {
+  Entry e;
+  const std::string& scope_hex = ev.At("scope").AsString();
+  char* end = nullptr;
+  e.scope = std::strtoull(scope_hex.c_str(), &end, 16);
+  XCV_CHECK_MSG(end != scope_hex.c_str() && *end == '\0',
+                "bad cache scope '" << scope_hex << "'");
+  e.box = IntervalsFromJson(ev.At("box"));
+  e.verdict.kind = CachedKindFromToken(ev.At("kind").AsString());
+  e.verdict.nodes = static_cast<std::uint64_t>(ev.At("nodes").AsDouble());
+  if (const JsonValue* m = ev.Find("model"))
+    for (const JsonValue& c : m->array) e.verdict.model.push_back(c.AsDouble());
+  if (const JsonValue* mb = ev.Find("model_box"))
+    e.verdict.model_box = IntervalsFromJson(*mb);
+  return e;
+}
+
+bool VerdictCache::Load(const std::string& path, CacheLoadStats* stats) {
+  CacheLoadStats local;
+  CacheLoadStats& s = stats != nullptr ? *stats : local;
+  s = CacheLoadStats{};
+
+  std::string text;
+  if (!support::ReadFileToString(path, &text, "cache.load")) {
+    s.cold = true;
+    s.detail = "cannot read '" + path + "'";
+    return false;  // absent/unreadable file: cold start
+  }
+  const support::ChecksumStatus checksum =
+      support::VerifyDocumentChecksum(text);
+
+  if (checksum != support::ChecksumStatus::kMismatch && FromJson(text)) {
+    s.clean = true;
+    s.entries_recovered = size();
+    return true;
+  }
+
+  if (checksum == support::ChecksumStatus::kMismatch) {
+    // If the document also fails to parse it is torn and salvage below
+    // applies; a document that parses whole but hashes wrong changed in
+    // place, and then no entry can be trusted — cold start.
+    bool parses = true;
+    try {
+      json::ParseJson(text);
+    } catch (const InternalError&) {
+      parses = false;
+    }
+    if (parses) {
+      s.cold = true;
+      s.quarantine_path = support::QuarantineFile(path, text);
+      s.detail = "checksum mismatch in '" + path +
+                 "' (content corruption); starting cold";
+      return false;
+    }
+  }
+
+  // Torn file: recover the longest prefix of complete entry objects. Each
+  // is carved out with the balanced-bracket scanner and must parse on its
+  // own to count.
+  constexpr const char kEntriesMarker[] = "\"entries\": [";
+  const std::size_t marker = text.find(kEntriesMarker);
+  const std::size_t format = text.find("\"xcv-verdict-cache\"");
+  if (marker == std::string::npos || format == std::string::npos) {
+    s.cold = true;
+    s.quarantine_path = support::QuarantineFile(path, text);
+    s.detail = "cache '" + path +
+               "' is damaged before its entries array; starting cold";
+    return false;
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<Entry>> staged;
+  std::size_t count = 0;
+  std::size_t pos = marker + sizeof(kEntriesMarker) - 1;
+  for (;;) {
+    while (pos < text.size() &&
+           (text[pos] == ',' || text[pos] == '\n' || text[pos] == ' ' ||
+            text[pos] == '\t' || text[pos] == '\r'))
+      ++pos;
+    if (pos >= text.size() || text[pos] != '{') break;
+    const std::size_t end = json::SkipBalanced(text, pos);
+    if (end == std::string::npos) break;  // the torn tail
+    try {
+      const JsonValue ev = json::ParseJson(text.substr(pos, end - pos));
+      Entry e = EntryFromJson(ev);
+      staged[MapKey(e.scope, e.box)].push_back(std::move(e));
+      ++count;
+    } catch (const InternalError&) {
+      break;  // complete braces but damaged content: stop at the prefix
+    }
+    pos = end;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_ = std::move(staged);
+    count_ = count;
+  }
+  s.salvaged = true;
+  s.entries_recovered = count;
+  s.quarantine_path = support::QuarantineFile(path, text);
+  s.detail = "salvaged " + std::to_string(count) +
+             " intact entr" + (count == 1 ? "y" : "ies") +
+             " from torn cache '" + path + "'";
+  return count > 0;
 }
 
 void VerdictCache::Save(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    XCV_CHECK_MSG(os.good(), "cannot open '" << tmp << "' for writing");
-    os << ToJson();
-    XCV_CHECK_MSG(os.good(), "write to '" << tmp << "' failed");
-  }
-  XCV_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                "rename '" << tmp << "' -> '" << path << "' failed");
+  // The checksum is added at the file level, not in ToJson, so the
+  // in-memory document stays byte-identical to what the merge and
+  // round-trip tests compare.
+  support::AtomicWriteFile(path, support::AddDocumentChecksum(ToJson()),
+                           "cache.save");
 }
 
 }  // namespace xcv::cache

@@ -40,6 +40,10 @@
 
 #include "interval/interval.h"
 
+namespace xcv::json {
+struct JsonValue;
+}
+
 namespace xcv::cache {
 
 /// Cached solver outcome kinds. kTimeout entries are only ever recorded
@@ -63,6 +67,24 @@ struct CacheCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
+};
+
+/// Outcome of a cache load (the optional out-param of Load). Exactly one
+/// of `clean`, `salvaged`, `cold` is true — same taxonomy as the
+/// checkpoint loader (campaign/serialize.h):
+///   * clean:    full parse + checksum ok (or legacy, no checksum field);
+///   * salvaged: torn file — the longest intact prefix of complete entries
+///     was recovered and the damaged original quarantined;
+///   * cold:     absent file, unreadable file, damaged header, or a
+///     document that parses but fails its checksum (content corruption —
+///     no entry can be trusted).
+struct CacheLoadStats {
+  bool clean = false;
+  bool salvaged = false;
+  bool cold = false;
+  std::size_t entries_recovered = 0;
+  std::string quarantine_path;  ///< "<path>.corrupt" when damaged, else ""
+  std::string detail;           ///< human-readable reason when not clean
 };
 
 class VerdictCache {
@@ -108,13 +130,18 @@ class VerdictCache {
   /// Returns false (leaving the cache empty) on malformed input.
   bool FromJson(const std::string& json_text);
 
-  /// Loads `path`, tolerating absent/corrupt/truncated files: any failure
-  /// leaves the cache empty and returns false — a cold start, never a
-  /// crash.
-  bool Load(const std::string& path);
+  /// Loads `path`, tolerating absent/corrupt/truncated files: a torn file
+  /// yields the intact prefix of its entries (the damaged original is
+  /// quarantined), anything worse leaves the cache empty — a cold start,
+  /// never a crash. Returns true when the cache came back warm (a clean
+  /// load, or a salvage that recovered at least one entry). Honours the
+  /// "cache.load.eio" fault point. Fills `*stats` when non-null.
+  bool Load(const std::string& path, CacheLoadStats* stats = nullptr);
 
-  /// Writes the cache to `path` atomically (temp file + rename). Throws
-  /// xcv::InternalError on I/O failure.
+  /// Writes the cache to `path` durably and atomically (temp file + fsync
+  /// + rename + directory fsync), with a whole-document checksum. Honours
+  /// the "cache.save.*" fault points. Throws xcv::InternalError on I/O
+  /// failure.
   void Save(const std::string& path) const;
 
  private:
@@ -126,6 +153,7 @@ class VerdictCache {
 
   static std::uint64_t MapKey(std::uint64_t scope,
                               std::span<const Interval> box);
+  static Entry EntryFromJson(const json::JsonValue& ev);
 
   mutable std::mutex mu_;
   // Buckets by combined (scope, box-bits) hash; entries inside a bucket are

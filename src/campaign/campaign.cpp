@@ -7,6 +7,7 @@
 #include "campaign/serialize.h"
 #include "expr/optimize.h"
 #include "support/check.h"
+#include "support/fault.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 #include "verifier/engine.h"
@@ -139,16 +140,22 @@ void Campaign::FinishPair(Entry& entry, const ProgressFn& progress) {
   // First caller wins; later ProcessNext stragglers see the latch set.
   if (entry.finish_latch.exchange(true)) return;
   verifier::VerificationReport final_report = entry.engine->TakeReport();
-  // States are only read (checkpoints) and written under progress_mu_.
-  std::lock_guard<std::mutex> lock(progress_mu_);
-  entry.state.report = std::move(final_report);
-  entry.state.verdict = entry.state.report.Summarize();
-  entry.state.seconds = entry.state.report.seconds;
-  entry.state.open.clear();
-  entry.state.done = true;
-  ++completed_;
-  if (progress) progress(entry.state, completed_, entries_.size());
-  WriteCheckpointLocked();
+  {
+    // States are only read (checkpoints) and written under progress_mu_.
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    entry.state.report = std::move(final_report);
+    entry.state.verdict = entry.state.report.Summarize();
+    entry.state.seconds = entry.state.report.seconds;
+    entry.state.open.clear();
+    entry.state.done = true;
+    ++completed_;
+    if (progress) progress(entry.state, completed_, entries_.size());
+    WriteCheckpointLocked();
+  }
+  // Chaos hooks, outside the lock so a straggler simulation never stalls
+  // other pairs' checkpoint writes.
+  support::fault::MaybeDelay("campaign.pair-done.delay");
+  support::fault::MaybeCrash("campaign.pair-done.crash");
 }
 
 void Campaign::WriteCheckpointLocked() {

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "support/check.h"
+#include "support/io.h"
 #include "support/json.h"
 
 namespace xcv::campaign {
@@ -184,6 +183,22 @@ VerificationReport ReportFromJson(const JsonValue& v) {
   return report;
 }
 
+PairState PairStateFromJson(const JsonValue& pv) {
+  PairState p;
+  p.functional = pv.At("functional").AsString();
+  p.condition = pv.At("condition").AsString();
+  p.applicable = pv.At("applicable").AsBool();
+  p.done = pv.At("done").AsBool();
+  p.verdict = VerdictFromToken(pv.At("verdict").AsString());
+  if (const JsonValue* oi = pv.Find("origin_index"))
+    p.origin_index = static_cast<int>(oi->AsDouble());
+  p.seconds = pv.At("seconds").AsDouble();
+  p.report = ReportFromJson(pv.At("report"));
+  for (const JsonValue& b : pv.At("open").array)
+    p.open.push_back(BoxFromJson(b));
+  return p;
+}
+
 }  // namespace
 
 // ---- Checkpoint documents ---------------------------------------------------
@@ -306,21 +321,8 @@ Checkpoint CheckpointFromJson(const std::string& json_text) {
   if (const JsonValue* w = s.Find("wave_width"))
     v.solver.wave_width = static_cast<int>(w->AsDouble());
 
-  for (const JsonValue& pv : root.At("pairs").array) {
-    PairState p;
-    p.functional = pv.At("functional").AsString();
-    p.condition = pv.At("condition").AsString();
-    p.applicable = pv.At("applicable").AsBool();
-    p.done = pv.At("done").AsBool();
-    p.verdict = VerdictFromToken(pv.At("verdict").AsString());
-    if (const JsonValue* oi = pv.Find("origin_index"))
-      p.origin_index = static_cast<int>(oi->AsDouble());
-    p.seconds = pv.At("seconds").AsDouble();
-    p.report = ReportFromJson(pv.At("report"));
-    for (const JsonValue& b : pv.At("open").array)
-      p.open.push_back(BoxFromJson(b));
-    cp.pairs.push_back(std::move(p));
-  }
+  for (const JsonValue& pv : root.At("pairs").array)
+    cp.pairs.push_back(PairStateFromJson(pv));
   return cp;
 }
 
@@ -328,23 +330,113 @@ void WriteCheckpointFile(const std::string& path,
                          const CampaignOptions& options,
                          const std::vector<PairState>& pairs,
                          bool cancelled) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    XCV_CHECK_MSG(os.good(), "cannot open '" << tmp << "' for writing");
-    os << CheckpointToJson(options, pairs, cancelled);
-    XCV_CHECK_MSG(os.good(), "write to '" << tmp << "' failed");
-  }
-  XCV_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                "rename '" << tmp << "' -> '" << path << "' failed");
+  // The checksum is added at the file level, not in CheckpointToJson, so
+  // the in-memory document stays byte-identical to what the merge and
+  // round-trip tests compare.
+  support::AtomicWriteFile(
+      path, support::AddDocumentChecksum(CheckpointToJson(options, pairs,
+                                                          cancelled)),
+      "checkpoint.save");
 }
 
 Checkpoint LoadCheckpointFile(const std::string& path) {
-  std::ifstream is(path);
-  XCV_CHECK_MSG(is.good(), "cannot read checkpoint '" << path << "'");
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  return CheckpointFromJson(buf.str());
+  std::string text;
+  XCV_CHECK_MSG(support::ReadFileToString(path, &text, "checkpoint.load"),
+                "cannot read checkpoint '" << path << "'");
+  XCV_CHECK_MSG(
+      support::VerifyDocumentChecksum(text) !=
+          support::ChecksumStatus::kMismatch,
+      "checkpoint '" << path << "' failed its checksum (corrupt file)");
+  return CheckpointFromJson(text);
+}
+
+CheckpointLoadResult LoadCheckpointFileTolerant(const std::string& path) {
+  CheckpointLoadResult result;
+  std::string text;
+  if (!support::ReadFileToString(path, &text, "checkpoint.load")) {
+    result.cold = true;
+    result.detail = "cannot read '" + path + "'";
+    return result;
+  }
+  const support::ChecksumStatus checksum =
+      support::VerifyDocumentChecksum(text);
+
+  // First try the strict path: a document that parses whole and whose
+  // checksum agrees (or is absent — legacy writer) is clean.
+  bool parses = true;
+  try {
+    result.checkpoint = CheckpointFromJson(text);
+  } catch (const InternalError&) {
+    parses = false;
+    result.checkpoint = Checkpoint{};
+  }
+  if (parses) {
+    if (checksum != support::ChecksumStatus::kMismatch) {
+      result.clean = true;
+      result.pairs_recovered = result.checkpoint.pairs.size();
+      return result;
+    }
+    // Parses but hashes wrong: bytes changed in place. A torn tail cannot
+    // produce this (it fails to parse), so no individual pair can be
+    // trusted either — cold start, keep the evidence.
+    result.cold = true;
+    result.checkpoint = Checkpoint{};
+    result.quarantine_path = support::QuarantineFile(path, text);
+    result.detail = "checksum mismatch in '" + path +
+                    "' (content corruption); starting cold";
+    return result;
+  }
+
+  // Torn document: recover the options header plus the longest prefix of
+  // complete pair objects. The writer emits "pairs" last, so a truncated
+  // file keeps an intact header; each pair object is carved out with the
+  // balanced-bracket scanner and must parse on its own to count.
+  constexpr const char kPairsMarker[] = "\"pairs\": [";
+  const std::size_t marker = text.find(kPairsMarker);
+  if (marker == std::string::npos) {
+    result.cold = true;
+    result.quarantine_path = support::QuarantineFile(path, text);
+    result.detail = "checkpoint '" + path +
+                    "' is damaged before its pairs array; starting cold";
+    return result;
+  }
+  const std::size_t pairs_open = marker + sizeof(kPairsMarker) - 2;
+  try {
+    const std::string header =
+        text.substr(0, pairs_open + 1) + "]\n}\n";
+    result.checkpoint = CheckpointFromJson(header);
+  } catch (const InternalError&) {
+    result.cold = true;
+    result.checkpoint = Checkpoint{};
+    result.quarantine_path = support::QuarantineFile(path, text);
+    result.detail = "checkpoint '" + path +
+                    "' has a damaged options header; starting cold";
+    return result;
+  }
+
+  std::size_t pos = pairs_open + 1;
+  for (;;) {
+    while (pos < text.size() &&
+           (text[pos] == ',' || text[pos] == '\n' || text[pos] == ' ' ||
+            text[pos] == '\t' || text[pos] == '\r'))
+      ++pos;
+    if (pos >= text.size() || text[pos] != '{') break;
+    const std::size_t end = json::SkipBalanced(text, pos);
+    if (end == std::string::npos) break;  // the torn tail
+    try {
+      const JsonValue pv = json::ParseJson(text.substr(pos, end - pos));
+      result.checkpoint.pairs.push_back(PairStateFromJson(pv));
+    } catch (const InternalError&) {
+      break;  // complete braces but damaged content: stop at the prefix
+    }
+    pos = end;
+  }
+  result.salvaged = true;
+  result.pairs_recovered = result.checkpoint.pairs.size();
+  result.quarantine_path = support::QuarantineFile(path, text);
+  result.detail = "salvaged " + std::to_string(result.pairs_recovered) +
+                  " intact pair(s) from torn checkpoint '" + path + "'";
+  return result;
 }
 
 }  // namespace xcv::campaign

@@ -32,16 +32,49 @@ std::string CheckpointToJson(const CampaignOptions& options,
 /// xcv::InternalError on malformed input.
 Checkpoint CheckpointFromJson(const std::string& json);
 
-/// Writes atomically (temp file + rename), so a kill mid-write never
-/// corrupts an existing checkpoint. Throws xcv::InternalError on I/O error.
+/// Writes durably and atomically: temp file + fsync + rename + directory
+/// fsync (support/io.h), with a whole-document checksum inserted after the
+/// version field. A crash at any instant leaves either the complete old
+/// checkpoint or the complete new one. Honours the "checkpoint.save.*"
+/// fault points. Throws xcv::InternalError on I/O error.
 void WriteCheckpointFile(const std::string& path,
                          const CampaignOptions& options,
                          const std::vector<PairState>& pairs,
                          bool cancelled);
 
 /// Reads and parses a checkpoint file. Throws xcv::InternalError if the
-/// file is unreadable or malformed.
+/// file is unreadable, malformed, or fails its checksum (documents without
+/// a checksum — legacy writers — are accepted).
 Checkpoint LoadCheckpointFile(const std::string& path);
+
+/// Outcome of a tolerant checkpoint load (LoadCheckpointFileTolerant).
+/// Exactly one of `clean`, `salvaged`, `cold` is true:
+///   * clean:    full parse + checksum ok (or legacy, no checksum field);
+///   * salvaged: the document was torn (truncated/short-written) — the
+///     options header and the longest intact prefix of complete pairs were
+///     recovered; the damaged original is quarantined;
+///   * cold:     nothing recoverable — the file is unreadable, its header
+///     is torn, or it parses but fails its checksum (content corruption: a
+///     file whose bytes changed in place cannot be trusted pair by pair,
+///     so no pair is).
+struct CheckpointLoadResult {
+  Checkpoint checkpoint;
+  bool clean = false;
+  bool salvaged = false;
+  bool cold = false;
+  std::size_t pairs_recovered = 0;
+  /// Copy of the damaged bytes ("<path>.corrupt"), kept for post-mortems;
+  /// empty when clean or when the quarantine copy could not be written.
+  std::string quarantine_path;
+  /// Human-readable reason when not clean.
+  std::string detail;
+};
+
+/// Best-effort load that never throws on damaged input: full parse when
+/// possible, salvage of the intact pair prefix from torn documents,
+/// quarantine of the damaged original. Used by `xcv resume` and the
+/// elastic coordinator, and by the torn-file recovery tests.
+CheckpointLoadResult LoadCheckpointFileTolerant(const std::string& path);
 
 // ---- Building blocks (shared with the CLI's json/csv output) ---------------
 

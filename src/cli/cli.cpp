@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +14,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unordered_set>
@@ -21,9 +23,12 @@
 #include "campaign/campaign.h"
 #include "campaign/serialize.h"
 #include "report/tables.h"
+#include "shard/coordinator.h"
 #include "shard/merge.h"
 #include "shard/partition.h"
 #include "support/check.h"
+#include "support/fault.h"
+#include "support/io.h"
 #include "support/strings.h"
 #include "verifier/region.h"
 
@@ -47,6 +52,10 @@ Usage:
                             checkpoints, one per node (resume each anywhere)
   xcv merge FILE... [opts]  Union resumed shard checkpoints (and their
                             verdict caches) back into one campaign report
+  xcv coordinate [options]  Supervise an elastic K-node campaign on this
+                            host: deal shards, launch resumes, watch
+                            heartbeats, re-deal dead/straggler nodes' work,
+                            merge — loops until every pair is done
   xcv cache-stats FILE      Inspect a verdict-cache file (read-only)
   xcv list                  List known functionals and conditions
   xcv help                  Show this help
@@ -76,6 +85,8 @@ Options (verify/resume):
   --cache-readonly     Consult --cache but never write it back.
   --format=F           Final output: table | json | csv.          [table]
   --quiet              No per-pair progress on stderr.
+  --heartbeat=PATH     (resume) Touch PATH every 250 ms while running, so a
+                       supervisor can tell a working node from a hung one.
 
 Options (shard):
   --checkpoint=PATH    Campaign checkpoint to partition. When omitted, an
@@ -87,6 +98,35 @@ Options (shard):
                        frontier (open boxes dealt round-robin in the
                        campaign's frontier-priority order).       [pairs]
   --out-dir=DIR        Directory for shard-0.json .. shard-K-1.json.  [.]
+  --rebalance          Re-mint origin_index provenance from the current pair
+                       order, making this partition dense in its own
+                       coordinates — use when re-dealing a merged mid-flight
+                       checkpoint across a changed fleet.
+
+Options (coordinate):
+  --checkpoint=PATH    Campaign checkpoint to drive (created fresh from
+                       --functionals/--conditions when absent); the
+                       coordinator re-reads and rewrites it every epoch, so
+                       killing and re-running the coordinator resumes.
+  --shards=K           Fleet width: resume processes per epoch.     [2]
+  --by=G               Partition granularity: pairs | frontier.    [pairs]
+  --work-dir=DIR       Shard files, heartbeats, per-node logs.
+                                                       [xcv-coordinate]
+  --rebalance-epoch=S  Deadline per epoch: stragglers still running after S
+                       seconds are asked to checkpoint and stop, and their
+                       remaining frontier is re-dealt across the whole
+                       fleet. 0 = wait for every node.             [0]
+  --lease=S            Heartbeat lease: a node silent for S seconds is
+                       presumed hung and killed (its work since its last
+                       checkpoint is re-dealt).                    [5]
+  --max-epochs=N       Give up after N epochs.                     [64]
+  --cache-dir=DIR      Give node k a persistent verdict cache at
+                       DIR/cache-node-k.json.
+  --kill-node=K@S      Chaos hook: SIGKILL node K, S seconds into epoch 0.
+  --fault-node=K:SPEC  Chaos hook: run node K of epoch 0 with
+                       XCV_FAULTS=SPEC armed.
+  --xcv-bin=PATH       Binary to launch nodes with.    [this executable]
+  --format=F           Render the converged report: table | json | csv.
 
 Options (merge):
   -o PATH, --out=PATH  Write the merged checkpoint here (it is a valid,
@@ -97,8 +137,18 @@ Options (merge):
   --cache-out=PATH     Merged cache destination.       [merged-cache.json]
   --format=F           Render the merged report: table | json | csv.
   --quiet              No merge summary on stderr.
+  --skip-corrupt       Skip unreadable/corrupt shard inputs with a warning
+                       instead of failing; zero readable inputs is still an
+                       error.
 
-Exit codes: 0 success, 2 usage error, 130 cancelled (checkpoint saved).
+Fault injection (any command, for robustness testing):
+  --faults=SPEC        Arm named fault points for this process, e.g.
+                       --faults=checkpoint.save.short-write@2. The
+                       XCV_FAULTS environment variable is the same thing;
+                       see README "Fault tolerance" for the grammar.
+
+Exit codes: 0 success, 1 coordinate gave up, 2 usage error, 70 injected
+fault crash, 130 cancelled (checkpoint saved).
 )";
 
 // Signal handler target: only an atomic flag is touched in the handler.
@@ -436,29 +486,43 @@ int CmdResume(const ParsedArgs& args) {
                    it->second.c_str(), remaining, cp.pairs.size());
     }
   }
-  return RunCampaign(campaign, options, format, quiet);
+
+  // Heartbeat: touch the named file every 250 ms so a supervisor (`xcv
+  // coordinate`, or any watchdog) can tell working from hung by mtime
+  // alone. The thread dies with the process, so a crash stops the beat —
+  // which is the point.
+  std::atomic<bool> heartbeat_stop{false};
+  std::thread heartbeat_thread;
+  if (const auto hb = args.flags.find("heartbeat"); hb != args.flags.end()) {
+    const std::string hb_path = hb->second;
+    heartbeat_thread = std::thread([hb_path, &heartbeat_stop] {
+      while (!heartbeat_stop.load(std::memory_order_relaxed)) {
+        support::TouchFile(hb_path);
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    });
+  }
+  const int rc = RunCampaign(campaign, options, format, quiet);
+  if (heartbeat_thread.joinable()) {
+    heartbeat_stop.store(true, std::memory_order_relaxed);
+    heartbeat_thread.join();
+  }
+  return rc;
 }
 
 // ---- Distributed sharding ---------------------------------------------------
 
-int CmdShard(const ParsedArgs& args) {
-  if (RejectPositionals(args)) return 2;
-  shard::PartitionOptions popts;
-  popts.shards = static_cast<int>(FlagDouble(args, "shards", 2));
-  XCV_CHECK_MSG(popts.shards >= 1, "--shards must be at least 1");
-  if (const auto it = args.flags.find("by"); it != args.flags.end())
-    popts.by = shard::ShardByFromToken(ToLower(it->second));
-
+/// The campaign state a distribution command (shard, coordinate) starts
+/// from: --checkpoint=PATH when given (flags override the checkpointed run
+/// configuration, like resume), otherwise an unrun campaign built from
+/// --functionals/--conditions and the solver flags — the day-one multi-node
+/// path, sharded before the first solve.
+campaign::Checkpoint CheckpointFromFlagsOrFile(const ParsedArgs& args) {
   campaign::Checkpoint cp;
   if (const auto it = args.flags.find("checkpoint"); it != args.flags.end()) {
     cp = campaign::LoadCheckpointFile(it->second);
-    // Like resume: flags override the checkpointed run configuration, so a
-    // matrix can be re-tuned (more nodes, tighter budgets) as it is dealt.
     cp.options = OptionsFromFlags(args, cp.options);
   } else {
-    // No checkpoint yet: build the unrun campaign the same way `verify`
-    // would and shard it before the first solve — the day-one multi-node
-    // path (shard, scp, resume each, merge).
     cp.options = OptionsFromFlags(args, DefaultOptions());
     const auto funcs = ParseFunctionalList(
         args.flags.count("functionals") ? args.flags.at("functionals")
@@ -469,6 +533,19 @@ int CmdShard(const ParsedArgs& args) {
       for (const Functional* f : funcs)
         cp.pairs.push_back(campaign::InitialPairState(*f, *cond));
   }
+  return cp;
+}
+
+int CmdShard(const ParsedArgs& args) {
+  if (RejectPositionals(args)) return 2;
+  shard::PartitionOptions popts;
+  popts.shards = static_cast<int>(FlagDouble(args, "shards", 2));
+  XCV_CHECK_MSG(popts.shards >= 1, "--shards must be at least 1");
+  if (const auto it = args.flags.find("by"); it != args.flags.end())
+    popts.by = shard::ShardByFromToken(ToLower(it->second));
+  popts.rebase_provenance = args.flags.count("rebalance") > 0;
+
+  campaign::Checkpoint cp = CheckpointFromFlagsOrFile(args);
 
   const std::string out_dir =
       args.flags.count("out-dir") ? args.flags.at("out-dir") : ".";
@@ -525,12 +602,104 @@ int CmdShard(const ParsedArgs& args) {
   return 0;
 }
 
+int CmdCoordinate(const ParsedArgs& args) {
+  if (RejectPositionals(args)) return 2;
+  shard::CoordinatorOptions copts;
+  copts.shards = static_cast<int>(FlagDouble(args, "shards", 2));
+  if (const auto it = args.flags.find("by"); it != args.flags.end())
+    copts.by = shard::ShardByFromToken(ToLower(it->second));
+  copts.work_dir = args.flags.count("work-dir") ? args.flags.at("work-dir")
+                                                : "xcv-coordinate";
+  copts.epoch_seconds = FlagDouble(args, "rebalance-epoch", 0.0);
+  copts.lease_seconds = FlagDouble(args, "lease", copts.lease_seconds);
+  copts.max_epochs =
+      static_cast<int>(FlagDouble(args, "max-epochs", copts.max_epochs));
+  if (const auto it = args.flags.find("cache-dir"); it != args.flags.end())
+    copts.cache_dir = it->second;
+  if (const auto it = args.flags.find("xcv-bin"); it != args.flags.end())
+    copts.xcv_binary = it->second;
+  copts.quiet = args.flags.count("quiet") > 0;
+
+  // Chaos hooks: --kill-node=K@S and --fault-node=K:SPEC.
+  if (const auto it = args.flags.find("kill-node"); it != args.flags.end()) {
+    const std::string& v = it->second;
+    const auto at = v.find('@');
+    copts.kill_node = std::atoi(v.c_str());
+    if (at != std::string::npos)
+      copts.kill_after_seconds = std::strtod(v.c_str() + at + 1, nullptr);
+    XCV_CHECK_MSG(copts.kill_node >= 0 && copts.kill_after_seconds >= 0.0,
+                  "--kill-node needs K@SECONDS, got '" << v << "'");
+  }
+  if (const auto it = args.flags.find("fault-node"); it != args.flags.end()) {
+    const std::string& v = it->second;
+    const auto colon = v.find(':');
+    XCV_CHECK_MSG(colon != std::string::npos && colon > 0,
+                  "--fault-node needs K:FAULT_SPEC, got '" << v << "'");
+    copts.fault_node = std::atoi(v.substr(0, colon).c_str());
+    copts.fault_spec = v.substr(colon + 1);
+    // Validate the spec here, in the coordinator's process, so a typo is a
+    // usage error now rather than K crashed children later. The arming is
+    // scoped to the designated child's environment.
+    support::fault::ArmFromSpec(copts.fault_spec);
+    support::fault::Disarm();
+  }
+
+  // The coordinator owns one campaign checkpoint file. Seed it from the
+  // flags (an existing --checkpoint, or a fresh matrix) exactly like shard.
+  std::error_code ec;
+  std::filesystem::create_directories(copts.work_dir, ec);
+  XCV_CHECK_MSG(!ec, "cannot create --work-dir '" << copts.work_dir
+                                                  << "': " << ec.message());
+  campaign::Checkpoint cp = CheckpointFromFlagsOrFile(args);
+  copts.checkpoint_path = args.flags.count("checkpoint")
+                              ? args.flags.at("checkpoint")
+                              : copts.work_dir + "/campaign.json";
+  campaign::WriteCheckpointFile(copts.checkpoint_path, cp.options, cp.pairs,
+                                cp.cancelled);
+
+  const shard::CoordinatorResult result = shard::RunCoordinator(copts);
+  if (!copts.quiet)
+    std::fprintf(stderr,
+                 "[xcv coordinate] %s: %d epoch(s), %d launch(es), %d "
+                 "kill(s), %d recover(ies), %zu fragment(s) backfilled\n",
+                 result.converged ? "converged" : "gave up", result.epochs,
+                 result.launches, result.kills, result.recoveries,
+                 result.backfilled_fragments);
+  if (!result.converged) {
+    std::fprintf(stderr, "xcv coordinate: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  // Render the converged campaign exactly like a single-node run would.
+  campaign::Checkpoint final_cp =
+      campaign::LoadCheckpointFile(copts.checkpoint_path);
+  const std::string format =
+      args.flags.count("format") ? args.flags.at("format") : "table";
+  if (format == "json") {
+    std::printf("%s", campaign::CheckpointToJson(final_cp.options,
+                                                 final_cp.pairs,
+                                                 final_cp.cancelled)
+                          .c_str());
+  } else {
+    CampaignResult render;
+    render.pairs = std::move(final_cp.pairs);
+    render.cancelled = final_cp.cancelled;
+    if (format == "csv") {
+      PrintCsv(render);
+    } else {
+      PrintTable(render);
+    }
+  }
+  return 0;
+}
+
 int CmdMerge(const ParsedArgs& args) {
   if (args.positionals.empty()) {
     std::fprintf(stderr,
                  "xcv merge: needs at least one shard checkpoint file\n");
     return 2;
   }
+  const bool skip_corrupt = args.flags.count("skip-corrupt") > 0;
   std::vector<campaign::Checkpoint> inputs;
   inputs.reserve(args.positionals.size());
   for (const std::string& path : args.positionals) {
@@ -538,11 +707,22 @@ int CmdMerge(const ParsedArgs& args) {
       inputs.push_back(campaign::LoadCheckpointFile(path));
     } catch (const InternalError& e) {
       // Re-raise with the offending file named: a corrupt shard must be a
-      // clear diagnostic, not a stack trace.
-      throw InternalError("shard checkpoint '" + path +
-                          "' is unreadable or malformed: " + e.what());
+      // clear diagnostic, not a stack trace. With --skip-corrupt the
+      // survivors still merge (the skipped shard's pairs go missing, which
+      // the coverage warnings below surface).
+      if (!skip_corrupt)
+        throw InternalError("shard checkpoint '" + path +
+                            "' is unreadable or malformed: " + e.what());
+      std::fprintf(stderr, "[xcv] WARNING: skipping shard '%s': %s\n",
+                   path.c_str(), e.what());
     }
   }
+  // Zero readable inputs must be a loud, named failure — not an empty
+  // report quietly overwriting last night's good merge.
+  XCV_CHECK_MSG(!inputs.empty(),
+                "merge: none of the "
+                    << args.positionals.size()
+                    << " input file(s) could be read — nothing to merge");
 
   // Usage errors must fire before any output file is written.
   XCV_CHECK_MSG(
@@ -552,6 +732,9 @@ int CmdMerge(const ParsedArgs& args) {
   shard::MergeStats stats;
   campaign::Checkpoint merged =
       shard::MergeCheckpoints(std::move(inputs), &stats);
+  XCV_CHECK_MSG(!merged.pairs.empty(),
+                "merge: the readable inputs contain zero pairs — refusing "
+                "to write an empty campaign");
   if (stats.mixed_partitions)
     std::fprintf(stderr,
                  "[xcv] note: inputs declare partitions of different sizes "
@@ -797,9 +980,17 @@ int Main(int argc, const char* const* argv) {
   const auto args = ParseArgs(argc, argv);
   if (!args.has_value()) return 2;
   try {
+    // Fault injection arms before any command touches a file. Disarmed
+    // (the overwhelmingly common case) this is one relaxed atomic load per
+    // fault point — no measurable cost on any hot path.
+    support::fault::ArmFromEnv();
+    if (const auto it = args->flags.find("faults"); it != args->flags.end())
+      support::fault::ArmFromSpec(it->second);
+
     if (args->command == "verify") return CmdVerify(*args);
     if (args->command == "resume") return CmdResume(*args);
     if (args->command == "shard") return CmdShard(*args);
+    if (args->command == "coordinate") return CmdCoordinate(*args);
     if (args->command == "merge") return CmdMerge(*args);
     if (args->command == "cache-stats") return CmdCacheStats(*args);
     if (args->command == "list") {

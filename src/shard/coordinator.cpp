@@ -1,0 +1,418 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "shard/merge.h"
+#include "support/check.h"
+
+namespace xcv::shard {
+
+using campaign::Checkpoint;
+using campaign::CheckpointLoadResult;
+using campaign::PairState;
+
+namespace {
+
+std::string PairKey(const PairState& p) {
+  return p.functional + '\x1f' + p.condition;
+}
+
+bool AllDone(const Checkpoint& cp) {
+  for (const PairState& p : cp.pairs)
+    if (p.applicable && !p.done) return false;
+  return !cp.pairs.empty();
+}
+
+// Persisted-progress score: strictly increases whenever any node's work
+// survived to disk (counters are additive across checkpoint/resume, so the
+// sum is monotone per fragment). Equal scores across an epoch mean nothing
+// was persisted — the stall signal that drives backoff.
+std::uint64_t ProgressScore(const Checkpoint& cp) {
+  std::uint64_t score = 0;
+  for (const PairState& p : cp.pairs) {
+    score += p.report.solver_calls + p.report.cache_hits;
+    if (p.done) ++score;
+  }
+  return score;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
+
+std::size_t BackfillMissingPairs(Checkpoint& loaded, const Checkpoint& dealt) {
+  std::size_t restored = 0;
+  for (const PairState& p : dealt.pairs) {
+    bool present = false;
+    for (const PairState& q : loaded.pairs) {
+      if (PairKey(q) == PairKey(p)) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      loaded.pairs.push_back(p);
+      ++restored;
+    }
+  }
+  return restored;
+}
+
+#ifndef _WIN32
+
+namespace {
+
+/// The running executable, so `xcv coordinate` launches the same build it
+/// was invoked as (readlink of /proc/self/exe; "" off Linux).
+std::string SelfExePath() {
+#ifdef __linux__
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+#else
+  return "";
+#endif
+}
+
+struct Node {
+  int index = 0;
+  pid_t pid = -1;
+  std::string heartbeat_path;
+  std::chrono::steady_clock::time_point started;
+  bool alive = false;
+};
+
+/// Heartbeat age in seconds: mtime of the heartbeat file when it exists,
+/// time since launch otherwise (the child may have died before its first
+/// beat — the lease covers that too).
+double HeartbeatAge(const Node& node) {
+  std::error_code ec;
+  const auto mtime =
+      std::filesystem::last_write_time(node.heartbeat_path, ec);
+  if (ec) return SecondsSince(node.started);
+  const auto now = std::filesystem::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+pid_t LaunchNode(const CoordinatorOptions& opt, int k,
+                 const std::string& shard_path, const std::string& hb_path,
+                 int epoch) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+
+  // Child. Per-node log file for post-mortems (CI uploads the work dir).
+  const std::string log_path =
+      opt.work_dir + "/node-" + std::to_string(k) + ".log";
+  const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  // Children must not inherit the coordinator's fault schedule: only the
+  // designated chaos node runs with faults armed, and only in epoch 0.
+  if (epoch == 0 && k == opt.fault_node && !opt.fault_spec.empty())
+    ::setenv("XCV_FAULTS", opt.fault_spec.c_str(), 1);
+  else
+    ::unsetenv("XCV_FAULTS");
+
+  std::vector<std::string> args = {
+      opt.xcv_binary,
+      "resume",
+      "--checkpoint=" + shard_path,
+      "--heartbeat=" + hb_path,
+      "--format=csv",
+      "--quiet",
+  };
+  if (!opt.cache_dir.empty())
+    args.push_back("--cache=" + opt.cache_dir + "/cache-node-" +
+                   std::to_string(k) + ".json");
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(opt.xcv_binary.c_str(), argv.data());
+  std::fprintf(stderr, "xcv coordinate: cannot exec '%s'\n",
+               opt.xcv_binary.c_str());
+  std::_Exit(127);
+}
+
+}  // namespace
+
+CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
+  CoordinatorResult result;
+  CoordinatorOptions options = options_in;
+  if (options.xcv_binary.empty()) options.xcv_binary = SelfExePath();
+  XCV_CHECK_MSG(options.shards >= 1,
+                "coordinate: --shards must be at least 1");
+  XCV_CHECK_MSG(!options.checkpoint_path.empty(),
+                "coordinate: a campaign checkpoint path is required");
+  XCV_CHECK_MSG(!options.xcv_binary.empty(),
+                "coordinate: cannot resolve the xcv binary to launch nodes "
+                "with (pass --xcv-bin=PATH)");
+  std::error_code ec;
+  std::filesystem::create_directories(options.work_dir, ec);
+  XCV_CHECK_MSG(!ec, "cannot create work dir '" << options.work_dir
+                                                << "': " << ec.message());
+
+  auto log = [&](const char* fmt, auto... args_pack) {
+    if (!options.quiet) {
+      std::fprintf(stderr, "[xcv coordinate] ");
+      std::fprintf(stderr, fmt, args_pack...);
+      std::fprintf(stderr, "\n");
+    }
+  };
+
+  // The campaign state the coordinator owns, re-read tolerantly so a crash
+  // while *it* was writing the checkpoint recovers too.
+  CheckpointLoadResult load =
+      campaign::LoadCheckpointFileTolerant(options.checkpoint_path);
+  if (load.cold) {
+    result.error = "cannot load campaign checkpoint: " + load.detail;
+    return result;
+  }
+  if (!load.clean) {
+    ++result.recoveries;
+    log("%s", load.detail.c_str());
+  }
+  Checkpoint state = std::move(load.checkpoint);
+  std::uint64_t score = ProgressScore(state);
+  int stalled = 0;
+
+  const std::size_t n = static_cast<std::size_t>(options.shards);
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    if (AllDone(state)) {
+      result.converged = true;
+      break;
+    }
+    result.epochs = epoch + 1;
+
+    // ---- Deal ---------------------------------------------------------------
+    PartitionOptions popts;
+    popts.shards = options.shards;
+    popts.by = options.by;
+    popts.rebase_provenance = true;
+    std::vector<Checkpoint> dealt = PartitionCheckpoint(state, popts);
+
+    std::vector<std::string> shard_paths(n), hb_paths(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      shard_paths[k] =
+          options.work_dir + "/shard-" + std::to_string(k) + ".json";
+      hb_paths[k] = options.work_dir + "/hb-" + std::to_string(k);
+      campaign::WriteCheckpointFile(shard_paths[k], dealt[k].options,
+                                    dealt[k].pairs, dealt[k].cancelled);
+      // A heartbeat left over from the previous epoch would read as a
+      // stale lease the instant the new child starts.
+      std::filesystem::remove(hb_paths[k], ec);
+    }
+
+    // ---- Launch -------------------------------------------------------------
+    std::vector<Node> nodes(n);
+    const auto epoch_start = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < n; ++k) {
+      nodes[k].index = static_cast<int>(k);
+      nodes[k].heartbeat_path = hb_paths[k];
+      nodes[k].started = std::chrono::steady_clock::now();
+      nodes[k].pid = LaunchNode(options, static_cast<int>(k), shard_paths[k],
+                                hb_paths[k], epoch);
+      XCV_CHECK_MSG(nodes[k].pid > 0, "fork failed for node " << k);
+      nodes[k].alive = true;
+      ++result.launches;
+    }
+    log("epoch %d: launched %zu node(s)", epoch, n);
+
+    // ---- Monitor ------------------------------------------------------------
+    bool chaos_killed = options.kill_node < 0 || epoch > 0;
+    bool deadline_hit = false;
+    auto deadline_time = epoch_start;
+    for (;;) {
+      bool any_alive = false;
+      for (Node& node : nodes) {
+        if (!node.alive) continue;
+        int status = 0;
+        const pid_t r = ::waitpid(node.pid, &status, WNOHANG);
+        if (r == node.pid) {
+          node.alive = false;
+          if (WIFEXITED(status) && WEXITSTATUS(status) != 0 &&
+              WEXITSTATUS(status) != 130)
+            log("node %d exited with status %d", node.index,
+                WEXITSTATUS(status));
+          else if (WIFSIGNALED(status))
+            log("node %d killed by signal %d", node.index, WTERMSIG(status));
+          continue;
+        }
+        any_alive = true;
+      }
+      if (!any_alive) break;
+
+      const double elapsed = SecondsSince(epoch_start);
+
+      // Chaos: yank the designated node from the rack, once.
+      if (!chaos_killed && elapsed >= options.kill_after_seconds) {
+        chaos_killed = true;
+        Node& victim = nodes[static_cast<std::size_t>(
+            options.kill_node % static_cast<int>(n))];
+        if (victim.alive) {
+          ::kill(victim.pid, SIGKILL);
+          ++result.kills;
+          log("chaos: SIGKILL node %d at %.1fs", victim.index, elapsed);
+        }
+      }
+
+      // Dead-node detection: a heartbeat past the lease means the node is
+      // hung (or gone without being reaped) — kill it and move on; its
+      // frontier is re-dealt next epoch.
+      for (Node& node : nodes) {
+        if (!node.alive) continue;
+        if (HeartbeatAge(node) > options.lease_seconds) {
+          ::kill(node.pid, SIGKILL);
+          ++result.kills;
+          log("node %d heartbeat stale (> %.1fs) — killed", node.index,
+              options.lease_seconds);
+        }
+      }
+
+      // Rebalance deadline: ask stragglers to checkpoint and stop, then
+      // force the issue after a grace period.
+      if (options.epoch_seconds > 0.0 && elapsed >= options.epoch_seconds) {
+        if (!deadline_hit) {
+          deadline_hit = true;
+          deadline_time = std::chrono::steady_clock::now();
+          for (Node& node : nodes) {
+            if (!node.alive) continue;
+            ::kill(node.pid, SIGTERM);
+            log("epoch deadline: SIGTERM node %d (will re-deal its "
+                "frontier)",
+                node.index);
+          }
+        } else if (SecondsSince(deadline_time) > options.lease_seconds) {
+          for (Node& node : nodes) {
+            if (!node.alive) continue;
+            ::kill(node.pid, SIGKILL);
+            ++result.kills;
+            log("node %d ignored SIGTERM — killed", node.index);
+          }
+        }
+      }
+
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.poll_seconds));
+    }
+
+    // ---- Collect ------------------------------------------------------------
+    std::vector<Checkpoint> collected;
+    collected.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      CheckpointLoadResult r =
+          campaign::LoadCheckpointFileTolerant(shard_paths[k]);
+      Checkpoint shard_cp;
+      if (r.cold) {
+        // Nothing usable came back: the fragment restarts from what was
+        // dealt — only unpersisted work is lost.
+        ++result.recoveries;
+        log("node %zu: %s — re-dealing its shard from the coordinator's "
+            "copy",
+            k, r.detail.c_str());
+        shard_cp = dealt[k];
+      } else {
+        if (!r.clean) {
+          ++result.recoveries;
+          log("node %zu: %s", k, r.detail.c_str());
+        }
+        shard_cp = std::move(r.checkpoint);
+        // A salvaged (or otherwise incomplete) shard must still cover every
+        // fragment it was dealt, or merged verdicts would silently omit
+        // regions. Missing fragments restart from their dealt state.
+        const std::size_t restored = BackfillMissingPairs(shard_cp, dealt[k]);
+        result.backfilled_fragments += restored;
+        if (restored > 0)
+          log("node %zu: restored %zu lost fragment(s) from the dealt "
+              "shard",
+              k, restored);
+      }
+      collected.push_back(std::move(shard_cp));
+    }
+
+    MergeStats mstats;
+    Checkpoint merged = MergeCheckpoints(std::move(collected), &mstats);
+    // The merged document is the coordinator's own state, not a cancelled
+    // node's: SIGTERM-driven rebalances would otherwise mark it cancelled
+    // forever.
+    merged.cancelled = false;
+
+    const std::uint64_t new_score = ProgressScore(merged);
+    campaign::WriteCheckpointFile(options.checkpoint_path, merged.options,
+                                  merged.pairs, merged.cancelled);
+    state = std::move(merged);
+
+    std::size_t open_pairs = 0;
+    for (const PairState& p : state.pairs)
+      if (p.applicable && !p.done) ++open_pairs;
+    log("epoch %d merged: %zu pair(s) still open, progress %llu -> %llu",
+        epoch, open_pairs, static_cast<unsigned long long>(score),
+        static_cast<unsigned long long>(new_score));
+
+    if (new_score <= score) {
+      ++stalled;
+      if (stalled >= options.max_stalled_epochs) {
+        result.error = "no persisted progress across " +
+                       std::to_string(stalled) +
+                       " consecutive epochs — giving up";
+        return result;
+      }
+      const double backoff =
+          std::min(options.backoff_max_seconds,
+                   options.backoff_initial_seconds *
+                       static_cast<double>(1 << (stalled - 1)));
+      log("no progress this epoch — backing off %.1fs (%d/%d)", backoff,
+          stalled, options.max_stalled_epochs);
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    } else {
+      stalled = 0;
+    }
+    score = new_score;
+
+    if (AllDone(state)) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  if (!result.converged && result.error.empty())
+    result.error = "campaign did not converge within " +
+                   std::to_string(options.max_epochs) + " epoch(s)";
+  return result;
+}
+
+#else  // _WIN32
+
+CoordinatorResult RunCoordinator(const CoordinatorOptions&) {
+  CoordinatorResult result;
+  result.error = "xcv coordinate requires a POSIX host (fork/exec)";
+  return result;
+}
+
+#endif
+
+}  // namespace xcv::shard

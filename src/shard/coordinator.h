@@ -1,0 +1,116 @@
+// Elastic fault-tolerant driver for multi-node campaigns.
+//
+// The coordinator turns the manual shard/resume/merge cycle
+// (src/shard/partition.h, src/shard/merge.h) into a supervised loop of
+// *epochs*. Each epoch:
+//
+//   1. partitions the current campaign checkpoint into K shard checkpoints
+//      (provenance rebased, so every epoch's partition is dense in its own
+//      coordinates and coverage-checkable);
+//   2. launches one `xcv resume` child per shard, each writing a heartbeat
+//      file the coordinator watches;
+//   3. monitors the fleet: a child whose heartbeat goes stale past the
+//      lease is presumed hung and killed; when a rebalance deadline is set,
+//      stragglers still running at the deadline are asked to stop
+//      (SIGTERM — they checkpoint and exit) so their remaining frontier can
+//      be re-dealt across the whole fleet next epoch;
+//   4. collects the shard files with the tolerant loader — a clean file is
+//      used as-is, a torn file is salvaged, and any fragment a shard lost
+//      (cold file, salvaged tail) is backfilled from the coordinator's own
+//      in-memory copy of what it dealt that shard, so no dealt box is ever
+//      silently dropped;
+//   5. merges, writes the campaign checkpoint back, and loops until every
+//      applicable pair is done.
+//
+// Work a node completed but never persisted is simply re-dealt and
+// re-solved — it is counted exactly once in the merged report, which is why
+// the final CSV (deterministic columns) is byte-identical to a single-node
+// run no matter how many nodes died on the way.
+//
+// Epochs that make no persisted progress back off exponentially and give
+// up after a bounded number of consecutive failures, so a persistently
+// faulting fleet terminates with a clear error instead of spinning.
+//
+// POSIX-only (fork/exec/waitpid); on other platforms RunCoordinator
+// returns an error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/serialize.h"
+#include "shard/partition.h"
+
+namespace xcv::shard {
+
+struct CoordinatorOptions {
+  /// Campaign checkpoint the coordinator owns: read at the start of every
+  /// epoch, written back after every merge. Killing and re-running the
+  /// coordinator itself resumes from here.
+  std::string checkpoint_path;
+  /// Directory for shard checkpoints, heartbeat files, and per-node logs.
+  std::string work_dir = ".";
+  /// Executable to launch for each node (defaults to the running binary).
+  std::string xcv_binary;
+  /// Fleet width K (>= 1).
+  int shards = 2;
+  ShardBy by = ShardBy::kPairs;
+  /// Rebalance deadline per epoch, seconds. 0 = no deadline: an epoch ends
+  /// when every child has exited. With a deadline, stragglers are asked to
+  /// checkpoint and stop (SIGTERM) so their frontier is re-dealt.
+  double epoch_seconds = 0.0;
+  /// A child whose heartbeat file is older than this is presumed hung and
+  /// killed. Also the SIGTERM->SIGKILL grace at the epoch deadline.
+  double lease_seconds = 5.0;
+  double poll_seconds = 0.1;
+  /// Hard cap on epochs before giving up.
+  int max_epochs = 64;
+  /// Consecutive epochs with no persisted progress tolerated before giving
+  /// up; each one backs off exponentially (0.5s, 1s, 2s, ...).
+  int max_stalled_epochs = 4;
+  double backoff_initial_seconds = 0.5;
+  double backoff_max_seconds = 8.0;
+
+  // ---- Chaos hooks (CI smoke) -----------------------------------------------
+  /// SIGKILL child `kill_node` once, `kill_after_seconds` into epoch 0 —
+  /// the "node yanked from the rack" simulation. -1 = off.
+  int kill_node = -1;
+  double kill_after_seconds = 0.0;
+  /// Arm XCV_FAULTS=`fault_spec` in child `fault_node` during epoch 0 (all
+  /// other children run with faults cleared). -1 = off.
+  int fault_node = -1;
+  std::string fault_spec;
+
+  /// When non-empty, child k runs with --cache=<cache_dir>/cache-node-k.json.
+  std::string cache_dir;
+  bool quiet = false;
+};
+
+struct CoordinatorResult {
+  bool converged = false;
+  int epochs = 0;
+  int launches = 0;
+  /// Children killed by the coordinator (stale lease, epoch deadline, or
+  /// the chaos hook).
+  int kills = 0;
+  /// Shard files that came back damaged and were salvaged or replaced.
+  int recoveries = 0;
+  /// Pair fragments restored from the coordinator's dealt copy because a
+  /// shard lost them.
+  std::size_t backfilled_fragments = 0;
+  /// Non-empty when the loop gave up (error, stall, or max_epochs).
+  std::string error;
+};
+
+/// Runs the supervise/partition/launch/merge loop described above.
+CoordinatorResult RunCoordinator(const CoordinatorOptions& options);
+
+/// Restores into `loaded` every pair fragment present in `dealt` (the
+/// checkpoint the coordinator handed that shard) but missing from what the
+/// shard gave back — the fragment restarts from its dealt state, losing
+/// only unpersisted work. Returns the number of fragments restored.
+/// Exposed for tests; RunCoordinator applies it per shard before merging.
+std::size_t BackfillMissingPairs(campaign::Checkpoint& loaded,
+                                 const campaign::Checkpoint& dealt);
+
+}  // namespace xcv::shard

@@ -59,8 +59,15 @@ std::vector<Checkpoint> PartitionCheckpoint(const Checkpoint& cp,
   XCV_CHECK_MSG(shard_count >= 1,
                 "--shards must be at least 1, got " << shard_count);
   // K = 1 is the identity: the "partition" is the input document itself,
-  // with no provenance added (byte-identical on rewrite).
-  if (shard_count == 1) return {cp};
+  // with no provenance added (byte-identical on rewrite) — unless a
+  // rebalance asked for dense re-minted provenance.
+  if (shard_count == 1) {
+    if (!options.rebase_provenance) return {cp};
+    Checkpoint out = cp;
+    for (std::size_t i = 0; i < out.pairs.size(); ++i)
+      out.pairs[i].origin_index = static_cast<int>(i);
+    return {out};
+  }
 
   const std::size_t n_shards = static_cast<std::size_t>(shard_count);
   std::vector<Checkpoint> shards(n_shards);
@@ -78,8 +85,10 @@ std::vector<Checkpoint> PartitionCheckpoint(const Checkpoint& cp,
     PairState p = cp.pairs[i];
     // Re-sharding a document that already carries provenance (a shard, or
     // a partial merge) keeps the original global coordinates; only
-    // provenance-free checkpoints mint them from position.
-    if (p.origin_index < 0) p.origin_index = static_cast<int>(i);
+    // provenance-free checkpoints mint them from position. A rebalance
+    // re-mints them so the new partition is dense in its own coordinates.
+    if (p.origin_index < 0 || options.rebase_provenance)
+      p.origin_index = static_cast<int>(i);
 
     // Finished and non-applicable pairs carry no work; they ride with
     // shard 0 so the merged report still covers the full matrix.

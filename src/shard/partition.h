@@ -40,6 +40,12 @@ struct PartitionOptions {
   /// Number of shards K (>= 1).
   int shards = 1;
   ShardBy by = ShardBy::kPairs;
+  /// Re-mint every pair's origin_index from its current position instead of
+  /// keeping inherited provenance. Used when re-partitioning a mid-flight
+  /// merged checkpoint (`xcv shard --rebalance`, the elastic coordinator's
+  /// epoch step): each epoch's partition becomes internally dense, so shard
+  /// coverage can be checked against [0, pairs) with no gaps.
+  bool rebase_provenance = false;
 };
 
 /// Splits `cp` into `options.shards` valid checkpoints. Every pair (and

@@ -1,0 +1,151 @@
+#include "support/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.h"
+
+namespace xcv::support::fault {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+// One armed spec entry. `from` and `to` bound the firing visit numbers
+// (1-based, inclusive): `@N` is [N, N], `@N+` is [N, inf), `@*` is [1, inf).
+struct Entry {
+  std::string point;
+  std::uint64_t from = 1;
+  std::uint64_t to = 1;
+  std::int64_t arg = 0;
+};
+
+struct State {
+  std::mutex mu;
+  std::vector<Entry> entries;
+  std::unordered_map<std::string, std::uint64_t> visits;
+};
+
+State& GetState() {
+  static State* state = new State();  // leaked: usable during shutdown
+  return *state;
+}
+
+Entry ParseEntry(const std::string& text) {
+  Entry e;
+  std::string body = text;
+  // Split off the `=ARG` payload first (the arg may not contain '@').
+  if (const auto eq = body.find('='); eq != std::string::npos) {
+    const std::string arg = body.substr(eq + 1);
+    body = body.substr(0, eq);
+    char* end = nullptr;
+    e.arg = std::strtoll(arg.c_str(), &end, 10);
+    XCV_CHECK_MSG(!arg.empty() && end != nullptr && *end == '\0' && e.arg >= 0,
+                  "fault spec '" << text << "': bad payload '" << arg << "'");
+  }
+  if (const auto at = body.find('@'); at != std::string::npos) {
+    std::string when = body.substr(at + 1);
+    body = body.substr(0, at);
+    if (when == "*") {
+      e.from = 1;
+      e.to = UINT64_MAX;
+    } else {
+      bool open_ended = false;
+      if (!when.empty() && when.back() == '+') {
+        open_ended = true;
+        when.pop_back();
+      }
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(when.c_str(), &end, 10);
+      XCV_CHECK_MSG(!when.empty() && end != nullptr && *end == '\0' && n >= 1,
+                    "fault spec '" << text << "': bad occurrence '" << when
+                                   << "' (want N, N+, or *)");
+      e.from = n;
+      e.to = open_ended ? UINT64_MAX : n;
+    }
+  }
+  XCV_CHECK_MSG(!body.empty(), "fault spec '" << text << "': empty point name");
+  e.point = body;
+  return e;
+}
+
+}  // namespace
+
+void ArmFromSpec(const std::string& spec) {
+  std::vector<Entry> parsed;
+  std::string token;
+  for (std::size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ',') {
+      if (!token.empty()) parsed.push_back(ParseEntry(token));
+      token.clear();
+    } else {
+      token += spec[i];
+    }
+  }
+  if (parsed.empty()) return;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (Entry& e : parsed) state.entries.push_back(std::move(e));
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void ArmFromEnv() {
+  const char* env = std::getenv("XCV_FAULTS");
+  if (env != nullptr && env[0] != '\0') ArmFromSpec(env);
+}
+
+void Disarm() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.entries.clear();
+  state.visits.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t VisitCount(const std::string& point) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.visits.find(point);
+  return it == state.visits.end() ? 0 : it->second;
+}
+
+namespace detail {
+
+bool HitSlow(const char* point, FireInfo* info) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const std::uint64_t visit = ++state.visits[point];
+  for (const Entry& e : state.entries) {
+    if (e.point == point && e.from <= visit && visit <= e.to) {
+      if (info != nullptr) info->arg = e.arg;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void CrashNow() { std::_Exit(kFaultExitCode); }
+
+void MaybeCrash(const char* point) {
+  if (Hit(point)) CrashNow();
+}
+
+void MaybeDelay(const char* point) {
+  FireInfo info;
+  if (Hit(point, &info) && info.arg > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(info.arg));
+}
+
+bool MaybeEio(const char* point) { return Hit(point); }
+
+bool MaybeShortWrite(const char* point) { return Hit(point); }
+
+}  // namespace xcv::support::fault

@@ -245,4 +245,33 @@ JsonValue ParseJson(const std::string& text) {
   return parser.Parse();
 }
 
+std::size_t SkipBalanced(const std::string& text, std::size_t start) {
+  if (start >= text.size() || (text[start] != '{' && text[start] != '['))
+    return std::string::npos;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character (may run off the end: torn file)
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth == 0) return i + 1;
+        break;
+      default: break;
+    }
+  }
+  return std::string::npos;
+}
+
 }  // namespace xcv::json

@@ -45,4 +45,11 @@ struct JsonValue {
 /// xcv::InternalError on malformed input.
 JsonValue ParseJson(const std::string& text);
 
+/// Given `text[start]` == '{' or '[', returns the index one past the
+/// matching close bracket — string- and escape-aware, so braces inside
+/// string values do not confuse it. Returns std::string::npos when the
+/// value is incomplete (a torn document) or `start` is not a bracket.
+/// Used by the salvage loaders to carve intact entries out of torn files.
+std::size_t SkipBalanced(const std::string& text, std::size_t start);
+
 }  // namespace xcv::json
