@@ -9,6 +9,7 @@
 // get only the JSON lines.
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -18,6 +19,7 @@
 #include "conditions/conditions.h"
 #include "conditions/enhancement.h"
 #include "expr/compile.h"
+#include "expr/interval_backward_batch.h"
 #include "expr/optimize.h"
 #include "functionals/functional.h"
 #include "functionals/variables.h"
@@ -27,6 +29,7 @@
 #include "shard/partition.h"
 #include "solver/contractor.h"
 #include "solver/icp.h"
+#include "support/simd.h"
 #include "support/stopwatch.h"
 
 namespace {
@@ -343,36 +346,144 @@ void RunIntervalBatchComparison(const functionals::Functional& f) {
 }
 
 // ICP node throughput: one full solver call (fixed node budget, presample
-// off so every node does interval work) at wave width 1 vs the default.
+// off so every node does interval work) at wave width 1 vs 8 vs 64, with
+// the forward-classify / backward-contract phase split recorded per run.
 void RunIcpNodeThroughput(const functionals::Functional& f) {
   const auto psi =
       conditions::BuildCondition(*conditions::FindCondition("EC1"), f);
   const auto domain = conditions::PaperDomain(f);
 
-  auto run = [&](int wave_width, std::uint64_t* nodes) {
+  struct Run {
+    std::uint64_t nodes = 0;
+    double seconds = 0.0;
+    double classify_s = 0.0;
+    double contract_s = 0.0;
+  };
+  auto run = [&](int wave_width) {
     solver::SolverOptions opts;
     opts.max_nodes = 50'000;
     opts.delta = 1e-5;  // deep splitting: the node budget is the stopper
     opts.max_invalid_models = 1 << 20;
     opts.presample_points = 0;
     opts.wave_width = wave_width;
+    opts.measure_phases = true;
     solver::DeltaSolver solver(expr::BoolExpr::Not(*psi), opts);
     Stopwatch watch;
     const auto result = solver.Check(domain);
-    *nodes = result.stats.nodes;
-    return watch.ElapsedSeconds();
+    Run r;
+    r.seconds = watch.ElapsedSeconds();
+    r.nodes = result.stats.nodes;
+    r.classify_s = result.stats.classify_seconds;
+    r.contract_s = result.stats.contract_seconds;
+    return r;
   };
-  std::uint64_t nodes1 = 0, nodes8 = 0;
-  const double w1_s = run(1, &nodes1);
-  const double w8_s = run(8, &nodes8);
+  const Run w1 = run(1);
+  const Run w8 = run(8);
+  const Run w64 = run(64);
+  const bool nodes_match = w1.nodes == w8.nodes && w1.nodes == w64.nodes;
 
   std::printf(
       "{\"bench\":\"icp_nodes\",\"functional\":\"%s\",\"nodes\":%llu,"
-      "\"wave1_s\":%.6f,\"wave8_s\":%.6f,\"wave1_nodes_per_s\":%.0f,"
-      "\"wave8_nodes_per_s\":%.0f,\"speedup\":%.2f,\"nodes_match\":%d}\n",
-      f.name.c_str(), static_cast<unsigned long long>(nodes1), w1_s, w8_s,
-      static_cast<double>(nodes1) / w1_s, static_cast<double>(nodes8) / w8_s,
-      w1_s / w8_s, nodes1 == nodes8 ? 1 : 0);
+      "\"wave1_s\":%.6f,\"wave8_s\":%.6f,\"wave64_s\":%.6f,"
+      "\"w1_classify_s\":%.6f,\"w1_contract_s\":%.6f,"
+      "\"w64_classify_s\":%.6f,\"w64_contract_s\":%.6f,"
+      "\"wave1_nodes_per_s\":%.0f,\"wave64_nodes_per_s\":%.0f,"
+      "\"speedup_w8\":%.2f,\"speedup_w64\":%.2f,\"nodes_match\":%d}\n",
+      f.name.c_str(), static_cast<unsigned long long>(w1.nodes), w1.seconds,
+      w8.seconds, w64.seconds, w1.classify_s, w1.contract_s, w64.classify_s,
+      w64.contract_s, static_cast<double>(w1.nodes) / w1.seconds,
+      static_cast<double>(w64.nodes) / w64.seconds, w1.seconds / w8.seconds,
+      w1.seconds / w64.seconds, nodes_match ? 1 : 0);
+}
+
+// Scalar HC4 contraction (forward sweep + ContractFromForward, box by box —
+// the pre-batch pop path) vs the batched backward kernel
+// (EvalTapeIntervalBatch + ContractTapeIntervalBatch per wave) over the same
+// frontier. Outcomes and contracted endpoints must match bit for bit.
+void RunContractBatch(const functionals::Functional& f) {
+  const expr::Expr fc = conditions::CorrelationEnhancement(f);
+  const solver::AtomContractor contractor(expr::Neg(fc), expr::Rel::kLe);
+  const expr::Tape& tape = contractor.tape();
+  const solver::Box domain = conditions::PaperDomain(f);
+  constexpr std::size_t kBoxes = 4096;
+  const auto boxes = FrontierBoxes(domain, kBoxes);
+  const std::size_t dims = domain.size();
+  const int reps = 20;
+
+  expr::TapeScratch scratch;
+  scratch.Reserve(tape.size());
+  std::vector<std::vector<Interval>> scalar_out;
+  std::vector<solver::ContractOutcome> scalar_oc(kBoxes);
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    scalar_out = boxes;
+    for (std::size_t i = 0; i < kBoxes; ++i)
+      scalar_oc[i] = contractor.Contract(scalar_out[i], scratch);
+  }
+  const double scalar_s = watch.ElapsedSeconds();
+
+  std::vector<std::vector<double>> blo(dims), bhi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    blo[d].resize(kBoxes);
+    bhi[d].resize(kBoxes);
+  }
+  std::vector<signed char> batch_oc(kBoxes);
+  bool boxes_match = true;
+  auto time_width = [&](std::size_t width) {
+    expr::TapeIntervalBatchScratch fwd;
+    fwd.Reserve(tape.size(), width);
+    expr::TapeBackwardBatchScratch bwd;
+    bwd.Reserve(tape.size(), width);
+    std::vector<const double*> clop(dims), chip(dims);
+    std::vector<double*> lop(dims), hip(dims);
+    Stopwatch w;
+    for (int r = 0; r < reps; ++r) {
+      // Per-rep SoA gather, mirroring the solver's per-wave copy loop.
+      for (std::size_t d = 0; d < dims; ++d)
+        for (std::size_t k = 0; k < kBoxes; ++k) {
+          blo[d][k] = boxes[k][d].lo();
+          bhi[d][k] = boxes[k][d].hi();
+        }
+      for (std::size_t start = 0; start < kBoxes; start += width) {
+        const std::size_t n = std::min(width, kBoxes - start);
+        for (std::size_t d = 0; d < dims; ++d) {
+          clop[d] = lop[d] = blo[d].data() + start;
+          chip[d] = hip[d] = bhi[d].data() + start;
+        }
+        expr::EvalTapeIntervalBatch(tape, clop, chip, n, fwd);
+        expr::ContractTapeIntervalBatch(tape, fwd, lop, hip, n, nullptr,
+                                        batch_oc.data() + start, bwd);
+      }
+    }
+    const double seconds = w.ElapsedSeconds();
+    // Bit-identity audit of this width's final pass against the scalar run.
+    for (std::size_t i = 0; i < kBoxes; ++i) {
+      signed char want = expr::kContractLaneNoChange;
+      if (scalar_oc[i] == solver::ContractOutcome::kEmpty)
+        want = expr::kContractLaneEmpty;
+      else if (scalar_oc[i] == solver::ContractOutcome::kContracted)
+        want = expr::kContractLaneContracted;
+      boxes_match = boxes_match && batch_oc[i] == want;
+      for (std::size_t d = 0; d < dims; ++d)
+        boxes_match = boxes_match &&
+                      std::bit_cast<std::uint64_t>(blo[d][i]) ==
+                          std::bit_cast<std::uint64_t>(scalar_out[i][d].lo()) &&
+                      std::bit_cast<std::uint64_t>(bhi[d][i]) ==
+                          std::bit_cast<std::uint64_t>(scalar_out[i][d].hi());
+    }
+    return seconds;
+  };
+  const double batch8_s = time_width(8);
+  const double batch64_s = time_width(64);
+
+  std::printf(
+      "{\"bench\":\"contract_batch\",\"functional\":\"%s\",\"boxes\":%zu,"
+      "\"slots\":%zu,\"scalar_s\":%.6f,\"batch_w8_s\":%.6f,"
+      "\"batch_w64_s\":%.6f,\"speedup_w8\":%.2f,\"speedup_w64\":%.2f,"
+      "\"simd\":\"%s\",\"boxes_match\":%d}\n",
+      f.name.c_str(), kBoxes, tape.size(), scalar_s, batch8_s, batch64_s,
+      scalar_s / batch8_s, scalar_s / batch64_s,
+      simd::TierName(simd::ActiveTier()), boxes_match ? 1 : 0);
 }
 
 // ---- Verdict-cache replay (JSON trajectory) ---------------------------------
@@ -525,6 +636,8 @@ int main(int argc, char** argv) {
   RunGridComparison(*functionals::FindFunctional("SCAN"));
   RunIntervalBatchComparison(*functionals::FindFunctional("PBE"));
   RunIntervalBatchComparison(*functionals::FindFunctional("SCAN"));
+  RunContractBatch(*functionals::FindFunctional("PBE"));
+  RunContractBatch(*functionals::FindFunctional("SCAN"));
   RunIcpNodeThroughput(*functionals::FindFunctional("PBE"));
   RunIcpNodeThroughput(*functionals::FindFunctional("SCAN"));
   RunCacheReplay();

@@ -29,6 +29,7 @@
 #include "support/check.h"
 #include "support/fault.h"
 #include "support/io.h"
+#include "support/simd.h"
 #include "support/strings.h"
 #include "verifier/region.h"
 
@@ -58,6 +59,8 @@ Usage:
                             merge — loops until every pair is done
   xcv cache-stats FILE      Inspect a verdict-cache file (read-only)
   xcv list                  List known functionals and conditions
+  xcv info                  Show SIMD tiers: compiled, CPU-supported, active
+                            dispatch choice, and the XCV_SIMD override
   xcv help                  Show this help
 
 Options (verify/resume):
@@ -880,6 +883,32 @@ int CmdList() {
   return 0;
 }
 
+int CmdInfo() {
+  std::printf("SIMD dispatch (see src/support/simd.h):\n");
+  std::printf("  %-8s %-9s %-10s %-7s %s\n", "tier", "compiled", "supported",
+              "active", "flags");
+  const simd::Tier active = simd::ActiveTier();
+  for (int ti = 0; ti < simd::kNumTiers; ++ti) {
+    const auto tier = static_cast<simd::Tier>(ti);
+    const bool compiled = simd::TierCompiled(tier);
+    const bool supported = simd::TierSupported(tier);
+    const simd::Kernels* k = simd::KernelsFor(tier);
+    std::printf("  %-8s %-9s %-10s %-7s %s\n", simd::TierName(tier),
+                compiled ? "yes" : "no", supported ? "yes" : "no",
+                tier == active ? "*" : "", k != nullptr ? k->flags : "-");
+  }
+  const std::string& env = simd::EnvOverride();
+  if (env.empty())
+    std::printf("XCV_SIMD: (unset — CPUID picked %s)\n",
+                simd::TierName(simd::BestSupportedTier()));
+  else
+    std::printf("XCV_SIMD: %s\n", env.c_str());
+  std::printf(
+      "All tiers produce bit-identical interval endpoints; the choice only\n"
+      "affects speed. Override with XCV_SIMD=scalar|sse2|avx2|avx512.\n");
+  return 0;
+}
+
 }  // namespace
 
 std::vector<const ConditionInfo*> ParseConditionList(const std::string& spec) {
@@ -996,6 +1025,10 @@ int Main(int argc, const char* const* argv) {
     if (args->command == "list") {
       if (RejectPositionals(*args)) return 2;
       return CmdList();
+    }
+    if (args->command == "info") {
+      if (RejectPositionals(*args)) return 2;
+      return CmdInfo();
     }
     if (args->command == "help" || args->command == "--help") {
       if (RejectPositionals(*args)) return 2;

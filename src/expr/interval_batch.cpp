@@ -4,230 +4,34 @@
 // Layout mirrors EvalTapeBatch: one lo row and one hi row per tape slot,
 // variable slots aliasing the caller's input arrays. Each instruction is
 // applied to every lane before the next instruction runs. The ring
-// operations (+, ×, neg, sqr, min, max, abs, const) are flattened into
-// branch-free lane loops over raw endpoints that replicate the inline
-// Interval operators bit for bit (same empty propagation, same NaN fixups,
-// same one-ulp bit-stepped widening), so the compiler vectorizes them. The
-// remaining operations (div, pow, libm transcendentals, ite) run the scalar
-// interval functions lane by lane — they are libm-bound either way, and the
-// batched dispatch still amortizes the per-instruction switch.
+// operations (+, ×, neg, sqr, min, max, abs, const) dispatch to the shared
+// SIMD kernel layer (src/support/simd.h) — branch-free lane loops over raw
+// endpoints that replicate the inline Interval operators bit for bit (same
+// empty propagation, same NaN fixups, same one-ulp bit-stepped widening),
+// compiled per ISA tier and selected at runtime. The remaining operations
+// (pow, libm transcendentals, ite) run the scalar interval functions lane by
+// lane — they are libm-bound either way, and the batched dispatch still
+// amortizes the per-instruction switch.
 //
 // Bit-identity with EvalTapeIntervalForward is load-bearing: the solver's
-// verdicts must not depend on the wave width (see the interval_batch
-// property tests).
+// verdicts must not depend on the wave width or the ISA tier (see the
+// interval_batch property tests and the backward-batch dispatch tests).
 #include <algorithm>
 #include <cmath>
 
 #include "expr/compile.h"
 #include "interval/lambert_w.h"
 #include "support/check.h"
+#include "support/simd.h"
 
 namespace xcv::expr {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Canonical empty representation, as produced by the Interval constructor.
-constexpr double kEmptyLo = 1.0;
-constexpr double kEmptyHi = 0.0;
-
-inline bool LaneEmpty(double lo, double hi) { return !(lo <= hi); }
-
-// Select-based fmin/fmax with std::fmin/fmax's exact NaN semantics (a NaN
-// operand yields the other operand; NaN only if both are NaN). x86 has no
-// single instruction for fmin, so the libm call blocks vectorization; these
-// compile to compare/select chains that do vectorize. The one permitted
-// deviation is the sign of a zero result when the operands are ±0 pairs —
-// every use below feeds NextDown/NextUp or a clamp, which erase it, so lane
-// results stay bit-identical to the scalar evaluator (the kMin/kMax lanes,
-// whose results are stored unwidened, keep calling std::fmin/fmax).
-inline double FMin(double x, double y) {
-  double m = x < y ? x : y;
-  m = std::isnan(x) ? y : m;
-  m = std::isnan(y) ? x : m;
-  return m;
-}
-inline double FMax(double x, double y) {
-  double m = x > y ? x : y;
-  m = std::isnan(x) ? y : m;
-  m = std::isnan(y) ? x : m;
-  return m;
-}
-
-// The lane kernels take __restrict rows: every call site passes physically
-// distinct rows (an instruction's output row is never one of its operand
-// rows, and the accumulate variants fold a *different* slot's row into the
-// output), which is what lets GCC if-convert and vectorize the loops —
-// without restrict the vectorizer gives up on possible aliasing.
-
-// One interval addition lane, replicating operator+(Interval, Interval)
-// endpoint for endpoint (empty propagation, NaN fixups, one-ulp widening).
-inline void AddLane(double alo, double ahi, double blo, double bhi,
-                    double& out_lo, double& out_hi) {
-  const bool empty = LaneEmpty(alo, ahi) | LaneEmpty(blo, bhi);
-  double lo = alo + blo;
-  double hi = ahi + bhi;
-  lo = std::isnan(lo) ? -kInf : lo;
-  hi = std::isnan(hi) ? kInf : hi;
-  out_lo = empty ? kEmptyLo : NextDown(lo);
-  out_hi = empty ? kEmptyHi : NextUp(hi);
-}
-
-// One interval multiplication lane, replicating operator*(Interval, Interval).
-inline void MulLane(double alo, double ahi, double blo, double bhi,
-                    double& out_lo, double& out_hi) {
-  const bool empty = LaneEmpty(alo, ahi) | LaneEmpty(blo, bhi);
-  const double p1 = detail::MulEndpoint(alo, blo);
-  const double p2 = detail::MulEndpoint(alo, bhi);
-  const double p3 = detail::MulEndpoint(ahi, blo);
-  const double p4 = detail::MulEndpoint(ahi, bhi);
-  const double lo = FMin(FMin(p1, p2), FMin(p3, p4));
-  const double hi = FMax(FMax(p1, p2), FMax(p3, p4));
-  out_lo = empty ? kEmptyLo : NextDown(lo);
-  out_hi = empty ? kEmptyHi : NextUp(hi);
-}
-
-void AddLanes(const double* __restrict alo, const double* __restrict ahi,
-              const double* __restrict blo, const double* __restrict bhi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j)
-    AddLane(alo[j], ahi[j], blo[j], bhi[j], rlo[j], rhi[j]);
-}
-
-// r += c in interval arithmetic (r is both input and output).
-void AddAccumLanes(double* __restrict rlo, double* __restrict rhi,
-                   const double* __restrict clo, const double* __restrict chi,
-                   std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j)
-    AddLane(rlo[j], rhi[j], clo[j], chi[j], rlo[j], rhi[j]);
-}
-
-void MulLanes(const double* __restrict alo, const double* __restrict ahi,
-              const double* __restrict blo, const double* __restrict bhi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j)
-    MulLane(alo[j], ahi[j], blo[j], bhi[j], rlo[j], rhi[j]);
-}
-
-// r *= c in interval arithmetic.
-void MulAccumLanes(double* __restrict rlo, double* __restrict rhi,
-                   const double* __restrict clo, const double* __restrict chi,
-                   std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j)
-    MulLane(rlo[j], rhi[j], clo[j], chi[j], rlo[j], rhi[j]);
-}
-
-// Vectorized pass of interval division, valid only for lanes whose divisor
-// is strictly one-signed (or empty); operator/'s four-quotient branch with
-// the NaN → entire fixup. Lanes with a zero-straddling divisor get garbage
-// here and are overwritten by the scalar fixup pass in the kDiv case.
-void DivLanes(const double* __restrict alo, const double* __restrict ahi,
-              const double* __restrict blo, const double* __restrict bhi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const bool empty = LaneEmpty(alo[j], ahi[j]) | LaneEmpty(blo[j], bhi[j]);
-    const double q1 = alo[j] / blo[j];
-    const double q2 = alo[j] / bhi[j];
-    const double q3 = ahi[j] / blo[j];
-    const double q4 = ahi[j] / bhi[j];
-    double lo = FMin(FMin(q1, q2), FMin(q3, q4));
-    double hi = FMax(FMax(q1, q2), FMax(q3, q4));
-    // Sequential (not nested) selects: GCC 12's if-converter gives up on the
-    // nested-ternary form of this tail and the loop stays scalar.
-    const bool entire = std::isnan(lo) | std::isnan(hi);
-    lo = entire ? -kInf : NextDown(lo);
-    hi = entire ? kInf : NextUp(hi);
-    rlo[j] = empty ? kEmptyLo : lo;
-    rhi[j] = empty ? kEmptyHi : hi;
-  }
-}
-
-// Flattened Sqr lanes: |x| endpoints, zero floor when straddling, widen,
-// clamp to nonnegative — the same steps as Sqr(Interval).
-void SqrLanes(const double* __restrict alo, const double* __restrict ahi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const double lo = alo[j], hi = ahi[j];
-    const bool empty = LaneEmpty(lo, hi);
-    const double l = std::fabs(lo), h = std::fabs(hi);
-    const bool straddles = (lo <= 0.0) & (0.0 <= hi);
-    const double mlo = straddles ? 0.0 : FMin(l, h);
-    const double mhi = FMax(l, h);
-    rlo[j] = empty ? kEmptyLo : FMax(NextDown(mlo * mlo), 0.0);
-    rhi[j] = empty ? kEmptyHi : FMin(NextUp(mhi * mhi), kInf);
-  }
-}
-
-// Flattened Sqrt lanes: clamp to [0, inf), endpoint sqrt (one hardware
-// instruction per endpoint under -fno-math-errno), one-ulp widening —
-// Sqrt(Interval) including its empty-after-clamp normalization.
-void SqrtLanes(const double* __restrict alo, const double* __restrict ahi,
-               double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const double lo = alo[j], hi = ahi[j];
-    // sqrt(max(lo, 0)) via select-after-sqrt: sqrt of a negative yields a
-    // NaN that the select discards, and lo <= 0 maps to +0 exactly as the
-    // clamp would; this keeps the loop in the if-converter's comfort zone.
-    const double slo = std::sqrt(lo);
-    const double dsel = lo > 0.0 ? slo : 0.0;
-    const double shi = NextUp(std::sqrt(hi));
-    const bool empty = LaneEmpty(lo, hi) | (hi < 0.0);
-    rlo[j] = empty ? kEmptyLo : NextDown(dsel);
-    rhi[j] = empty ? kEmptyHi : shi;
-  }
-}
-
-void MinLanes(const double* __restrict alo, const double* __restrict ahi,
-              const double* __restrict blo, const double* __restrict bhi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const bool empty = LaneEmpty(alo[j], ahi[j]) | LaneEmpty(blo[j], bhi[j]);
-    rlo[j] = empty ? kEmptyLo : std::fmin(alo[j], blo[j]);
-    rhi[j] = empty ? kEmptyHi : std::fmin(ahi[j], bhi[j]);
-  }
-}
-
-void MaxLanes(const double* __restrict alo, const double* __restrict ahi,
-              const double* __restrict blo, const double* __restrict bhi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const bool empty = LaneEmpty(alo[j], ahi[j]) | LaneEmpty(blo[j], bhi[j]);
-    rlo[j] = empty ? kEmptyLo : std::fmax(alo[j], blo[j]);
-    rhi[j] = empty ? kEmptyHi : std::fmax(ahi[j], bhi[j]);
-  }
-}
-
-// operator-(Interval) lanes; passes the canonical empty through unchanged.
-void NegLanes(const double* __restrict alo, const double* __restrict ahi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const bool empty = LaneEmpty(alo[j], ahi[j]);
-    rlo[j] = empty ? kEmptyLo : -ahi[j];
-    rhi[j] = empty ? kEmptyHi : -alo[j];
-  }
-}
-
-// Abs(Interval) lanes: empties and nonnegative inputs pass through,
-// negative inputs mirror, straddles hull to [0, max(-lo, hi)].
-void AbsLanes(const double* __restrict alo, const double* __restrict ahi,
-              double* __restrict rlo, double* __restrict rhi, std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) {
-    const double lo = alo[j], hi = ahi[j];
-    const bool pass = LaneEmpty(lo, hi) | (lo >= 0.0);
-    const bool mirror = !pass & (hi <= 0.0);
-    rlo[j] = pass ? lo : (mirror ? -hi : 0.0);
-    rhi[j] = pass ? hi : (mirror ? -lo : std::fmax(-lo, hi));
-  }
-}
-
-}  // namespace
 
 void EvalTapeIntervalBatch(const Tape& tape,
                            std::span<const double* const> box_lo,
                            std::span<const double* const> box_hi,
                            std::size_t n, TapeIntervalBatchScratch& scratch) {
   if (n == 0) return;
+  const simd::Kernels& K = simd::Active();
   const std::size_t slots = tape.size();
   if (scratch.capacity < n) {
     scratch.capacity = n;
@@ -295,27 +99,17 @@ void EvalTapeIntervalBatch(const Tape& tape,
       case Op::kVar:
         break;  // aliased above
       case Op::kAdd:
-        AddLanes(alo, ahi, blo, bhi, rlo, rhi, n);
+        K.add(alo, ahi, blo, bhi, rlo, rhi, n);
         for (auto rest : ins.rest)
-          AddAccumLanes(rlo, rhi, row_lo(rest), row_hi(rest), n);
+          K.add_accum(rlo, rhi, row_lo(rest), row_hi(rest), n);
         break;
       case Op::kMul:
-        MulLanes(alo, ahi, blo, bhi, rlo, rhi, n);
+        K.mul(alo, ahi, blo, bhi, rlo, rhi, n);
         for (auto rest : ins.rest)
-          MulAccumLanes(rlo, rhi, row_lo(rest), row_hi(rest), n);
+          K.mul_accum(rlo, rhi, row_lo(rest), row_hi(rest), n);
         break;
       case Op::kDiv:
-        DivLanes(alo, ahi, blo, bhi, rlo, rhi, n);
-        // Scalar fixup for zero-straddling divisors (rare on solver boxes):
-        // operator/'s half-line and entire-line branches.
-        for (std::size_t j = 0; j < n; ++j) {
-          if (blo[j] <= 0.0 && bhi[j] >= 0.0) {
-            const Interval r =
-                Interval(alo[j], ahi[j]) / Interval(blo[j], bhi[j]);
-            rlo[j] = r.lo();
-            rhi[j] = r.hi();
-          }
-        }
+        K.div(alo, ahi, blo, bhi, rlo, rhi, n);
         break;
       case Op::kPow:
         for (std::size_t j = 0; j < n; ++j) {
@@ -326,13 +120,13 @@ void EvalTapeIntervalBatch(const Tape& tape,
         }
         break;
       case Op::kMin:
-        MinLanes(alo, ahi, blo, bhi, rlo, rhi, n);
+        K.min(alo, ahi, blo, bhi, rlo, rhi, n);
         break;
       case Op::kMax:
-        MaxLanes(alo, ahi, blo, bhi, rlo, rhi, n);
+        K.max(alo, ahi, blo, bhi, rlo, rhi, n);
         break;
       case Op::kNeg:
-        NegLanes(alo, ahi, rlo, rhi, n);
+        K.neg(alo, ahi, rlo, rhi, n);
         break;
       case Op::kExp:
         unary([](const Interval& a) { return Exp(a); });
@@ -341,7 +135,7 @@ void EvalTapeIntervalBatch(const Tape& tape,
         unary([](const Interval& a) { return Log(a); });
         break;
       case Op::kSqrt:
-        SqrtLanes(alo, ahi, rlo, rhi, n);
+        K.sqrt(alo, ahi, rlo, rhi, n);
         break;
       case Op::kCbrt:
         unary([](const Interval& a) { return Cbrt(a); });
@@ -359,13 +153,13 @@ void EvalTapeIntervalBatch(const Tape& tape,
         unary([](const Interval& a) { return Tanh(a); });
         break;
       case Op::kAbs:
-        AbsLanes(alo, ahi, rlo, rhi, n);
+        K.abs(alo, ahi, rlo, rhi, n);
         break;
       case Op::kLambertW:
         unary([](const Interval& a) { return LambertW0(a); });
         break;
       case Op::kSqr:
-        SqrLanes(alo, ahi, rlo, rhi, n);
+        K.sqr(alo, ahi, rlo, rhi, n);
         break;
       case Op::kPowN: {
         const auto p = static_cast<long long>(ins.var);

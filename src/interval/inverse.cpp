@@ -1,0 +1,29 @@
+#include "interval/inverse.h"
+
+#include <cmath>
+
+namespace xcv {
+
+Interval OddRoot(const Interval& z, long long p) {
+  if (z.IsEmpty()) return z;
+  auto root = [p](double v) {
+    if (std::isinf(v)) return v;
+    return v < 0.0 ? -std::pow(-v, 1.0 / static_cast<double>(p))
+                   : std::pow(v, 1.0 / static_cast<double>(p));
+  };
+  return WidenUlps(Interval(root(z.lo()), root(z.hi())), 2);
+}
+
+Interval TanRestricted(const Interval& z) {
+  if (z.IsEmpty()) return z;
+  if (z.lo() <= -kHalfPi || z.hi() >= kHalfPi) return Interval::Entire();
+  return WidenUlps(Interval(std::tan(z.lo()), std::tan(z.hi())), 2);
+}
+
+Interval AtanhRestricted(const Interval& z) {
+  if (z.IsEmpty()) return z;
+  if (z.lo() <= -1.0 || z.hi() >= 1.0) return Interval::Entire();
+  return WidenUlps(Interval(std::atanh(z.lo()), std::atanh(z.hi())), 2);
+}
+
+}  // namespace xcv

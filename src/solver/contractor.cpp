@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "expr/optimize.h"
+#include "interval/inverse.h"
 #include "support/check.h"
 
 namespace xcv::solver {
@@ -14,32 +15,9 @@ using expr::Op;
 using expr::Rel;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kHalfPi = 1.57079632679489661923;
 
-// Signed p-th root for odd integer p: monotone increasing over all reals.
-Interval OddRoot(const Interval& z, long long p) {
-  if (z.IsEmpty()) return z;
-  auto root = [p](double v) {
-    if (std::isinf(v)) return v;
-    return v < 0.0 ? -std::pow(-v, 1.0 / static_cast<double>(p))
-                   : std::pow(v, 1.0 / static_cast<double>(p));
-  };
-  return WidenUlps(Interval(root(z.lo()), root(z.hi())), 2);
-}
-
-// tan over an interval strictly inside (-pi/2, pi/2); empty otherwise.
-Interval TanRestricted(const Interval& z) {
-  if (z.IsEmpty()) return z;
-  if (z.lo() <= -kHalfPi || z.hi() >= kHalfPi) return Interval::Entire();
-  return WidenUlps(Interval(std::tan(z.lo()), std::tan(z.hi())), 2);
-}
-
-// atanh over an interval inside (-1, 1); entire otherwise (no contraction).
-Interval AtanhRestricted(const Interval& z) {
-  if (z.IsEmpty()) return z;
-  if (z.lo() <= -1.0 || z.hi() >= 1.0) return Interval::Entire();
-  return WidenUlps(Interval(std::atanh(z.lo()), std::atanh(z.hi())), 2);
-}
+// The inverse-projection helpers (OddRoot, TanRestricted, AtanhRestricted)
+// live in interval/inverse.{h,cpp}, shared with the batched backward kernel.
 
 }  // namespace
 

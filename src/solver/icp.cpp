@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
@@ -65,10 +66,15 @@ DeltaSolver::DeltaSolver(expr::BoolExpr formula, SolverOptions options)
         std::min(kPresampleChunk,
                  static_cast<std::size_t>(options_.presample_points)));
   }
-  forward_cache_.resize(contractors_.size());
-  forward_cache_valid_.assign(contractors_.size(), 0);
-  for (std::size_t a = 0; a < contractors_.size(); ++a)
-    if (is_required_[a]) forward_cache_[a].reserve(contractors_[a].tape().size());
+  const auto width = static_cast<std::size_t>(options_.wave_width);
+  req_batch_.resize(required_atoms_.size());
+  for (std::size_t r = 0; r < required_atoms_.size(); ++r)
+    req_batch_[r].Reserve(
+        contractors_[static_cast<std::size_t>(required_atoms_[r])]
+            .tape()
+            .size(),
+        width);
+  backward_.Reserve(max_slots, width);
 
   cache_scope_ = ComputeCacheScope();
 }
@@ -313,13 +319,20 @@ BoxStore::Ref DeltaSolver::NewNodeFromTmp() {
   if (classified_.size() < store_.capacity()) {
     classified_.resize(store_.capacity(), 0);
     status_arena_.resize(store_.capacity() * atoms);
+    bwd_valid_.resize(store_.capacity(), 0);
+    bwd_empty_arena_.resize(store_.capacity());
+    bwd_count_arena_.resize(store_.capacity());
+    bwd_box_arena_.resize(store_.capacity() * store_.dims() * 2);
+    child_arena_.resize(store_.capacity() * 2, -1);
   }
   classified_[static_cast<std::size_t>(ref)] = 0;
+  child_arena_[static_cast<std::size_t>(ref) * 2] = -1;
+  child_arena_[static_cast<std::size_t>(ref) * 2 + 1] = -1;
   return ref;
 }
 
 void DeltaSolver::ClassifyWave(BoxStore::Ref popped) {
-  // The wave: the popped box plus the unclassified open boxes nearest the
+  // Level 0: the popped box plus the unclassified open boxes nearest the
   // top of the stack. Those boxes will be popped later with these exact
   // bounds (stack entries are immutable until popped), so classifying them
   // early is pure speculation-free batching: after a split, the two fresh
@@ -332,6 +345,28 @@ void DeltaSolver::ClassifyWave(BoxStore::Ref popped) {
        it != stack_.rend() && wave_refs_.size() < width; ++it)
     if (!classified_[static_cast<std::size_t>(*it)]) wave_refs_.push_back(*it);
 
+  // Speculative breadth-first descent. DFS alone only ever exposes one or
+  // two unclassified siblings per pop, which would starve the wide lanes —
+  // but the fixpoint precompute already yields each surviving lane's final
+  // contracted box, so the split the pop will perform is known right now.
+  // Materialize the two halves and classify the children as the next wave,
+  // doubling the level until it outgrows wave_width (the `expanded` cap
+  // bounds work per call when prunes keep the level narrow). Pops later
+  // walk this prebuilt subtree in the exact scalar order: the tree is the
+  // future search tree, so nothing here is wasted except past an early
+  // return, and verdicts, boxes, and stats are byte-identical throughout.
+  std::size_t expanded = 0;
+  while (!wave_refs_.empty() && wave_refs_.size() <= width &&
+         expanded < 2 * width) {
+    ClassifyContractWave();
+    expanded += wave_refs_.size();
+    ExpandWaveChildren();
+    wave_refs_.swap(next_refs_);
+  }
+}
+
+void DeltaSolver::ClassifyContractWave() {
+  const auto width = static_cast<std::size_t>(options_.wave_width);
   const std::size_t k_boxes = wave_refs_.size();
   const std::size_t dims = store_.dims();
   for (std::size_t d = 0; d < dims; ++d) {
@@ -345,26 +380,182 @@ void DeltaSolver::ClassifyWave(BoxStore::Ref popped) {
   }
 
   const std::size_t atoms = contractors_.size();
+  const std::size_t nreq = required_atoms_.size();
+  const bool measure = options_.measure_phases && phase_stats_ != nullptr;
+  Stopwatch classify_watch;
+
+  // Forward sweeps. Required atoms fill their own scratch so the per-slot
+  // lanes survive until the backward pass below; the rest share one.
+  std::size_t r = 0;
   for (std::size_t a = 0; a < atoms; ++a) {
     const expr::Tape& tape = contractors_[a].tape();
+    expr::TapeIntervalBatchScratch& fb =
+        is_required_[a] ? req_batch_[r] : interval_batch_;
     expr::EvalTapeIntervalBatch(tape, wave_lo_ptrs_, wave_hi_ptrs_, k_boxes,
-                                interval_batch_);
+                                fb);
     const auto root = static_cast<std::size_t>(tape.root());
     for (std::size_t k = 0; k < k_boxes; ++k) {
       status_arena_[static_cast<std::size_t>(wave_refs_[k]) * atoms + a] =
-          static_cast<char>(
-              contractors_[a].ClassifyRoot(interval_batch_.At(root, k)));
+          static_cast<char>(contractors_[a].ClassifyRoot(fb.At(root, k)));
     }
-    // The popped box is contracted next; keep its forward enclosures so
-    // HC4 round 0 skips the re-sweep (satisfying atoms are never
-    // contracted, so only required atoms keep a lane).
-    if (is_required_[a]) {
-      expr::ExtractIntervalLane(tape, interval_batch_, 0, forward_cache_[a]);
-      forward_cache_valid_[a] = 1;
-    }
+    r += is_required_[a];
   }
   for (std::size_t k = 0; k < k_boxes; ++k)
     classified_[static_cast<std::size_t>(wave_refs_[k])] = 1;
+  if (measure) phase_stats_->classify_seconds += classify_watch.ElapsedSeconds();
+
+  // Batched HC4 fixpoint over every undecided lane: the exact rounds ×
+  // required-atoms loop the pop path used to run per box, precomputed for
+  // the whole wave and replayed at pop. Per-lane masks replicate the scalar
+  // control flow — a lane stops taking sweeps the moment its box proves
+  // empty, and leaves the loop after a round with no contraction — so each
+  // lane's narrowing sequence, final box, and contraction-call count are
+  // exactly what the scalar loop produces for that box.
+  Stopwatch contract_watch;
+  wave_active_.resize(width);
+  wave_any_.resize(width);
+  wave_done_.resize(width);
+  wave_empty_.resize(width);
+  wave_unknown_.resize(width);
+  wave_count_.resize(width);
+  wave_outcome_.resize(width);
+  wave_atom_status_.resize(atoms);
+  std::size_t undecided = 0;
+  const bool can_precompute = nreq > 0 && options_.contraction_rounds > 0;
+  for (std::size_t k = 0; k < k_boxes; ++k) {
+    const auto ref_k = static_cast<std::size_t>(wave_refs_[k]);
+    const char* st = status_arena_.data() + ref_k * atoms;
+    for (std::size_t a = 0; a < atoms; ++a) {
+      switch (static_cast<AtomContractor::Status>(st[a])) {
+        case AtomContractor::Status::kCertainlyTrue:
+          wave_atom_status_[a] = Tri::kTrue;
+          break;
+        case AtomContractor::Status::kCertainlyFalse:
+          wave_atom_status_[a] = Tri::kFalse;
+          break;
+        case AtomContractor::Status::kUnknown:
+          wave_atom_status_[a] = Tri::kUnknown;
+          break;
+      }
+    }
+    // Decided lanes are pruned or accepted at pop before any contraction;
+    // only Tri::kUnknown lanes consult the arena.
+    const bool unknown =
+        EvaluateSkeleton(skeleton_, wave_atom_status_) == Tri::kUnknown;
+    wave_done_[k] = !unknown;
+    wave_unknown_[k] = unknown;
+    wave_empty_[k] = 0;
+    wave_count_[k] = 0;
+    bwd_valid_[ref_k] = unknown && can_precompute;
+    undecided += unknown;
+  }
+  if (!can_precompute || undecided == 0) {
+    if (measure)
+      phase_stats_->contract_seconds += contract_watch.ElapsedSeconds();
+    return;
+  }
+
+  // Working boxes: start from the wave bounds, narrow in place.
+  std::memcpy(bwd_lo_.data(), wave_lo_.data(), dims * width * sizeof(double));
+  std::memcpy(bwd_hi_.data(), wave_hi_.data(), dims * width * sizeof(double));
+
+  // While no lane has narrowed, the classification sweeps in req_batch_ are
+  // the forward enclosures of the current boxes; afterwards each atom's
+  // sweep is re-run on the narrowed boxes (bit-identical for lanes whose
+  // box did not change — same inputs, same kernels).
+  bool wave_untouched = true;
+  for (int round = 0; round < options_.contraction_rounds; ++round) {
+    std::size_t in_round = 0;
+    for (std::size_t k = 0; k < k_boxes; ++k) {
+      wave_active_[k] = !wave_done_[k];
+      wave_any_[k] = 0;
+      in_round += wave_active_[k];
+    }
+    if (in_round == 0) break;
+    for (std::size_t rr = 0; rr < nreq; ++rr) {
+      const auto a = static_cast<std::size_t>(required_atoms_[rr]);
+      expr::TapeIntervalBatchScratch* fwd = &req_batch_[rr];
+      if (round != 0 || !wave_untouched) {
+        fwd = &interval_batch_;
+        expr::EvalTapeIntervalBatch(contractors_[a].tape(), bwd_clo_ptrs_,
+                                    bwd_chi_ptrs_, k_boxes, *fwd);
+      }
+      for (std::size_t k = 0; k < k_boxes; ++k)
+        wave_count_[k] += wave_active_[k];
+      expr::ContractTapeIntervalBatch(contractors_[a].tape(), *fwd,
+                                      bwd_lo_ptrs_, bwd_hi_ptrs_, k_boxes,
+                                      wave_active_.data(),
+                                      wave_outcome_.data(), backward_);
+      for (std::size_t k = 0; k < k_boxes; ++k) {
+        if (!wave_active_[k]) continue;
+        if (wave_outcome_[k] == expr::kContractLaneEmpty) {
+          wave_empty_[k] = 1;
+          wave_done_[k] = 1;
+          wave_active_[k] = 0;  // the scalar loop breaks out on empty
+        } else if (wave_outcome_[k] == expr::kContractLaneContracted) {
+          wave_any_[k] = 1;
+          wave_untouched = false;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < k_boxes; ++k)
+      if (wave_active_[k] && !wave_any_[k]) wave_done_[k] = 1;
+  }
+
+  for (std::size_t k = 0; k < k_boxes; ++k) {
+    const auto ref_k = static_cast<std::size_t>(wave_refs_[k]);
+    if (!bwd_valid_[ref_k]) continue;
+    bwd_empty_arena_[ref_k] = wave_empty_[k];
+    bwd_count_arena_[ref_k] = wave_count_[k];
+    if (!wave_empty_[k]) {
+      double* dst = bwd_box_arena_.data() + ref_k * dims * 2;
+      for (std::size_t d = 0; d < dims; ++d) {
+        dst[2 * d] = bwd_lo_[d * width + k];
+        dst[2 * d + 1] = bwd_hi_[d * width + k];
+      }
+    }
+  }
+  if (measure) phase_stats_->contract_seconds += contract_watch.ElapsedSeconds();
+}
+
+void DeltaSolver::ExpandWaveChildren() {
+  next_refs_.clear();
+  const std::size_t dims = store_.dims();
+  const std::size_t k_boxes = wave_refs_.size();
+  for (std::size_t k = 0; k < k_boxes; ++k) {
+    // Decided lanes are pruned or accepted at pop before any split, empty
+    // lanes are pruned after the arena replay, and delta-floor lanes
+    // terminate — only the rest reach pop step 4's bisect.
+    if (!wave_unknown_[k]) continue;
+    const BoxStore::Ref ref = wave_refs_[k];
+    const auto ref_k = static_cast<std::size_t>(ref);
+    // The box the pop will bisect: the fixpoint's final box when one was
+    // precomputed, the original bounds otherwise (contraction disabled).
+    // Copied into tmp_box_ before allocating — NewNodeFromTmp can grow the
+    // arenas and the store.
+    if (bwd_valid_[ref_k] != 0) {
+      if (bwd_empty_arena_[ref_k] != 0) continue;
+      const double* src = bwd_box_arena_.data() + ref_k * dims * 2;
+      tmp_box_.resize(dims);
+      for (std::size_t d = 0; d < dims; ++d)
+        tmp_box_[d] = Interval(src[2 * d], src[2 * d + 1]);
+    } else {
+      const std::span<Interval> view = store_.View(ref);
+      tmp_box_.assign(view.begin(), view.end());
+    }
+    if (solver::MaxWidth(tmp_box_) <= options_.delta) continue;
+    const std::size_t widest = solver::WidestDim(tmp_box_);
+    Interval left, right;
+    tmp_box_[widest].Bisect(&left, &right);
+    tmp_box_[widest] = right;
+    const BoxStore::Ref right_ref = NewNodeFromTmp();
+    tmp_box_[widest] = left;
+    const BoxStore::Ref left_ref = NewNodeFromTmp();
+    child_arena_[ref_k * 2] = left_ref;
+    child_arena_[ref_k * 2 + 1] = right_ref;
+    next_refs_.push_back(left_ref);
+    next_refs_.push_back(right_ref);
+  }
 }
 
 CheckResult DeltaSolver::Check(const Box& domain, bool consult_cache) {
@@ -424,14 +615,28 @@ CheckResult DeltaSolver::Check(const Box& domain, bool consult_cache) {
   stack_.clear();
   classified_.clear();
   status_arena_.clear();
+  bwd_valid_.clear();
+  bwd_empty_arena_.clear();
+  bwd_count_arena_.clear();
+  bwd_box_arena_.clear();
+  child_arena_.clear();
+  phase_stats_ = &result.stats;
   const auto width = static_cast<std::size_t>(options_.wave_width);
   wave_lo_.resize(dims * width);
   wave_hi_.resize(dims * width);
   wave_lo_ptrs_.resize(dims);
   wave_hi_ptrs_.resize(dims);
+  bwd_lo_.resize(dims * width);
+  bwd_hi_.resize(dims * width);
+  bwd_lo_ptrs_.resize(dims);
+  bwd_hi_ptrs_.resize(dims);
+  bwd_clo_ptrs_.resize(dims);
+  bwd_chi_ptrs_.resize(dims);
   for (std::size_t d = 0; d < dims; ++d) {
     wave_lo_ptrs_[d] = wave_lo_.data() + d * width;
     wave_hi_ptrs_[d] = wave_hi_.data() + d * width;
+    bwd_clo_ptrs_[d] = bwd_lo_ptrs_[d] = bwd_lo_.data() + d * width;
+    bwd_chi_ptrs_[d] = bwd_hi_ptrs_[d] = bwd_hi_.data() + d * width;
   }
 
   tmp_box_.assign(domain.dims().begin(), domain.dims().end());
@@ -470,7 +675,6 @@ CheckResult DeltaSolver::Check(const Box& domain, bool consult_cache) {
     // pops); otherwise the statuses were computed by an earlier wave on
     // these exact bounds — bit-identical either way, and identical to the
     // scalar per-box classification this loop used to run.
-    std::fill(forward_cache_valid_.begin(), forward_cache_valid_.end(), 0);
     if (!classified_[static_cast<std::size_t>(ref)]) ClassifyWave(ref);
     const char* statuses =
         status_arena_.data() + static_cast<std::size_t>(ref) * atoms;
@@ -504,39 +708,48 @@ CheckResult DeltaSolver::Check(const Box& domain, bool consult_cache) {
       return result;
     }
 
-    // 2) Contract with necessary atoms (HC4 fixpoint rounds). While the box
-    // is still untouched, an atom whose forward enclosures were cached by
-    // the wave skips straight to the backward sweep.
+    // 2) Contract with necessary atoms (HC4 fixpoint rounds). Wave boxes
+    // replay the precomputed fixpoint: final box, emptiness, and
+    // contraction-call count are exactly what the scalar loop below
+    // produces for these bounds (the loop is kept as the fallback for
+    // boxes no wave covered).
+    const bool measure = options_.measure_phases;
+    Stopwatch contract_watch;
     bool empty = false;
-    bool box_untouched = true;
-    for (int round = 0; round < options_.contraction_rounds && !empty;
-         ++round) {
-      bool any = false;
-      for (int atom : required_atoms_) {
-        ++result.stats.contractions;
-        const auto a = static_cast<std::size_t>(atom);
-        ContractOutcome outcome;
-        if (box_untouched && forward_cache_valid_[a] != 0) {
-          outcome = contractors_[a].ContractFromForward(box, forward_cache_[a]);
-          forward_cache_valid_[a] = 0;  // backward sweep clobbers the cache
-        } else {
-          outcome = contractors_[a].Contract(box, scratch_);
-        }
-        switch (outcome) {
-          case ContractOutcome::kEmpty:
-            empty = true;
-            break;
-          case ContractOutcome::kContracted:
-            any = true;
-            box_untouched = false;
-            break;
-          case ContractOutcome::kNoChange:
-            break;
-        }
-        if (empty) break;
+    if (bwd_valid_[static_cast<std::size_t>(ref)] != 0) {
+      result.stats.contractions +=
+          bwd_count_arena_[static_cast<std::size_t>(ref)];
+      if (bwd_empty_arena_[static_cast<std::size_t>(ref)] != 0) {
+        empty = true;
+      } else {
+        const double* src =
+            bwd_box_arena_.data() + static_cast<std::size_t>(ref) * dims * 2;
+        for (std::size_t d = 0; d < dims; ++d)
+          box[d] = Interval(src[2 * d], src[2 * d + 1]);
       }
-      if (!any) break;
+    } else {
+      for (int round = 0; round < options_.contraction_rounds && !empty;
+           ++round) {
+        bool any = false;
+        for (int atom : required_atoms_) {
+          ++result.stats.contractions;
+          const auto a = static_cast<std::size_t>(atom);
+          switch (contractors_[a].Contract(box, scratch_)) {
+            case ContractOutcome::kEmpty:
+              empty = true;
+              break;
+            case ContractOutcome::kContracted:
+              any = true;
+              break;
+            case ContractOutcome::kNoChange:
+              break;
+          }
+          if (empty) break;
+        }
+        if (!any) break;
+      }
     }
+    if (measure) result.stats.contract_seconds += contract_watch.ElapsedSeconds();
     if (empty) {
       ++result.stats.prunes;
       store_.Release(ref);
@@ -567,9 +780,20 @@ CheckResult DeltaSolver::Check(const Box& domain, bool consult_cache) {
       continue;
     }
 
-    // 4) Branch on the widest dimension (LIFO: depth-first). The children
-    // are written into recycled frontier slots — the parent's slot is
-    // released first, so a split is allocation-free at steady state.
+    // 4) Branch on the widest dimension (LIFO: depth-first). Wave-expanded
+    // boxes already carry their two halves — exact bit-copies of the split
+    // below, materialized from the precomputed fixpoint box — so push them
+    // directly. The on-the-spot bisect stays as the fallback for boxes no
+    // expansion covered.
+    const auto kids = static_cast<std::size_t>(ref) * 2;
+    if (child_arena_[kids] >= 0) {
+      const BoxStore::Ref left_ref = child_arena_[kids];
+      const BoxStore::Ref right_ref = child_arena_[kids + 1];
+      store_.Release(ref);
+      stack_.push_back(right_ref);
+      stack_.push_back(left_ref);
+      continue;
+    }
     const std::size_t widest = solver::WidestDim(box);
     tmp_box_.assign(box.begin(), box.end());
     store_.Release(ref);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "expr/bool_expr.h"
+#include "expr/interval_backward_batch.h"
 #include "solver/box.h"
 #include "solver/contractor.h"
 #include "support/stopwatch.h"
@@ -75,6 +76,11 @@ struct SolverOptions {
   /// condition id so cache keys spell out (functional tape, condition,
   /// options, box) even if two conditions compiled to equal tapes.
   std::uint64_t cache_salt = 0;
+  /// Collect per-phase timings (forward wave classification vs backward
+  /// contraction) into SolverStats. Purely observational — deliberately
+  /// excluded from the cache scope hash, like wave_width — and off by
+  /// default to keep clock reads out of the hot loop.
+  bool measure_phases = false;
 };
 
 enum class SatKind { kUnsat, kDeltaSat, kTimeout };
@@ -86,6 +92,10 @@ struct SolverStats {
   std::uint64_t contractions = 0;  // HC4 passes executed
   std::uint64_t prunes = 0;        // boxes discarded by certainty/emptiness
   double seconds = 0.0;
+  // Phase split, populated only when SolverOptions::measure_phases is set
+  // (forward wave sweeps vs backward contraction incl. arena replay).
+  double classify_seconds = 0.0;
+  double contract_seconds = 0.0;
 };
 
 struct CheckResult {
@@ -174,10 +184,33 @@ class DeltaSolver {
   /// unclassified (sizing the per-slot side arrays as needed).
   BoxStore::Ref NewNodeFromTmp();
   /// Classifies `popped` plus up to wave_width-1 other unclassified stack
-  /// boxes in one batched sweep per atom; fills the status arena, marks the
-  /// wave classified, and caches the popped box's forward enclosures for
-  /// every required atom (contraction round 0 reuses them).
+  /// boxes, then speculatively expands the subtree below them breadth-first
+  /// — DFS alone only ever exposes a couple of unclassified siblings, which
+  /// would starve the wide lanes. Each level runs ClassifyContractWave
+  /// (batched classify + full HC4 fixpoint precompute); because the
+  /// fixpoint yields every surviving lane's final contracted box, the split
+  /// the pop will perform is known now, so ExpandWaveChildren materializes
+  /// the two halves and they become the next level's wave, doubling until
+  /// the level outgrows wave_width (total work per call is capped at
+  /// ~2×wave_width lanes). Pops later walk this prebuilt subtree in the
+  /// exact scalar order; verdicts, boxes, and stats are bit-identical to
+  /// the scalar path at every wave width and ISA tier — speculation past an
+  /// early return only costs wall time.
   void ClassifyWave(BoxStore::Ref popped);
+  /// One batched pass over wave_refs_ (≤ wave_width lanes): forward
+  /// classification sweeps per atom into status_arena_, then the complete
+  /// rounds × required-atoms HC4 fixpoint loop over every skeleton-undecided
+  /// lane — batched forward + backward sweeps with per-lane masks
+  /// replicating the scalar loop's empty/fixpoint early exits — scattering
+  /// each lane's final box, emptiness, and contraction-call count into the
+  /// ref-indexed bwd_* arenas replayed at pop.
+  void ClassifyContractWave();
+  /// Pre-splits the surviving lanes of the wave just contracted (skeleton
+  /// undecided, not proved empty, wider than delta): bisects each lane's
+  /// final box on its widest dimension exactly as pop step 4 will, allocates
+  /// the two child slots, records them in child_arena_, and collects them
+  /// into next_refs_ as the next expansion level.
+  void ExpandWaveChildren();
 
   expr::BoolExpr formula_;
   SolverOptions options_;
@@ -196,9 +229,13 @@ class DeltaSolver {
   std::vector<char> classified_;   // slot -> atoms classified?
   std::vector<char> status_arena_; // slot * num_atoms + atom -> Status
   std::vector<Interval> tmp_box_;  // bisect staging
+  // Speculatively materialized split: slot*2 -> {left, right} child refs
+  // (-1 = not expanded; pop step 4 then bisects on the spot).
+  std::vector<BoxStore::Ref> child_arena_;
 
   // Wave classification buffers (sized once per Check).
   std::vector<BoxStore::Ref> wave_refs_;
+  std::vector<BoxStore::Ref> next_refs_;  // children feeding the next level
   std::vector<double> wave_lo_, wave_hi_;          // dims × wave_width SoA
   std::vector<const double*> wave_lo_ptrs_, wave_hi_ptrs_;
   expr::TapeIntervalBatchScratch interval_batch_;
@@ -210,11 +247,32 @@ class DeltaSolver {
   std::vector<char> reval_status_;       // box * atoms + atom
   std::vector<Tri> reval_atom_status_;   // per-box skeleton inputs
 
-  // Per-required-atom forward enclosures of the most recently classified
-  // popped box, valid until the box is first narrowed (HC4 round 0 consumes
-  // them instead of re-running the forward sweep).
-  std::vector<std::vector<Interval>> forward_cache_;
-  std::vector<char> forward_cache_valid_;
+  // Batched backward contraction over the wave: ClassifyWave runs the whole
+  // HC4 fixpoint loop (rounds × required atoms, forward + backward sweeps)
+  // over every undecided lane at once, with per-lane empty/fixpoint masks
+  // replicating the scalar loop's control flow exactly. Required atoms get
+  // their own forward scratch so their classification sweeps double as the
+  // round-0 forward enclosures; the final per-lane box, emptiness, and
+  // contraction-call count land in ref-indexed arenas and are replayed when
+  // the box is popped.
+  std::vector<expr::TapeIntervalBatchScratch> req_batch_;  // per required atom
+  expr::TapeBackwardBatchScratch backward_;
+  std::vector<double> bwd_lo_, bwd_hi_;  // dims × wave_width working boxes
+  std::vector<double*> bwd_lo_ptrs_, bwd_hi_ptrs_;
+  std::vector<const double*> bwd_clo_ptrs_, bwd_chi_ptrs_;  // same rows
+  std::vector<unsigned char> wave_active_;  // lane takes this atom's sweep
+  std::vector<unsigned char> wave_any_;     // lane contracted this round
+  std::vector<unsigned char> wave_done_;    // lane left the fixpoint loop
+  std::vector<unsigned char> wave_empty_;   // lane's box proved infeasible
+  std::vector<unsigned char> wave_unknown_; // lane skeleton-undecided
+  std::vector<std::uint32_t> wave_count_;   // contraction calls per lane
+  std::vector<signed char> wave_outcome_;   // per-lane backward outcome
+  std::vector<Tri> wave_atom_status_;       // per-lane skeleton inputs
+  std::vector<char> bwd_valid_;             // slot -> arena replay available
+  std::vector<signed char> bwd_empty_arena_;     // slot -> went empty
+  std::vector<std::uint32_t> bwd_count_arena_;   // slot -> contraction calls
+  std::vector<double> bwd_box_arena_;  // slot × dims × {lo, hi} final box
+  SolverStats* phase_stats_ = nullptr;  // Check's stats, for measure_phases
 
   // Reusable presample buffers (Check runs once per verifier subdomain; the
   // lattice is rebuilt but never reallocated).

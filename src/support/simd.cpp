@@ -1,0 +1,200 @@
+// Tier registry and runtime dispatch for the SIMD kernel layer.
+//
+// Resolution happens once, on first use: the XCV_SIMD override wins when it
+// names a tier this binary compiled and this CPU supports (anything else
+// falls back to CPUID with a stderr note), otherwise the widest supported
+// tier is chosen. Every tier produces bit-identical endpoints, so the choice
+// affects throughput only — which is why an invalid override can safely
+// degrade instead of aborting a campaign.
+#include "support/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace xcv::simd {
+
+// Per-tier kernel tables, defined by the simd_kernels_<tier>.cpp TUs. The
+// avx2/avx512 tables exist only when the configuring compiler supported
+// their -march flags.
+namespace scalar {
+extern const Kernels kKernels;
+}
+namespace sse2 {
+extern const Kernels kKernels;
+}
+#ifdef XCV_SIMD_HAVE_AVX2
+namespace avx2 {
+extern const Kernels kKernels;
+}
+#endif
+#ifdef XCV_SIMD_HAVE_AVX512
+namespace avx512 {
+extern const Kernels kKernels;
+}
+#endif
+
+namespace {
+
+const Kernels* TableFor(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return &scalar::kKernels;
+    case Tier::kSse2:
+      return &sse2::kKernels;
+    case Tier::kAvx2:
+#ifdef XCV_SIMD_HAVE_AVX2
+      return &avx2::kKernels;
+#else
+      return nullptr;
+#endif
+    case Tier::kAvx512:
+#ifdef XCV_SIMD_HAVE_AVX512
+      return &avx512::kKernels;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool CpuCanRun(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+    case Tier::kSse2:
+      return true;  // part of the base x86-64 ABI (and trivially true
+                    // elsewhere: those tiers carry no -march flags)
+    case Tier::kAvx2:
+#if defined(__x86_64__) && defined(__GNUC__) && __GNUC__ >= 12
+      return __builtin_cpu_supports("x86-64-v3") != 0;
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(__x86_64__) && defined(__GNUC__) && __GNUC__ >= 12
+      return __builtin_cpu_supports("x86-64-v4") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+struct Dispatch {
+  Tier tier;
+  const Kernels* kernels;
+  std::string env;  // XCV_SIMD as seen at resolution time
+};
+
+Dispatch Resolve() {
+  Dispatch d;
+  const char* env = std::getenv("XCV_SIMD");
+  d.env = env != nullptr ? env : "";
+  if (!d.env.empty()) {
+    Tier want;
+    if (!ParseTier(d.env, &want)) {
+      std::fprintf(stderr,
+                   "xcv: XCV_SIMD=%s is not a tier name "
+                   "(scalar|sse2|avx2|avx512); using CPUID dispatch\n",
+                   d.env.c_str());
+    } else if (!TierSupported(want)) {
+      std::fprintf(stderr,
+                   "xcv: XCV_SIMD=%s is not %s in this build; "
+                   "using CPUID dispatch\n",
+                   d.env.c_str(),
+                   TierCompiled(want) ? "supported by this CPU" : "compiled");
+    } else {
+      d.tier = want;
+      d.kernels = TableFor(want);
+      return d;
+    }
+  }
+  d.tier = BestSupportedTier();
+  d.kernels = TableFor(d.tier);
+  return d;
+}
+
+std::mutex g_mutex;
+bool g_resolved = false;
+Dispatch g_dispatch;
+// The hot-path handle: one relaxed atomic load per kernel batch. Ordering is
+// provided by the mutex in Resolved(); after that the pointer never changes
+// except through the single-threaded test hook.
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Dispatch& Resolved() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_resolved) {
+    g_dispatch = Resolve();
+    g_active.store(g_dispatch.kernels, std::memory_order_release);
+    g_resolved = true;
+  }
+  return g_dispatch;
+}
+
+}  // namespace
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool ParseTier(const std::string& s, Tier* out) {
+  for (int i = 0; i < kNumTiers; ++i) {
+    const Tier t = static_cast<Tier>(i);
+    if (s == TierName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TierCompiled(Tier t) { return TableFor(t) != nullptr; }
+
+bool TierSupported(Tier t) { return TierCompiled(t) && CpuCanRun(t); }
+
+Tier BestSupportedTier() {
+  for (int i = kNumTiers - 1; i >= 0; --i) {
+    const Tier t = static_cast<Tier>(i);
+    if (TierSupported(t)) return t;
+  }
+  return Tier::kScalar;
+}
+
+const Kernels* KernelsFor(Tier t) {
+  return TierSupported(t) ? TableFor(t) : nullptr;
+}
+
+Tier ActiveTier() { return Resolved().tier; }
+
+const Kernels& Active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) k = Resolved().kernels;
+  return *k;
+}
+
+const std::string& EnvOverride() { return Resolved().env; }
+
+bool ForceTierForTesting(Tier t) {
+  const Kernels* k = KernelsFor(t);
+  if (k == nullptr) return false;
+  Resolved();  // make sure normal resolution ran first
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_dispatch.tier = t;
+  g_dispatch.kernels = k;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace xcv::simd

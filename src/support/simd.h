@@ -1,0 +1,139 @@
+// Runtime-dispatched SIMD kernel layer for the interval lane loops.
+//
+// One kernel source (simd_kernels.inc) defines every lo/hi lane operation the
+// batched forward sweep (src/expr/interval_batch.cpp) and the batched HC4
+// backward sweep (src/expr/interval_backward_batch.cpp) share. That source is
+// compiled into several translation units, one per ISA tier:
+//
+//   scalar  — vectorizer disabled (-fno-tree-vectorize); the reference tier
+//   sse2    — the baseline x86-64 build (128-bit lanes), today's default TU
+//   avx2    — recompiled with -march=x86-64-v3 (256-bit lanes + BMI)
+//   avx512  — recompiled with -march=x86-64-v4 when the compiler supports it
+//
+// The arithmetic is identical in every tier: plain IEEE adds/muls/divs/sqrts,
+// compare/select chains, and the integer bit-stepped NextDown/NextUp widening
+// from interval.h. No tier enables fast-math or FP contraction
+// (-ffp-contract=off is pinned on the ISA TUs), so endpoint bits are
+// architecture-independent by construction — reports, checkpoints, and cache
+// entries stay byte-identical whichever tier runs. The tiers differ only in
+// how many lanes the compiler packs per instruction.
+//
+// Dispatch happens once, at first use: CPUID picks the widest tier the host
+// supports, and the XCV_SIMD environment variable (scalar|sse2|avx2|avx512)
+// overrides it for testing and for the CI determinism matrix.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+namespace xcv::simd {
+
+// ---- Shared scalar helpers --------------------------------------------------
+
+// Canonical empty representation, as produced by the Interval constructor.
+inline constexpr double kEmptyLo = 1.0;
+inline constexpr double kEmptyHi = 0.0;
+
+inline bool LaneEmpty(double lo, double hi) { return !(lo <= hi); }
+
+// Select-based fmin/fmax with std::fmin/fmax's exact NaN semantics (a NaN
+// operand yields the other operand; NaN only if both are NaN). x86 has no
+// single instruction for fmin, so the libm call blocks vectorization; these
+// compile to compare/select chains that do vectorize. The one permitted
+// deviation is the sign of a zero result when the operands are ±0 pairs —
+// every kernel use feeds NextDown/NextUp or a clamp, which erase it, so lane
+// results stay bit-identical to the scalar evaluator (the kMin/kMax forward
+// lanes, whose results are stored unwidened, keep calling std::fmin/fmax).
+// This is the one audited copy: forward, backward, and scalar callers all
+// include it from here.
+inline double FMin(double x, double y) {
+  double m = x < y ? x : y;
+  m = std::isnan(x) ? y : m;
+  m = std::isnan(y) ? x : m;
+  return m;
+}
+inline double FMax(double x, double y) {
+  double m = x > y ? x : y;
+  m = std::isnan(x) ? y : m;
+  m = std::isnan(y) ? x : m;
+  return m;
+}
+
+// ---- Kernel table -----------------------------------------------------------
+
+// All kernels operate on parallel lo/hi endpoint rows of `n` lanes, one
+// interval per lane, with the canonical empty representation [1, 0] (the
+// exact bits the Interval constructor produces). Every kernel replicates the
+// corresponding scalar Interval operation endpoint for endpoint.
+//
+// Rows passed to one call must not overlap an output row (callers route
+// results through distinct temp rows); read-only rows may alias each other.
+using BinKernel = void (*)(const double* alo, const double* ahi,
+                           const double* blo, const double* bhi,
+                           double* rlo, double* rhi, std::size_t n);
+using AccumKernel = void (*)(double* rlo, double* rhi, const double* clo,
+                             const double* chi, std::size_t n);
+using MaskedAccumKernel = void (*)(double* rlo, double* rhi,
+                                   const double* clo, const double* chi,
+                                   const unsigned char* mask, std::size_t n);
+using UnKernel = void (*)(const double* alo, const double* ahi, double* rlo,
+                          double* rhi, std::size_t n);
+
+struct Kernels {
+  const char* name;   // tier name, e.g. "avx2"
+  const char* flags;  // the TU's distinguishing compile flags (for xcv info)
+
+  BinKernel add;  // operator+(Interval, Interval)
+  BinKernel sub;  // operator-(Interval, Interval)
+  BinKernel mul;  // operator*(Interval, Interval)
+  BinKernel div;  // operator/(Interval, Interval), incl. the zero-straddling
+                  // divisor branches (scalar fixup pass inside the kernel)
+  BinKernel min;  // Min(Interval, Interval) — stored unwidened
+  BinKernel max;  // Max(Interval, Interval) — stored unwidened
+
+  AccumKernel add_accum;        // r = r + c
+  AccumKernel mul_accum;        // r = r * c
+  AccumKernel intersect_accum;  // r = r.Intersect(c)
+  MaskedAccumKernel intersect_accum_where;  // mask[j] ? r ∩= c : untouched
+
+  UnKernel neg;   // operator-(Interval)
+  UnKernel abs;   // Abs(Interval)
+  UnKernel sqr;   // Sqr(Interval)
+  UnKernel sqrt;  // Sqrt(Interval) — includes the clamp to [0, inf)
+};
+
+// ---- Tiers and dispatch -----------------------------------------------------
+
+enum class Tier : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+inline constexpr int kNumTiers = 4;
+
+const char* TierName(Tier t);
+/// Parses "scalar" | "sse2" | "avx2" | "avx512" (the XCV_SIMD values).
+bool ParseTier(const std::string& s, Tier* out);
+
+/// True when the tier's translation unit was built into this binary (avx2 /
+/// avx512 TUs are gated on compiler support for their -march flags).
+bool TierCompiled(Tier t);
+/// True when the tier is compiled AND the running CPU can execute it.
+bool TierSupported(Tier t);
+/// The widest supported tier (what dispatch picks absent an override).
+Tier BestSupportedTier();
+
+/// Kernel table for a tier; null when !TierSupported(t).
+const Kernels* KernelsFor(Tier t);
+
+/// The active tier: resolved once from XCV_SIMD (falling back, with a stderr
+/// note, when the override names an unsupported tier) or CPUID.
+Tier ActiveTier();
+const Kernels& Active();
+
+/// The XCV_SIMD value seen at resolution time ("" when unset) — for xcv info.
+const std::string& EnvOverride();
+
+/// Test hook: force the active tier (must be supported). Returns false and
+/// leaves the dispatch untouched for unsupported tiers. Not thread-safe
+/// against concurrent kernel users; call from single-threaded test setup.
+bool ForceTierForTesting(Tier t);
+
+}  // namespace xcv::simd

@@ -1,0 +1,11 @@
+// AVX2 tier: the shared kernel source recompiled with -march=x86-64-v3
+// (256-bit lanes). -ffp-contract=off is pinned explicitly so the wider
+// target cannot introduce FMA contraction — endpoint bits must match the
+// scalar tier exactly. The TU compiles to nothing when the configuring
+// compiler lacks the -march flag (XCV_SIMD_HAVE_AVX2 unset).
+#ifdef XCV_SIMD_HAVE_AVX2
+#define XCV_SIMD_NAMESPACE avx2
+#define XCV_SIMD_TIER_NAME "avx2"
+#define XCV_SIMD_TIER_FLAGS "-march=x86-64-v3 -ffp-contract=off"
+#include "support/simd_kernels.inc"
+#endif

@@ -1,0 +1,11 @@
+// AVX-512 tier: the shared kernel source recompiled with -march=x86-64-v4
+// (512-bit lanes, masked ops). -ffp-contract=off pinned for the same
+// reason as the AVX2 tier: no FMA contraction, bit-identical endpoints.
+// The TU compiles to nothing when the configuring compiler lacks the
+// -march flag (XCV_SIMD_HAVE_AVX512 unset).
+#ifdef XCV_SIMD_HAVE_AVX512
+#define XCV_SIMD_NAMESPACE avx512
+#define XCV_SIMD_TIER_NAME "avx512"
+#define XCV_SIMD_TIER_FLAGS "-march=x86-64-v4 -ffp-contract=off"
+#include "support/simd_kernels.inc"
+#endif

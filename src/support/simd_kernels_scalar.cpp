@@ -1,0 +1,9 @@
+// Reference tier: the shared kernel source with the auto-vectorizer pinned
+// off (-fno-tree-vectorize -fno-tree-slp-vectorize in CMakeLists.txt), so
+// every lane runs genuinely scalar code. XCV_SIMD=scalar selects it; the
+// dispatch tests and the CI determinism matrix diff the other tiers against
+// its output bits.
+#define XCV_SIMD_NAMESPACE scalar
+#define XCV_SIMD_TIER_NAME "scalar"
+#define XCV_SIMD_TIER_FLAGS "-fno-tree-vectorize -fno-tree-slp-vectorize"
+#include "support/simd_kernels.inc"

@@ -1,0 +1,8 @@
+// Baseline tier: the shared kernel source under the project's default
+// x86-64 target (SSE2 is part of the base ABI), auto-vectorized to 128-bit
+// lanes. This matches how the batched kernels were compiled before the
+// SIMD layer existed, so it is always compiled and always supported.
+#define XCV_SIMD_NAMESPACE sse2
+#define XCV_SIMD_TIER_NAME "sse2"
+#define XCV_SIMD_TIER_FLAGS "baseline x86-64 (128-bit lanes)"
+#include "support/simd_kernels.inc"
