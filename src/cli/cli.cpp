@@ -90,6 +90,10 @@ Options (verify/resume):
   --quiet              No per-pair progress on stderr.
   --heartbeat=PATH     (resume) Touch PATH every 250 ms while running, so a
                        supervisor can tell a working node from a hung one.
+  --heartbeat-stream   (resume) Also print an XCV-HEARTBEAT line to stdout
+                       every beat, so a remote supervisor can mirror
+                       liveness through an ssh channel (the coordinator's
+                       --nodes transport filters these lines out).
 
 Options (shard):
   --checkpoint=PATH    Campaign checkpoint to partition. When omitted, an
@@ -112,9 +116,26 @@ Options (coordinate):
                        coordinator re-reads and rewrites it every epoch, so
                        killing and re-running the coordinator resumes.
   --shards=K           Fleet width: resume processes per epoch.     [2]
+  --nodes=H1,H2,...    Run each node remotely over ssh/scp instead of
+                       forking locally: one node per host (overrides
+                       --shards), shard checkpoints and caches shipped out,
+                       `xcv resume --heartbeat-stream` run there, results
+                       fetched back. Hosts must accept non-interactive ssh
+                       (BatchMode); --xcv-bin names the remote binary.
   --by=G               Partition granularity: pairs | frontier.    [pairs]
-  --work-dir=DIR       Shard files, heartbeats, per-node logs.
-                                                       [xcv-coordinate]
+  --work-dir=DIR       Shard files, heartbeats, per-epoch node logs (kept
+                       for the last 3 epochs), and the node-health ledger
+                       nodes.json.                      [xcv-coordinate]
+  --max-retries=N      Ordinary failures tolerated per shard per epoch
+                       before its node gives up and the shard is re-dealt
+                       across the surviving nodes.                  [2]
+  --preemptible=N      Dedicated budget for preemption-style SIGKILLs,
+                       consumed before --max-retries (WDL
+                       preemptible_tries).                          [3]
+  --quarantine-after=N Consecutive failures before a node is quarantined
+                       (sits out epochs, then earns one probe).     [3]
+  --launch-timeout=S   A launched node that never heartbeats within S
+                       seconds is a transport failure.              [30]
   --rebalance-epoch=S  Deadline per epoch: stragglers still running after S
                        seconds are asked to checkpoint and stop, and their
                        remaining frontier is re-dealt across the whole
@@ -148,10 +169,12 @@ Fault injection (any command, for robustness testing):
   --faults=SPEC        Arm named fault points for this process, e.g.
                        --faults=checkpoint.save.short-write@2. The
                        XCV_FAULTS environment variable is the same thing;
-                       see README "Fault tolerance" for the grammar.
+                       `xcv info` lists every registered point; see README
+                       "Fault tolerance" for the grammar.
 
 Exit codes: 0 success, 1 coordinate gave up, 2 usage error, 70 injected
-fault crash, 130 cancelled (checkpoint saved).
+fault crash, 126/127 node launch failure (cannot exec), 130 cancelled
+(checkpoint saved).
 )";
 
 // Signal handler target: only an atomic flag is touched in the handler.
@@ -496,11 +519,20 @@ int CmdResume(const ParsedArgs& args) {
   // which is the point.
   std::atomic<bool> heartbeat_stop{false};
   std::thread heartbeat_thread;
-  if (const auto hb = args.flags.find("heartbeat"); hb != args.flags.end()) {
-    const std::string hb_path = hb->second;
-    heartbeat_thread = std::thread([hb_path, &heartbeat_stop] {
+  const auto hb = args.flags.find("heartbeat");
+  const bool hb_stream = args.flags.count("heartbeat-stream") > 0;
+  if (hb != args.flags.end() || hb_stream) {
+    const std::string hb_path = hb != args.flags.end() ? hb->second : "";
+    heartbeat_thread = std::thread([hb_path, hb_stream, &heartbeat_stop] {
       while (!heartbeat_stop.load(std::memory_order_relaxed)) {
-        support::TouchFile(hb_path);
+        if (!hb_path.empty()) support::TouchFile(hb_path);
+        if (hb_stream) {
+          // One full line per beat: a remote supervisor watching this
+          // process through an ssh pipe filters these out and mirrors
+          // them into its local heartbeat file.
+          std::printf("XCV-HEARTBEAT\n");
+          std::fflush(stdout);
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(250));
       }
     });
@@ -617,6 +649,24 @@ int CmdCoordinate(const ParsedArgs& args) {
   copts.lease_seconds = FlagDouble(args, "lease", copts.lease_seconds);
   copts.max_epochs =
       static_cast<int>(FlagDouble(args, "max-epochs", copts.max_epochs));
+  if (const auto it = args.flags.find("nodes"); it != args.flags.end()) {
+    copts.ssh_hosts = SplitCommas(it->second);
+    XCV_CHECK_MSG(!copts.ssh_hosts.empty(),
+                  "--nodes needs at least one host");
+  }
+  copts.attrs.max_retries = static_cast<int>(
+      FlagDouble(args, "max-retries", copts.attrs.max_retries));
+  copts.attrs.preemptible_tries = static_cast<int>(
+      FlagDouble(args, "preemptible", copts.attrs.preemptible_tries));
+  copts.attrs.quarantine_after = static_cast<int>(
+      FlagDouble(args, "quarantine-after", copts.attrs.quarantine_after));
+  copts.attrs.launch_timeout_s =
+      FlagDouble(args, "launch-timeout", copts.attrs.launch_timeout_s);
+  XCV_CHECK_MSG(copts.attrs.max_retries >= 0 &&
+                    copts.attrs.preemptible_tries >= 0 &&
+                    copts.attrs.quarantine_after >= 1,
+                "coordinate: --max-retries/--preemptible must be >= 0 and "
+                "--quarantine-after >= 1");
   if (const auto it = args.flags.find("cache-dir"); it != args.flags.end())
     copts.cache_dir = it->second;
   if (const auto it = args.flags.find("xcv-bin"); it != args.flags.end())
@@ -661,13 +711,23 @@ int CmdCoordinate(const ParsedArgs& args) {
                                 cp.cancelled);
 
   const shard::CoordinatorResult result = shard::RunCoordinator(copts);
-  if (!copts.quiet)
+  if (!copts.quiet) {
     std::fprintf(stderr,
                  "[xcv coordinate] %s: %d epoch(s), %d launch(es), %d "
                  "kill(s), %d recover(ies), %zu fragment(s) backfilled\n",
                  result.converged ? "converged" : "gave up", result.epochs,
                  result.launches, result.kills, result.recoveries,
                  result.backfilled_fragments);
+    std::fprintf(stderr,
+                 "[xcv coordinate] %d retr%s, %d preemption(s), %d "
+                 "stall(s), %d launch failure(s), %zu node(s) quarantined\n",
+                 result.retries, result.retries == 1 ? "y" : "ies",
+                 result.preemptions, result.stalls, result.launch_failures,
+                 result.quarantined.size());
+    for (const std::string& node : result.quarantined)
+      std::fprintf(stderr, "[xcv coordinate] quarantined: %s\n",
+                   node.c_str());
+  }
   if (!result.converged) {
     std::fprintf(stderr, "xcv coordinate: %s\n", result.error.c_str());
     return 1;
@@ -906,6 +966,15 @@ int CmdInfo() {
   std::printf(
       "All tiers produce bit-identical interval endpoints; the choice only\n"
       "affects speed. Override with XCV_SIMD=scalar|sse2|avx2|avx512.\n");
+  std::printf("\nRegistered fault points (--faults / XCV_FAULTS):\n");
+  std::printf("  %-38s %-12s %s\n", "point", "arg", "effect");
+  for (const support::fault::PointInfo& p :
+       support::fault::RegisteredPoints())
+    std::printf("  %-38s %-12s %s\n", p.name, p.arg[0] ? p.arg : "-",
+                p.help);
+  std::printf(
+      "transport.* points also accept a .<node-name> suffix (e.g.\n"
+      "transport.preempt.local-0@1) to target one node of a fleet.\n");
   return 0;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <system_error>
 #include <thread>
@@ -12,13 +13,12 @@
 #include <vector>
 
 #ifndef _WIN32
-#include <fcntl.h>
 #include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
 #endif
 
 #include "shard/merge.h"
+#include "shard/transport.h"
 #include "support/check.h"
 
 namespace xcv::shard {
@@ -26,6 +26,7 @@ namespace xcv::shard {
 using campaign::Checkpoint;
 using campaign::CheckpointLoadResult;
 using campaign::PairState;
+namespace retry = support::retry;
 
 namespace {
 
@@ -77,6 +78,31 @@ std::size_t BackfillMissingPairs(Checkpoint& loaded, const Checkpoint& dealt) {
   return restored;
 }
 
+std::size_t PruneEpochLogs(const std::string& work_dir, int current_epoch,
+                           int keep) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(work_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    // node-<K>.epoch-<E>.log
+    if (name.rfind("node-", 0) != 0) continue;
+    const auto epos = name.find(".epoch-");
+    if (epos == std::string::npos) continue;
+    const auto lpos = name.rfind(".log");
+    if (lpos == std::string::npos || lpos != name.size() - 4) continue;
+    const std::string digits = name.substr(epos + 7, lpos - (epos + 7));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    const int e = std::atoi(digits.c_str());
+    if (e <= current_epoch - keep) {
+      std::error_code rec;
+      if (std::filesystem::remove(entry.path(), rec)) ++removed;
+    }
+  }
+  return removed;
+}
+
 #ifndef _WIN32
 
 namespace {
@@ -95,67 +121,41 @@ std::string SelfExePath() {
 #endif
 }
 
-struct Node {
+/// One shard's attempt sequence within an epoch.
+struct Slot {
+  enum class Phase {
+    kRunning,   ///< an attempt is (believed) alive
+    kBackoff,   ///< last attempt failed; waiting to relaunch
+    kDone,      ///< an attempt succeeded
+    kGaveUp,    ///< retry budget exhausted; shard re-dealt next epoch
+    kStopped,   ///< deadline rebalance stop (not a failure)
+  };
+
   int index = 0;
-  pid_t pid = -1;
-  std::string heartbeat_path;
-  std::chrono::steady_clock::time_point started;
-  bool alive = false;
+  std::string node;
+  std::string shard_path, hb_path, log_path, cache_path;
+  Phase phase = Phase::kRunning;
+  retry::RetryBudget budget;
+  int attempt = 0;  ///< launches so far (1-based once launched)
+  /// The coordinator killed this attempt for a stale lease.
+  bool stall_kill = false;
+  /// The coordinator killed this attempt because it never heartbeat
+  /// within the launch timeout (a transport failure, not a stall).
+  bool timeout_kill = false;
+  /// SIGTERM'd at the epoch deadline: an intentional rebalance, uncharged.
+  bool deadline_stop = false;
+  std::chrono::steady_clock::time_point relaunch_at;
 };
 
-/// Heartbeat age in seconds: mtime of the heartbeat file when it exists,
-/// time since launch otherwise (the child may have died before its first
-/// beat — the lease covers that too).
-double HeartbeatAge(const Node& node) {
-  std::error_code ec;
-  const auto mtime =
-      std::filesystem::last_write_time(node.heartbeat_path, ec);
-  if (ec) return SecondsSince(node.started);
-  const auto now = std::filesystem::file_time_type::clock::now();
-  return std::chrono::duration<double>(now - mtime).count();
-}
-
-pid_t LaunchNode(const CoordinatorOptions& opt, int k,
-                 const std::string& shard_path, const std::string& hb_path,
-                 int epoch) {
-  const pid_t pid = ::fork();
-  if (pid != 0) return pid;
-
-  // Child. Per-node log file for post-mortems (CI uploads the work dir).
-  const std::string log_path =
-      opt.work_dir + "/node-" + std::to_string(k) + ".log";
-  const int fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd >= 0) {
-    ::dup2(fd, STDOUT_FILENO);
-    ::dup2(fd, STDERR_FILENO);
-    ::close(fd);
+const char* PhaseName(Slot::Phase p) {
+  switch (p) {
+    case Slot::Phase::kRunning: return "running";
+    case Slot::Phase::kBackoff: return "backoff";
+    case Slot::Phase::kDone: return "done";
+    case Slot::Phase::kGaveUp: return "gave-up";
+    case Slot::Phase::kStopped: return "stopped";
   }
-  // Children must not inherit the coordinator's fault schedule: only the
-  // designated chaos node runs with faults armed, and only in epoch 0.
-  if (epoch == 0 && k == opt.fault_node && !opt.fault_spec.empty())
-    ::setenv("XCV_FAULTS", opt.fault_spec.c_str(), 1);
-  else
-    ::unsetenv("XCV_FAULTS");
-
-  std::vector<std::string> args = {
-      opt.xcv_binary,
-      "resume",
-      "--checkpoint=" + shard_path,
-      "--heartbeat=" + hb_path,
-      "--format=csv",
-      "--quiet",
-  };
-  if (!opt.cache_dir.empty())
-    args.push_back("--cache=" + opt.cache_dir + "/cache-node-" +
-                   std::to_string(k) + ".json");
-  std::vector<char*> argv;
-  argv.reserve(args.size() + 1);
-  for (std::string& a : args) argv.push_back(a.data());
-  argv.push_back(nullptr);
-  ::execv(opt.xcv_binary.c_str(), argv.data());
-  std::fprintf(stderr, "xcv coordinate: cannot exec '%s'\n",
-               opt.xcv_binary.c_str());
-  std::_Exit(127);
+  return "?";
 }
 
 }  // namespace
@@ -163,7 +163,10 @@ pid_t LaunchNode(const CoordinatorOptions& opt, int k,
 CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
   CoordinatorResult result;
   CoordinatorOptions options = options_in;
-  if (options.xcv_binary.empty()) options.xcv_binary = SelfExePath();
+  const bool remote = !options.ssh_hosts.empty();
+  if (remote) options.shards = static_cast<int>(options.ssh_hosts.size());
+  if (options.xcv_binary.empty() && !remote)
+    options.xcv_binary = SelfExePath();
   XCV_CHECK_MSG(options.shards >= 1,
                 "coordinate: --shards must be at least 1");
   XCV_CHECK_MSG(!options.checkpoint_path.empty(),
@@ -184,6 +187,30 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
     }
   };
 
+  // The node pool is fixed for the whole run; the *usable* subset is
+  // re-derived from the health ledger every epoch.
+  std::vector<std::string> pool;
+  if (remote) {
+    pool = options.ssh_hosts;
+  } else {
+    for (int k = 0; k < options.shards; ++k)
+      pool.push_back("local-" + std::to_string(k));
+  }
+
+  retry::NodeLedger ledger;
+  if (ledger.Load(options.work_dir + "/nodes.json"))
+    log("node ledger loaded: %zu node record(s)", ledger.nodes().size());
+
+  std::unique_ptr<NodeTransport> owned_transport;
+  NodeTransport* transport = options.transport;
+  if (transport == nullptr) {
+    if (remote)
+      owned_transport = std::make_unique<SshTransport>();
+    else
+      owned_transport = std::make_unique<LocalProcessTransport>();
+    transport = owned_transport.get();
+  }
+
   // The campaign state the coordinator owns, re-read tolerantly so a crash
   // while *it* was writing the checkpoint recovers too.
   CheckpointLoadResult load =
@@ -200,118 +227,303 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
   std::uint64_t score = ProgressScore(state);
   int stalled = 0;
 
-  const std::size_t n = static_cast<std::size_t>(options.shards);
+  auto event = [&](int epoch, const Slot& slot, const std::string& what) {
+    result.events.push_back("epoch=" + std::to_string(epoch) +
+                            " node=" + slot.node +
+                            " attempt=" + std::to_string(slot.attempt) + " " +
+                            what);
+  };
+
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
     if (AllDone(state)) {
       result.converged = true;
       break;
     }
     result.epochs = epoch + 1;
+    ledger.TickEpoch();
+
+    // ---- Pick the fleet -----------------------------------------------------
+    // Quarantined nodes sit out until their cooldown earns a probe. If
+    // everything is quarantined the campaign must still limp forward:
+    // degrade to the single least-bad node rather than deadlocking.
+    std::vector<std::string> fleet;
+    for (const std::string& node : pool)
+      if (ledger.Usable(node)) fleet.push_back(node);
+    if (fleet.empty()) {
+      const std::string* best = &pool.front();
+      for (const std::string& node : pool) {
+        if (ledger.Get(node).consecutive_failures <
+            ledger.Get(*best).consecutive_failures)
+          best = &node;
+      }
+      fleet.push_back(*best);
+      result.events.push_back("epoch=" + std::to_string(epoch) +
+                              " all nodes quarantined — degrading to " +
+                              *best);
+      log("epoch %d: every node quarantined — degrading to %s", epoch,
+          best->c_str());
+    }
+    ledger.Save();
 
     // ---- Deal ---------------------------------------------------------------
+    const std::size_t n = fleet.size();
     PartitionOptions popts;
-    popts.shards = options.shards;
+    popts.shards = static_cast<int>(n);
     popts.by = options.by;
     popts.rebase_provenance = true;
     std::vector<Checkpoint> dealt = PartitionCheckpoint(state, popts);
 
-    std::vector<std::string> shard_paths(n), hb_paths(n);
+    std::vector<Slot> slots(n);
     for (std::size_t k = 0; k < n; ++k) {
-      shard_paths[k] =
+      Slot& s = slots[k];
+      s.index = static_cast<int>(k);
+      s.node = fleet[k];
+      s.shard_path =
           options.work_dir + "/shard-" + std::to_string(k) + ".json";
-      hb_paths[k] = options.work_dir + "/hb-" + std::to_string(k);
-      campaign::WriteCheckpointFile(shard_paths[k], dealt[k].options,
+      s.hb_path = options.work_dir + "/hb-" + std::to_string(k);
+      s.log_path = options.work_dir + "/node-" + std::to_string(k) +
+                   ".epoch-" + std::to_string(epoch) + ".log";
+      if (!options.cache_dir.empty())
+        s.cache_path = options.cache_dir + "/cache-node-" + std::to_string(k) +
+                       ".json";
+      campaign::WriteCheckpointFile(s.shard_path, dealt[k].options,
                                     dealt[k].pairs, dealt[k].cancelled);
-      // A heartbeat left over from the previous epoch would read as a
-      // stale lease the instant the new child starts.
-      std::filesystem::remove(hb_paths[k], ec);
     }
 
-    // ---- Launch -------------------------------------------------------------
-    std::vector<Node> nodes(n);
-    const auto epoch_start = std::chrono::steady_clock::now();
-    for (std::size_t k = 0; k < n; ++k) {
-      nodes[k].index = static_cast<int>(k);
-      nodes[k].heartbeat_path = hb_paths[k];
-      nodes[k].started = std::chrono::steady_clock::now();
-      nodes[k].pid = LaunchNode(options, static_cast<int>(k), shard_paths[k],
-                                hb_paths[k], epoch);
-      XCV_CHECK_MSG(nodes[k].pid > 0, "fork failed for node " << k);
-      nodes[k].alive = true;
+    // Failure bookkeeping for one finished (or unlaunchable) attempt:
+    // classify, charge the budget, update the ledger, and either schedule
+    // a relaunch after deterministic backoff or give the slot up.
+    auto handle_failure = [&](Slot& s, retry::FailureKind kind) {
+      s.budget.Charge(kind, options.attrs);
+      const bool newly_quarantined =
+          ledger.RecordFailure(s.node, kind, options.attrs);
+      ledger.Save();
+      if (kind == retry::FailureKind::kPreempted) ++result.preemptions;
+      if (kind == retry::FailureKind::kHeartbeatStall) ++result.stalls;
+      if (kind == retry::FailureKind::kLaunchError) ++result.launch_failures;
+      if (newly_quarantined) {
+        result.quarantined.push_back(s.node);
+        event(epoch, s,
+              std::string("kind=") + retry::FailureKindName(kind) +
+                  " action=quarantine");
+        log("node %s quarantined after %d consecutive failure(s)",
+            s.node.c_str(), ledger.Get(s.node).consecutive_failures);
+      }
+      if (s.budget.Exhausted(options.attrs)) {
+        s.phase = Slot::Phase::kGaveUp;
+        event(epoch, s,
+              std::string("kind=") + retry::FailureKindName(kind) +
+                  " action=give-up");
+        log("node %s: %s — retry budget exhausted, shard will be re-dealt",
+            s.node.c_str(), retry::FailureKindName(kind));
+        return;
+      }
+      const int charges = s.budget.preemptions + s.budget.failures;
+      const double backoff = retry::BackoffSeconds(
+          options.attrs, s.node, charges, options.retry_seed + epoch);
+      s.phase = Slot::Phase::kBackoff;
+      s.relaunch_at = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(backoff));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " action=retry backoff=%.3f", backoff);
+      event(epoch, s,
+            std::string("kind=") + retry::FailureKindName(kind) + buf);
+      log("node %s: %s — retrying in %.3fs", s.node.c_str(),
+          retry::FailureKindName(kind), backoff);
+      ++result.retries;
+    };
+
+    auto launch = [&](Slot& s) {
+      // A heartbeat left over from a previous attempt would read as a
+      // stale lease the instant the new one starts.
+      std::filesystem::remove(s.hb_path, ec);
+      if (s.attempt > 0) {
+        // Retry: the dead attempt may have torn the shard file mid-write.
+        // Hand the relaunch a loadable checkpoint — salvage what survived
+        // and backfill lost fragments from the dealt copy — instead of
+        // burning the retry budget on a worker that cannot even load.
+        campaign::CheckpointLoadResult r =
+            campaign::LoadCheckpointFileTolerant(s.shard_path);
+        if (r.cold) {
+          ++result.recoveries;
+          log("node %s: %s — re-dealing its shard for the retry",
+              s.node.c_str(), r.detail.c_str());
+          campaign::WriteCheckpointFile(
+              s.shard_path, dealt[static_cast<std::size_t>(s.index)].options,
+              dealt[static_cast<std::size_t>(s.index)].pairs,
+              dealt[static_cast<std::size_t>(s.index)].cancelled);
+        } else if (!r.clean) {
+          ++result.recoveries;
+          log("node %s: %s", s.node.c_str(), r.detail.c_str());
+          Checkpoint salvaged = std::move(r.checkpoint);
+          const std::size_t restored = BackfillMissingPairs(
+              salvaged, dealt[static_cast<std::size_t>(s.index)]);
+          result.backfilled_fragments += restored;
+          salvaged.cancelled = false;
+          campaign::WriteCheckpointFile(s.shard_path, salvaged.options,
+                                        salvaged.pairs, salvaged.cancelled);
+        }
+      }
+      ++s.attempt;
+      s.stall_kill = false;
+      s.timeout_kill = false;
+      LaunchSpec spec;
+      spec.slot = s.index;
+      spec.node = s.node;
+      spec.epoch = epoch;
+      spec.attempt = s.attempt;
+      spec.shard_path = s.shard_path;
+      spec.heartbeat_path = s.hb_path;
+      spec.log_path = s.log_path;
+      spec.cache_path = s.cache_path;
+      spec.xcv_binary = options.xcv_binary;
+      // Legacy chaos hook: faults only in the designated node's first
+      // attempt of epoch 0 — retries and other nodes run clean.
+      if (epoch == 0 && s.attempt == 1 && s.index == options.fault_node &&
+          !options.fault_spec.empty())
+        spec.fault_env = options.fault_spec;
+      ledger.RecordLaunch(s.node);
       ++result.launches;
-    }
-    log("epoch %d: launched %zu node(s)", epoch, n);
+      std::string err;
+      if (transport->Launch(spec, &err)) {
+        s.phase = Slot::Phase::kRunning;
+        return;
+      }
+      log("node %s: launch failed (%s)", s.node.c_str(), err.c_str());
+      handle_failure(s, retry::FailureKind::kLaunchError);
+    };
+
+    const auto epoch_start = std::chrono::steady_clock::now();
+    for (Slot& s : slots) launch(s);
+    log("epoch %d: launched %zu node(s) via %s transport", epoch, n,
+        transport->Name());
 
     // ---- Monitor ------------------------------------------------------------
     bool chaos_killed = options.kill_node < 0 || epoch > 0;
     bool deadline_hit = false;
     auto deadline_time = epoch_start;
+    const double launch_window =
+        std::max(options.lease_seconds, options.attrs.launch_timeout_s);
     for (;;) {
-      bool any_alive = false;
-      for (Node& node : nodes) {
-        if (!node.alive) continue;
-        int status = 0;
-        const pid_t r = ::waitpid(node.pid, &status, WNOHANG);
-        if (r == node.pid) {
-          node.alive = false;
-          if (WIFEXITED(status) && WEXITSTATUS(status) != 0 &&
-              WEXITSTATUS(status) != 130)
-            log("node %d exited with status %d", node.index,
-                WEXITSTATUS(status));
-          else if (WIFSIGNALED(status))
-            log("node %d killed by signal %d", node.index, WTERMSIG(status));
+      bool any_open = false;
+      for (Slot& s : slots) {
+        if (s.phase == Slot::Phase::kBackoff) {
+          if (deadline_hit) {
+            // Past the rebalance deadline: the pending retry's frontier is
+            // re-dealt next epoch instead.
+            s.phase = Slot::Phase::kStopped;
+            continue;
+          }
+          any_open = true;
+          if (std::chrono::steady_clock::now() >= s.relaunch_at) launch(s);
           continue;
         }
-        any_alive = true;
+        if (s.phase != Slot::Phase::kRunning) continue;
+        const NodeStatus st = transport->Poll(s.index);
+        if (st.running) {
+          any_open = true;
+          continue;
+        }
+        // Attempt finished: bring the shard result back, then classify.
+        std::string ferr;
+        const bool fetched = transport->Fetch(s.index, &ferr);
+        if (!fetched)
+          log("node %s: fetch failed (%s) — falling back to the dealt copy",
+              s.node.c_str(), ferr.c_str());
+        if (s.deadline_stop) {
+          s.phase = Slot::Phase::kStopped;
+          continue;
+        }
+        if (fetched && st.exited &&
+            (st.exit_code == 0 || st.exit_code == 130)) {
+          s.phase = Slot::Phase::kDone;
+          ledger.RecordSuccess(s.node);
+          ledger.Save();
+          continue;
+        }
+        if (st.exited && st.exit_code != 0)
+          log("node %s exited with status %d", s.node.c_str(), st.exit_code);
+        else if (st.signaled)
+          log("node %s killed by signal %d", s.node.c_str(), st.term_signal);
+        const retry::FailureKind kind =
+            !fetched && st.exited && st.exit_code == 0
+                ? retry::FailureKind::kLaunchError
+                : retry::ClassifyFailure(s.timeout_kill, s.stall_kill,
+                                         st.signaled, st.term_signal,
+                                         st.exit_code);
+        handle_failure(s, kind);
+        any_open = s.phase == Slot::Phase::kBackoff || any_open;
       }
-      if (!any_alive) break;
+      if (!any_open) break;
 
       const double elapsed = SecondsSince(epoch_start);
 
       // Chaos: yank the designated node from the rack, once.
       if (!chaos_killed && elapsed >= options.kill_after_seconds) {
         chaos_killed = true;
-        Node& victim = nodes[static_cast<std::size_t>(
-            options.kill_node % static_cast<int>(n))];
-        if (victim.alive) {
-          ::kill(victim.pid, SIGKILL);
+        Slot& victim = slots[static_cast<std::size_t>(options.kill_node) % n];
+        if (victim.phase == Slot::Phase::kRunning) {
+          transport->Kill(victim.index, SIGKILL);
           ++result.kills;
-          log("chaos: SIGKILL node %d at %.1fs", victim.index, elapsed);
+          log("chaos: SIGKILL node %s at %.1fs", victim.node.c_str(),
+              elapsed);
         }
       }
 
-      // Dead-node detection: a heartbeat past the lease means the node is
-      // hung (or gone without being reaped) — kill it and move on; its
-      // frontier is re-dealt next epoch.
-      for (Node& node : nodes) {
-        if (!node.alive) continue;
-        if (HeartbeatAge(node) > options.lease_seconds) {
-          ::kill(node.pid, SIGKILL);
+      // Liveness: after the first beat, silence past the lease is a stall
+      // (the node is hung). Before any beat, silence is judged against the
+      // launch window — ssh wedged, exec never ran — and charged as a
+      // launch error, not a stall.
+      for (Slot& s : slots) {
+        if (s.phase != Slot::Phase::kRunning || s.stall_kill ||
+            s.timeout_kill || s.deadline_stop)
+          continue;
+        const double age = transport->HeartbeatAge(s.index);
+        if (transport->BeatSeen(s.index)) {
+          if (age > options.lease_seconds) {
+            s.stall_kill = true;
+            transport->Kill(s.index, SIGKILL);
+            ++result.kills;
+            log("node %s heartbeat stale (> %.1fs) — killed", s.node.c_str(),
+                options.lease_seconds);
+          }
+        } else if (age > launch_window) {
+          s.timeout_kill = true;
+          transport->Kill(s.index, SIGKILL);
           ++result.kills;
-          log("node %d heartbeat stale (> %.1fs) — killed", node.index,
-              options.lease_seconds);
+          log("node %s never heartbeat within %.1fs — launch timed out",
+              s.node.c_str(), launch_window);
         }
       }
 
       // Rebalance deadline: ask stragglers to checkpoint and stop, then
-      // force the issue after a grace period.
+      // force the issue after a grace period. Pending retries are
+      // cancelled — their frontier is re-dealt next epoch anyway.
       if (options.epoch_seconds > 0.0 && elapsed >= options.epoch_seconds) {
         if (!deadline_hit) {
           deadline_hit = true;
           deadline_time = std::chrono::steady_clock::now();
-          for (Node& node : nodes) {
-            if (!node.alive) continue;
-            ::kill(node.pid, SIGTERM);
-            log("epoch deadline: SIGTERM node %d (will re-deal its "
+          for (Slot& s : slots) {
+            if (s.phase == Slot::Phase::kBackoff) {
+              s.phase = Slot::Phase::kStopped;
+              continue;
+            }
+            if (s.phase != Slot::Phase::kRunning) continue;
+            s.deadline_stop = true;
+            transport->Kill(s.index, SIGTERM);
+            log("epoch deadline: SIGTERM node %s (will re-deal its "
                 "frontier)",
-                node.index);
+                s.node.c_str());
           }
         } else if (SecondsSince(deadline_time) > options.lease_seconds) {
-          for (Node& node : nodes) {
-            if (!node.alive) continue;
-            ::kill(node.pid, SIGKILL);
+          for (Slot& s : slots) {
+            if (s.phase != Slot::Phase::kRunning) continue;
+            s.deadline_stop = true;
+            transport->Kill(s.index, SIGKILL);
             ++result.kills;
-            log("node %d ignored SIGTERM — killed", node.index);
+            log("node %s ignored SIGTERM — killed", s.node.c_str());
           }
         }
       }
@@ -324,21 +536,22 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
     std::vector<Checkpoint> collected;
     collected.reserve(n);
     for (std::size_t k = 0; k < n; ++k) {
+      const Slot& s = slots[k];
       CheckpointLoadResult r =
-          campaign::LoadCheckpointFileTolerant(shard_paths[k]);
+          campaign::LoadCheckpointFileTolerant(s.shard_path);
       Checkpoint shard_cp;
       if (r.cold) {
         // Nothing usable came back: the fragment restarts from what was
         // dealt — only unpersisted work is lost.
         ++result.recoveries;
-        log("node %zu: %s — re-dealing its shard from the coordinator's "
+        log("node %s (%s): %s — re-dealing its shard from the coordinator's "
             "copy",
-            k, r.detail.c_str());
+            s.node.c_str(), PhaseName(s.phase), r.detail.c_str());
         shard_cp = dealt[k];
       } else {
         if (!r.clean) {
           ++result.recoveries;
-          log("node %zu: %s", k, r.detail.c_str());
+          log("node %s: %s", s.node.c_str(), r.detail.c_str());
         }
         shard_cp = std::move(r.checkpoint);
         // A salvaged (or otherwise incomplete) shard must still cover every
@@ -347,9 +560,8 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
         const std::size_t restored = BackfillMissingPairs(shard_cp, dealt[k]);
         result.backfilled_fragments += restored;
         if (restored > 0)
-          log("node %zu: restored %zu lost fragment(s) from the dealt "
-              "shard",
-              k, restored);
+          log("node %s: restored %zu lost fragment(s) from the dealt shard",
+              s.node.c_str(), restored);
       }
       collected.push_back(std::move(shard_cp));
     }
@@ -365,6 +577,8 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
     campaign::WriteCheckpointFile(options.checkpoint_path, merged.options,
                                   merged.pairs, merged.cancelled);
     state = std::move(merged);
+
+    PruneEpochLogs(options.work_dir, epoch);
 
     std::size_t open_pairs = 0;
     for (const PairState& p : state.pairs)

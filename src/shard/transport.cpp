@@ -1,0 +1,372 @@
+#include "shard/transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "support/check.h"
+#include "support/fault.h"
+
+namespace xcv::shard {
+
+namespace fault = support::fault;
+
+namespace {
+
+/// Future mtimes within this window are clock jitter and clamp to "fresh";
+/// beyond it the beat is not credible (skewed writer clock) and the file
+/// is treated as if it had never beaten.
+constexpr double kSkewToleranceSeconds = 1.0;
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+double HeartbeatAgeSeconds(const std::string& heartbeat_path,
+                           double seconds_since_start) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(heartbeat_path, ec);
+  if (ec) return seconds_since_start;  // never beaten (missing, unlinked)
+  const auto now = std::filesystem::file_time_type::clock::now();
+  const double age = std::chrono::duration<double>(now - mtime).count();
+  if (age < -kSkewToleranceSeconds) {
+    // An mtime in the future would make `age > lease` false forever; a
+    // skewed beat buys nothing — liveness falls back to time since launch.
+    return seconds_since_start;
+  }
+  return std::max(age, 0.0);
+}
+
+#ifndef _WIN32
+
+// ---- ProcessTableTransport --------------------------------------------------
+
+ProcessTableTransport::Slot& ProcessTableTransport::SlotRef(int slot) {
+  if (static_cast<std::size_t>(slot) >= slots_.size())
+    slots_.resize(static_cast<std::size_t>(slot) + 1);
+  return slots_[static_cast<std::size_t>(slot)];
+}
+
+bool ProcessTableTransport::HitForNode(const char* point,
+                                       const std::string& node,
+                                       double* arg_ms) {
+  fault::FireInfo info;
+  if (fault::Hit(point, &info)) {
+    if (arg_ms != nullptr) *arg_ms = static_cast<double>(info.arg);
+    return true;
+  }
+  const std::string scoped = std::string(point) + "." + node;
+  if (fault::Hit(scoped.c_str(), &info)) {
+    if (arg_ms != nullptr) *arg_ms = static_cast<double>(info.arg);
+    return true;
+  }
+  return false;
+}
+
+void ProcessTableTransport::Register(const LaunchSpec& spec, int pid,
+                                     bool kill_group) {
+  Slot& s = SlotRef(spec.slot);
+  s.pid = pid;
+  s.launched = true;
+  s.reaped = false;
+  s.last = NodeStatus{};
+  s.last.running = true;
+  s.node = spec.node;
+  s.heartbeat_path = spec.heartbeat_path;
+  s.launch_monotonic_s = MonotonicSeconds();
+  s.kill_group = kill_group;
+  double arg_ms = 0.0;
+  s.preempt_armed = HitForNode("transport.preempt", spec.node, &arg_ms);
+  s.preempt_after_ms = arg_ms;
+  s.stall_injected = HitForNode("transport.stall", spec.node, nullptr);
+}
+
+NodeStatus ProcessTableTransport::Poll(int slot) {
+  Slot& s = SlotRef(slot);
+  if (!s.launched || s.reaped) return s.last;
+
+  // Scheduled spot-reclaim: yank the attempt ARG ms after launch. The kill
+  // is reaped (and classified as a preemption) on this or a later poll.
+  if (s.preempt_armed &&
+      (MonotonicSeconds() - s.launch_monotonic_s) * 1000.0 >=
+          s.preempt_after_ms) {
+    s.preempt_armed = false;
+    ::kill(s.kill_group ? -s.pid : s.pid, SIGKILL);
+  }
+
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(s.pid, &status, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == s.pid) {
+    s.reaped = true;
+    s.last.running = false;
+    if (WIFEXITED(status)) {
+      s.last.exited = true;
+      s.last.exit_code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      s.last.signaled = true;
+      s.last.term_signal = WTERMSIG(status);
+    }
+  } else if (r < 0) {
+    // ECHILD: someone else reaped it (should not happen — we own our
+    // children); report a clean loss rather than polling forever.
+    s.reaped = true;
+    s.last.running = false;
+    s.last.signaled = true;
+    s.last.term_signal = SIGKILL;
+  }
+  return s.last;
+}
+
+void ProcessTableTransport::Kill(int slot, int sig) {
+  Slot& s = SlotRef(slot);
+  // Never signal a reaped pid: the kernel may have reused it for an
+  // unrelated process the instant waitpid returned.
+  if (!s.launched || s.reaped || s.pid <= 0) return;
+  if (::kill(s.kill_group ? -s.pid : s.pid, sig) < 0 && errno == ESRCH &&
+      s.kill_group) {
+    // The group leader died before setpgid took effect; fall back to the
+    // pid itself (ESRCH again just means it already exited — fine).
+    ::kill(s.pid, sig);
+  }
+}
+
+double ProcessTableTransport::HeartbeatAge(int slot) {
+  Slot& s = SlotRef(slot);
+  const double since_start = MonotonicSeconds() - s.launch_monotonic_s;
+  if (s.stall_injected) return since_start;  // beats no longer count
+  return HeartbeatAgeSeconds(s.heartbeat_path, since_start);
+}
+
+bool ProcessTableTransport::BeatSeen(int slot) {
+  Slot& s = SlotRef(slot);
+  if (s.stall_injected) return false;
+  std::error_code ec;
+  return std::filesystem::exists(s.heartbeat_path, ec) && !ec;
+}
+
+// ---- LocalProcessTransport --------------------------------------------------
+
+bool LocalProcessTransport::Launch(const LaunchSpec& spec, std::string* error) {
+  if (HitForNode("transport.launch.fail", spec.node, nullptr)) {
+    if (error != nullptr) *error = "injected launch failure";
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = "fork failed";
+    return false;
+  }
+  if (pid > 0) {
+    Register(spec, pid, /*kill_group=*/false);
+    return true;
+  }
+
+  // Child. Per-epoch log file for post-mortems (CI uploads the work dir).
+  const int fd =
+      ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  // Workers must not inherit the coordinator's fault schedule: only the
+  // attempt the coordinator designates runs with faults armed.
+  if (!spec.fault_env.empty())
+    ::setenv("XCV_FAULTS", spec.fault_env.c_str(), 1);
+  else
+    ::unsetenv("XCV_FAULTS");
+
+  std::vector<std::string> args = {
+      spec.xcv_binary,
+      "resume",
+      "--checkpoint=" + spec.shard_path,
+      "--heartbeat=" + spec.heartbeat_path,
+      "--format=csv",
+      "--quiet",
+  };
+  if (!spec.cache_path.empty()) args.push_back("--cache=" + spec.cache_path);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(spec.xcv_binary.c_str(), argv.data());
+  std::fprintf(stderr, "xcv coordinate: cannot exec '%s'\n",
+               spec.xcv_binary.c_str());
+  std::_Exit(127);
+}
+
+bool LocalProcessTransport::Fetch(int slot, std::string* error) {
+  // The shard file is already local; only the injected EIO can fail this.
+  if (HitForNode("transport.fetch.eio", SlotRef(slot).node, nullptr)) {
+    if (error != nullptr) *error = "injected fetch failure";
+    return false;
+  }
+  return true;
+}
+
+// ---- SshTransport -----------------------------------------------------------
+
+namespace {
+
+/// POSIX-sh single quoting: ' -> '\''.
+std::string ShQuote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'')
+      out += "'\\''";
+    else
+      out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string BuildSshLaunchScript(const LaunchSpec& spec,
+                                 const std::string& remote_dir) {
+  const std::string host = ShQuote(spec.node);
+  const std::string rdir = remote_dir + "/node-" + std::to_string(spec.slot);
+  const std::string qrdir = ShQuote(rdir);
+  const std::string rc_path = ShQuote(spec.heartbeat_path + ".rc");
+  const std::string hb = ShQuote(spec.heartbeat_path);
+
+  std::string remote_cmd = "cd " + ShQuote(rdir) + " && env XCV_FAULTS=" +
+                           ShQuote(spec.fault_env) + " " +
+                           ShQuote(spec.xcv_binary) +
+                           " resume --checkpoint=shard.json"
+                           " --heartbeat=hb --heartbeat-stream"
+                           " --format=csv --quiet";
+  if (!spec.cache_path.empty()) remote_cmd += " --cache=cache.json";
+
+  std::string script;
+  script += "set -u\n";
+  // Setup failures exit 127 so they classify as launch/transport errors.
+  script += "ssh -o BatchMode=yes " + host + " mkdir -p " + qrdir +
+            " || exit 127\n";
+  script += "scp -q -o BatchMode=yes " + ShQuote(spec.shard_path) + " " + host +
+            ":" + qrdir + "/shard.json || exit 127\n";
+  if (!spec.cache_path.empty()) {
+    // A missing local cache is a cold start on the node, not an error.
+    script += "if [ -f " + ShQuote(spec.cache_path) + " ]; then scp -q -o "
+              "BatchMode=yes " + ShQuote(spec.cache_path) + " " + host + ":" +
+              qrdir + "/cache.json || exit 127; fi\n";
+  }
+  // The remote worker's stdout streams back over the ssh channel; each
+  // XCV-HEARTBEAT line becomes a touch of the LOCAL heartbeat file, so the
+  // coordinator's mtime lease works unchanged. The remote exit code rides
+  // through the pipeline in a side file (POSIX sh has no pipefail).
+  script += "{ ssh -o BatchMode=yes " + host + " " + ShQuote(remote_cmd) +
+            "; echo $? > " + rc_path + "; } | while IFS= read -r line; do "
+            "case \"$line\" in XCV-HEARTBEAT*) touch " + hb + " ;; *) "
+            "printf '%s\\n' \"$line\" ;; esac; done\n";
+  script += "rc=$(cat " + rc_path + " 2>/dev/null || echo 127)\n";
+  script += "rm -f " + rc_path + "\n";
+  script += "exit \"$rc\"\n";
+  return script;
+}
+
+std::string BuildSshFetchScript(const LaunchSpec& spec,
+                                const std::string& remote_dir) {
+  const std::string host = ShQuote(spec.node);
+  const std::string rdir = remote_dir + "/node-" + std::to_string(spec.slot);
+  std::string script;
+  script += "scp -q -o BatchMode=yes " + host + ":" + ShQuote(rdir) +
+            "/shard.json " + ShQuote(spec.shard_path) + " || exit 1\n";
+  if (!spec.cache_path.empty()) {
+    script += "scp -q -o BatchMode=yes " + host + ":" + ShQuote(rdir) +
+              "/cache.json " + ShQuote(spec.cache_path) + " || true\n";
+  }
+  return script;
+}
+
+SshTransport::SshTransport(std::string remote_dir)
+    : remote_dir_(std::move(remote_dir)) {}
+
+bool SshTransport::Launch(const LaunchSpec& spec, std::string* error) {
+  if (HitForNode("transport.launch.fail", spec.node, nullptr)) {
+    if (error != nullptr) *error = "injected launch failure";
+    return false;
+  }
+  const std::string script = BuildSshLaunchScript(spec, remote_dir_);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = "fork failed";
+    return false;
+  }
+  if (pid > 0) {
+    if (static_cast<std::size_t>(spec.slot) >= fetch_cmds_.size())
+      fetch_cmds_.resize(static_cast<std::size_t>(spec.slot) + 1);
+    fetch_cmds_[static_cast<std::size_t>(spec.slot)] =
+        BuildSshFetchScript(spec, remote_dir_);
+    Register(spec, pid, /*kill_group=*/true);
+    return true;
+  }
+
+  // Child: own process group so Kill() reaches the whole ssh/scp pipeline.
+  ::setpgid(0, 0);
+  const int fd =
+      ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  ::execl("/bin/sh", "sh", "-c", script.c_str(), static_cast<char*>(nullptr));
+  std::_Exit(127);
+}
+
+bool SshTransport::Fetch(int slot, std::string* error) {
+  if (HitForNode("transport.fetch.eio", SlotRef(slot).node, nullptr)) {
+    if (error != nullptr) *error = "injected fetch failure";
+    return false;
+  }
+  if (static_cast<std::size_t>(slot) >= fetch_cmds_.size() ||
+      fetch_cmds_[static_cast<std::size_t>(slot)].empty()) {
+    if (error != nullptr) *error = "no attempt to fetch from";
+    return false;
+  }
+  const std::string& script = fetch_cmds_[static_cast<std::size_t>(slot)];
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error != nullptr) *error = "fork failed";
+    return false;
+  }
+  if (pid == 0) {
+    ::execl("/bin/sh", "sh", "-c", script.c_str(), static_cast<char*>(nullptr));
+    std::_Exit(127);
+  }
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r != pid || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    if (error != nullptr) *error = "scp fetch failed";
+    return false;
+  }
+  return true;
+}
+
+#endif  // !_WIN32
+
+}  // namespace xcv::shard

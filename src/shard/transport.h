@@ -1,0 +1,183 @@
+// Pluggable node transport for the elastic coordinator.
+//
+// The coordinator (src/shard/coordinator.h) supervises a fleet of `xcv
+// resume` workers but should not care *where* they run. A NodeTransport
+// owns that question:
+//
+//   * LocalProcessTransport — today's fork/exec/waitpid path, behavior
+//     preserving: one child per shard on this host, stdout/stderr into a
+//     per-epoch log, liveness via the heartbeat file the child touches.
+//   * SshTransport — `xcv coordinate --nodes=host1,host2,...`: each
+//     attempt ships its shard checkpoint (and per-node cache, when
+//     configured) to the host via scp, runs `xcv resume` there, and
+//     mirrors liveness through the ssh channel — the remote worker streams
+//     `XCV-HEARTBEAT` lines on stdout (`--heartbeat-stream`) and a local
+//     proxy converts each one into a touch of the local heartbeat file, so
+//     the coordinator's mtime lease logic is transport-independent. After
+//     the attempt ends (cleanly or not) Fetch scp's the shard checkpoint
+//     back; whatever the remote persisted is merged, the rest is re-dealt.
+//
+// Every recovery path is deterministically testable through the transport
+// fault points (support/fault.h):
+//
+//   transport.launch.fail   the attempt never starts (Launch returns false)
+//   transport.preempt       the attempt is SIGKILLed ARG ms after launch —
+//                           the spot-reclaim simulation
+//   transport.stall         the attempt's heartbeat goes silent (reads as
+//                           a stale lease, never as a crash)
+//   transport.fetch.eio     fetching the shard result back fails
+//
+// Each point is also consulted with a `.<node-name>` suffix
+// (e.g. `transport.launch.fail.local-2@*`), so a chaos spec can target one
+// node of a fleet deterministically.
+//
+// POSIX-only, like the coordinator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xcv::shard {
+
+/// Everything one node attempt needs. The coordinator fills this per
+/// (slot, epoch, attempt); paths are all coordinator-local.
+struct LaunchSpec {
+  int slot = 0;               ///< index into this epoch's fleet
+  std::string node;           ///< stable node name ("local-0", "host1")
+  int epoch = 0;
+  int attempt = 1;            ///< 1-based attempt counter for this shard
+  std::string shard_path;     ///< local shard checkpoint (in and out)
+  std::string heartbeat_path; ///< local file whose mtime is the lease
+  std::string log_path;       ///< local per-epoch log (stdout+stderr)
+  std::string cache_path;     ///< local per-node verdict cache ("" = none)
+  std::string fault_env;      ///< XCV_FAULTS for the worker ("" = cleared)
+  std::string xcv_binary;     ///< binary to run (remote path for ssh)
+};
+
+/// One non-blocking look at an attempt.
+struct NodeStatus {
+  bool running = false;
+  bool exited = false;    ///< reaped with an exit code
+  bool signaled = false;  ///< reaped on a signal
+  int exit_code = 0;
+  int term_signal = 0;
+};
+
+class NodeTransport {
+ public:
+  virtual ~NodeTransport() = default;
+  virtual const char* Name() const = 0;
+
+  /// Starts one attempt. Returns false (with `*error` set) when the
+  /// attempt could not start — a launch/transport failure the caller
+  /// charges against the retry budget.
+  virtual bool Launch(const LaunchSpec& spec, std::string* error) = 0;
+
+  /// Non-blocking status of the slot's current attempt. Safe to call
+  /// after the attempt was reaped (keeps reporting the final status).
+  virtual NodeStatus Poll(int slot) = 0;
+
+  /// Best-effort kill of the slot's current attempt. Tolerates the child
+  /// having already exited (ESRCH) and never signals a reaped pid.
+  virtual void Kill(int slot, int sig) = 0;
+
+  /// Seconds since the slot's last credible liveness signal.
+  virtual double HeartbeatAge(int slot) = 0;
+  /// True once the attempt has produced at least one heartbeat — before
+  /// that, silence is judged against the launch timeout, not the lease.
+  virtual bool BeatSeen(int slot) = 0;
+
+  /// Brings the shard result back to `shard_path` after the attempt ended
+  /// (no-op locally; scp for ssh). False = transport failure; the caller
+  /// falls back to its dealt copy.
+  virtual bool Fetch(int slot, std::string* error) = 0;
+};
+
+/// Liveness read on a heartbeat file: seconds since the last credible
+/// beat. Missing/unreadable files have never beaten — the age is
+/// `seconds_since_start`. An mtime in the future beyond a small skew
+/// tolerance is NOT credible (a skewed clock must not read as fresh
+/// forever) and also falls back to `seconds_since_start`; small negative
+/// ages clamp to zero. Exposed for the lease edge-case tests.
+double HeartbeatAgeSeconds(const std::string& heartbeat_path,
+                           double seconds_since_start);
+
+#ifndef _WIN32
+
+/// Shared bookkeeping for transports that watch one local pid per slot:
+/// EINTR-safe reaping, ESRCH-tolerant kills, and the pid-reuse guard (a
+/// reaped pid is never signalled again).
+class ProcessTableTransport : public NodeTransport {
+ public:
+  NodeStatus Poll(int slot) override;
+  void Kill(int slot, int sig) override;
+  double HeartbeatAge(int slot) override;
+  bool BeatSeen(int slot) override;
+
+ protected:
+  struct Slot {
+    int pid = -1;
+    bool launched = false;
+    bool reaped = false;
+    NodeStatus last;
+    std::string node;
+    std::string heartbeat_path;
+    /// steady_clock seconds at launch (for pre-heartbeat ages).
+    double launch_monotonic_s = 0.0;
+    /// Armed by the transport.stall fault point: liveness reads as silent.
+    bool stall_injected = false;
+    /// Armed by transport.preempt: SIGKILL once this many ms have passed.
+    bool preempt_armed = false;
+    double preempt_after_ms = 0.0;
+    /// Kill the whole process group (ssh proxy pipelines).
+    bool kill_group = false;
+  };
+
+  Slot& SlotRef(int slot);
+  /// Registers a freshly forked child and consults the preempt/stall
+  /// fault points for `spec` (returns through the slot's arm flags).
+  void Register(const LaunchSpec& spec, int pid, bool kill_group);
+  /// True when `point` or `point.<node>` fires (per-node chaos targeting).
+  static bool HitForNode(const char* point, const std::string& node,
+                         double* arg_ms);
+
+  std::vector<Slot> slots_;
+};
+
+/// Behavior-preserving extraction of the coordinator's fork/exec path.
+class LocalProcessTransport : public ProcessTableTransport {
+ public:
+  const char* Name() const override { return "local"; }
+  bool Launch(const LaunchSpec& spec, std::string* error) override;
+  bool Fetch(int slot, std::string* error) override;
+};
+
+/// Remote launch over ssh/scp; see the file comment for the shape.
+class SshTransport : public ProcessTableTransport {
+ public:
+  /// `remote_dir` is created on each host per attempt
+  /// (`<remote_dir>/node-<slot>`).
+  explicit SshTransport(std::string remote_dir = "/tmp/xcv-coordinate");
+  const char* Name() const override { return "ssh"; }
+  bool Launch(const LaunchSpec& spec, std::string* error) override;
+  bool Fetch(int slot, std::string* error) override;
+
+ private:
+  std::string remote_dir_;
+  std::vector<std::string> fetch_cmds_;  ///< per-slot scp-back command
+};
+
+/// The /bin/sh script an SshTransport attempt runs locally: scp the shard
+/// (and cache) out, run the remote resume with `--heartbeat-stream`, and
+/// convert each streamed XCV-HEARTBEAT line into a touch of the local
+/// heartbeat file; exits with the remote worker's exit code. Exposed so
+/// tests can pin the transport's wire behavior without an ssh daemon.
+std::string BuildSshLaunchScript(const LaunchSpec& spec,
+                                 const std::string& remote_dir);
+/// The scp command Fetch runs to bring the shard checkpoint back.
+std::string BuildSshFetchScript(const LaunchSpec& spec,
+                                const std::string& remote_dir);
+
+#endif  // !_WIN32
+
+}  // namespace xcv::shard

@@ -132,6 +132,36 @@ bool HitSlow(const char* point, FireInfo* info) {
 
 }  // namespace detail
 
+const std::vector<PointInfo>& RegisteredPoints() {
+  static const std::vector<PointInfo>* points = new std::vector<PointInfo>{
+      {"checkpoint.save.short-write", "",
+       "tear the checkpoint write: a truncated file survives the rename, "
+       "then crash"},
+      {"checkpoint.save.crash-before-rename", "",
+       "crash after fsync but before the atomic rename"},
+      {"checkpoint.load.eio", "", "reading a checkpoint fails as if by EIO"},
+      {"cache.save.short-write", "", "torn write of the verdict cache"},
+      {"cache.save.crash-before-rename", "",
+       "crash before the cache rename lands"},
+      {"cache.load.eio", "", "reading the verdict cache fails as if by EIO"},
+      {"nodes.save.short-write", "", "torn write of the node-health ledger"},
+      {"nodes.save.crash-before-rename", "",
+       "crash before the node-ledger rename lands"},
+      {"nodes.load.eio", "", "reading the node-health ledger fails"},
+      {"campaign.pair-done.delay", "milliseconds",
+       "straggler: sleep ARG ms after a pair completes"},
+      {"campaign.pair-done.crash", "", "crash right after a pair completes"},
+      {"transport.launch.fail", "", "the node attempt never starts"},
+      {"transport.preempt", "milliseconds",
+       "SIGKILL the attempt ARG ms after launch (spot reclaim)"},
+      {"transport.stall", "",
+       "the attempt's heartbeat goes silent (stale lease, not a crash)"},
+      {"transport.fetch.eio", "",
+       "fetching the shard result back from the node fails"},
+  };
+  return *points;
+}
+
 void CrashNow() { std::_Exit(kFaultExitCode); }
 
 void MaybeCrash(const char* point) {

@@ -38,6 +38,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace xcv::support::fault {
 
@@ -48,6 +49,18 @@ inline constexpr int kFaultExitCode = 70;
 struct FireInfo {
   std::int64_t arg = 0;
 };
+
+/// One registered fault point, for discovery (`xcv info`).
+struct PointInfo {
+  const char* name;  ///< the point name used in a spec
+  const char* arg;   ///< payload meaning ("" when the point takes none)
+  const char* help;  ///< one-line description of what firing does
+};
+
+/// Every standard fault point, in stable display order. The
+/// `transport.*` points are additionally consulted with a `.<node-name>`
+/// suffix (e.g. `transport.preempt.local-0@1`) for per-node targeting.
+const std::vector<PointInfo>& RegisteredPoints();
 
 namespace detail {
 extern std::atomic<bool> g_armed;

@@ -5,7 +5,10 @@
 // sweeps over real checkpoint and cache files (salvage-or-cold, never a
 // crash, never a silently wrong pair), and the coordinator's fragment
 // backfill.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -19,9 +22,11 @@
 #include "conditions/conditions.h"
 #include "functionals/functional.h"
 #include "shard/coordinator.h"
+#include "shard/transport.h"
 #include "support/check.h"
 #include "support/fault.h"
 #include "support/io.h"
+#include "support/retry.h"
 
 namespace xcv {
 namespace {
@@ -493,6 +498,69 @@ TEST_F(FaultTest, BackfillRestoresFragmentsAShardLost) {
   EXPECT_FALSE(loaded.pairs[2].done);
   // Nothing to do when nothing is missing.
   EXPECT_EQ(shard::BackfillMissingPairs(loaded, dealt), 0u);
+}
+
+// ---- Heartbeat-lease edge cases ---------------------------------------------
+//
+// The liveness read (shard::HeartbeatAgeSeconds) must degrade to "silent
+// since launch" on every pathological beat — and a silent node is a
+// *stall* (the supervisor kills it, re-deals, retries), never a crash.
+
+TEST_F(FaultTest, FutureHeartbeatMtimeDoesNotReadFreshForever) {
+  const std::string hb = testing::TempDir() + "fault_hb_future";
+  WriteAll(hb, "");
+  // A writer with a skewed clock stamps the beat an hour into the future.
+  // `now - mtime` is hugely negative; naively that never exceeds any
+  // lease, and the node reads alive forever.
+  std::filesystem::last_write_time(
+      hb, std::filesystem::file_time_type::clock::now() +
+              std::chrono::hours(1));
+  EXPECT_EQ(shard::HeartbeatAgeSeconds(hb, 42.0), 42.0);
+  // The supervisor's stale-lease SIGKILL then classifies as a stall.
+  EXPECT_EQ(support::retry::ClassifyFailure(false, /*stall_kill=*/true, true,
+                                            SIGKILL, 0),
+            support::retry::FailureKind::kHeartbeatStall);
+  std::filesystem::remove(hb);
+}
+
+TEST_F(FaultTest, SmallClockSkewStillReadsFresh) {
+  const std::string hb = testing::TempDir() + "fault_hb_skew";
+  WriteAll(hb, "");
+  // Sub-second skew is ordinary clock jitter, not a pathology: the beat
+  // clamps to age zero instead of falling back to time-since-launch.
+  std::filesystem::last_write_time(
+      hb, std::filesystem::file_time_type::clock::now() +
+              std::chrono::milliseconds(300));
+  EXPECT_EQ(shard::HeartbeatAgeSeconds(hb, 42.0), 0.0);
+  std::filesystem::remove(hb);
+}
+
+TEST_F(FaultTest, HeartbeatUnlinkedMidRunFallsBackToTimeSinceLaunch) {
+  const std::string hb = testing::TempDir() + "fault_hb_unlinked";
+  support::TouchFile(hb);
+  EXPECT_LT(shard::HeartbeatAgeSeconds(hb, 42.0), 42.0);
+  // A janitor (or the work dir's cleanup) unlinks the beat mid-run: the
+  // node must drift toward stale, not read as freshly launched forever.
+  std::filesystem::remove(hb);
+  EXPECT_EQ(shard::HeartbeatAgeSeconds(hb, 42.0), 42.0);
+  EXPECT_EQ(support::retry::ClassifyFailure(false, true, true, SIGKILL, 0),
+            support::retry::FailureKind::kHeartbeatStall);
+}
+
+TEST_F(FaultTest, TouchFileFailureMeansTheBeatNeverLands) {
+  // An unwritable heartbeat path (here a regular file used as a directory
+  // component, which fails with ENOTDIR even for root): TouchFile is
+  // best-effort and silent, so the beat simply never lands and the lease
+  // read falls back to time since launch — a stall, not a crash.
+  const std::string blocker = testing::TempDir() + "fault_hb_blocker";
+  WriteAll(blocker, "i am a file, not a directory");
+  const std::string hb = blocker + "/hb";
+  support::TouchFile(hb);
+  EXPECT_FALSE(std::filesystem::exists(hb));
+  EXPECT_EQ(shard::HeartbeatAgeSeconds(hb, 42.0), 42.0);
+  EXPECT_EQ(support::retry::ClassifyFailure(false, true, true, SIGKILL, 0),
+            support::retry::FailureKind::kHeartbeatStall);
+  std::filesystem::remove(blocker);
 }
 
 }  // namespace
