@@ -1,0 +1,491 @@
+#include "api/job_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+
+#include "campaign/serialize.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace xcv::api {
+
+using campaign::CampaignOptions;
+using conditions::ConditionInfo;
+using functionals::Functional;
+using json::JsonValue;
+
+// ---- Output mode ------------------------------------------------------------
+
+std::string OutputModeToken(OutputMode mode) {
+  switch (mode) {
+    case OutputMode::kTable: return "table";
+    case OutputMode::kJson: return "json";
+    case OutputMode::kCsv: return "csv";
+  }
+  return "table";
+}
+
+OutputMode OutputModeFromToken(const std::string& token) {
+  if (token == "table") return OutputMode::kTable;
+  if (token == "json") return OutputMode::kJson;
+  if (token == "csv") return OutputMode::kCsv;
+  XCV_CHECK_MSG(false, "unknown output mode '" << token
+                                               << "' (table | json | csv)");
+  return OutputMode::kTable;
+}
+
+bool IsMachineOutput(OutputMode mode) { return mode != OutputMode::kTable; }
+
+OutputPolicy ResolveOutput(OutputMode mode, bool quiet,
+                           bool heartbeat_stream) {
+  OutputPolicy policy;
+  policy.mode = mode;
+  policy.stream_markers = heartbeat_stream;
+  // Progress is stderr chatter for humans. A quiet run suppresses it; so
+  // does a streamed machine run — a job a daemon spawned to parse must
+  // behave identically whether or not someone forgot --quiet.
+  policy.progress = !quiet && !(heartbeat_stream && IsMachineOutput(mode));
+  return policy;
+}
+
+// ---- Defaults and validation ------------------------------------------------
+
+JobSpec DefaultJobSpec() {
+  JobSpec spec;
+  CampaignOptions& o = spec.options;
+  o.verifier.split_threshold = 0.3125;
+  o.verifier.solver.max_nodes = 30'000;
+  o.verifier.solver.delta = 1e-3;
+  o.verifier.solver.time_budget_seconds = 0.5;
+  o.verifier.solver.max_invalid_models = 512;
+  o.verifier.total_time_budget_seconds = 10.0;
+  return spec;
+}
+
+namespace {
+
+bool NonNegativeFinite(double v) { return v >= 0.0 && !std::isnan(v); }
+
+}  // namespace
+
+void ValidateJobSpec(const JobSpec& spec) {
+  // Selector strings must resolve to a non-empty matrix (throws naming the
+  // offending token).
+  ParseFunctionalList(spec.functionals);
+  ParseConditionList(spec.conditions);
+
+  const CampaignOptions& o = spec.options;
+  const verifier::VerifierOptions& v = o.verifier;
+  XCV_CHECK_MSG(o.num_threads >= 1, "job spec: threads must be at least 1");
+  XCV_CHECK_MSG(v.split_threshold > 0.0 && std::isfinite(v.split_threshold),
+                "job spec: split_threshold must be a positive number");
+  XCV_CHECK_MSG(NonNegativeFinite(v.total_time_budget_seconds) ||
+                    v.total_time_budget_seconds ==
+                        std::numeric_limits<double>::infinity(),
+                "job spec: budget_seconds must be non-negative");
+  XCV_CHECK_MSG(NonNegativeFinite(v.witness_tolerance),
+                "job spec: witness_tolerance must be non-negative");
+  XCV_CHECK_MSG(v.solver.delta > 0.0 && std::isfinite(v.solver.delta),
+                "job spec: solver delta must be a positive number");
+  XCV_CHECK_MSG(v.solver.max_nodes >= 1,
+                "job spec: solver max_nodes must be at least 1");
+  XCV_CHECK_MSG(v.solver.time_budget_seconds > 0.0,
+                "job spec: solver time_budget_seconds must be positive");
+  XCV_CHECK_MSG(v.solver.contraction_rounds >= 0,
+                "job spec: contraction_rounds must be non-negative");
+  XCV_CHECK_MSG(v.solver.max_invalid_models >= 0,
+                "job spec: max_invalid_models must be non-negative");
+  XCV_CHECK_MSG(v.solver.presample_points >= 0,
+                "job spec: presample_points must be non-negative");
+  XCV_CHECK_MSG(v.solver.wave_width >= 1,
+                "job spec: wave_width must be at least 1");
+  XCV_CHECK_MSG(!o.cache_readonly || !o.cache_path.empty(),
+                "job spec: cache_readonly needs a cache path");
+
+  const support::retry::RuntimeAttrs& r = spec.runtime;
+  XCV_CHECK_MSG(r.max_retries >= 0 && r.preemptible_tries >= 0,
+                "job spec: runtime retry budgets must be non-negative");
+  XCV_CHECK_MSG(r.quarantine_after >= 1,
+                "job spec: runtime quarantine_after must be at least 1");
+  XCV_CHECK_MSG(r.launch_timeout_s > 0.0,
+                "job spec: runtime launch_timeout_seconds must be positive");
+  XCV_CHECK_MSG(NonNegativeFinite(r.backoff_initial_s) &&
+                    NonNegativeFinite(r.backoff_max_s),
+                "job spec: runtime backoff seconds must be non-negative");
+}
+
+// ---- Flags ------------------------------------------------------------------
+
+namespace {
+
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  XCV_CHECK_MSG(end != it->second.c_str() && *end == '\0' && v >= 0.0,
+                "--" << key << " needs a non-negative number, got '"
+                     << it->second << "'");
+  return v;
+}
+
+}  // namespace
+
+void ApplyFlags(const std::map<std::string, std::string>& flags,
+                JobSpec& spec) {
+  CampaignOptions& o = spec.options;
+  if (const auto it = flags.find("functionals"); it != flags.end())
+    spec.functionals = it->second;
+  if (const auto it = flags.find("conditions"); it != flags.end())
+    spec.conditions = it->second;
+  o.num_threads = static_cast<int>(FlagDouble(flags, "threads",
+                                              o.num_threads));
+  XCV_CHECK_MSG(o.num_threads >= 1, "--threads must be at least 1");
+  const double budget = FlagDouble(flags, "budget-seconds",
+                                   o.verifier.total_time_budget_seconds);
+  // 0 means unlimited on the command line.
+  o.verifier.total_time_budget_seconds =
+      budget > 0.0 ? budget : std::numeric_limits<double>::infinity();
+  o.verifier.split_threshold =
+      FlagDouble(flags, "split-threshold", o.verifier.split_threshold);
+  o.verifier.solver.max_nodes = static_cast<std::uint64_t>(
+      FlagDouble(flags, "solver-nodes",
+                 static_cast<double>(o.verifier.solver.max_nodes)));
+  o.verifier.solver.delta = FlagDouble(flags, "delta",
+                                       o.verifier.solver.delta);
+  o.verifier.solver.wave_width = static_cast<int>(
+      FlagDouble(flags, "wave-width",
+                 static_cast<double>(o.verifier.solver.wave_width)));
+  XCV_CHECK_MSG(o.verifier.solver.wave_width >= 1,
+                "--wave-width must be at least 1");
+  if (const auto it = flags.find("frontier"); it != flags.end())
+    o.verifier.frontier = campaign::FrontierFromToken(ToLower(it->second));
+  if (const auto it = flags.find("checkpoint"); it != flags.end())
+    o.checkpoint_path = it->second;
+  if (const auto it = flags.find("cache"); it != flags.end()) {
+    o.cache_path = it->second;
+  } else if (const char* env = std::getenv("XCV_CACHE");
+             env != nullptr && env[0] != '\0') {
+    o.cache_path = env;
+  }
+  if (flags.count("cache-readonly") > 0) {
+    XCV_CHECK_MSG(!o.cache_path.empty(),
+                  "--cache-readonly needs --cache=PATH (or XCV_CACHE)");
+    o.cache_readonly = true;
+  }
+  o.verifier.num_threads = o.num_threads;
+
+  if (const auto it = flags.find("format"); it != flags.end())
+    spec.output = OutputModeFromToken(ToLower(it->second));
+  if (flags.count("quiet") > 0) spec.quiet = true;
+  if (const auto it = flags.find("tenant"); it != flags.end())
+    spec.tenant = it->second;
+
+  support::retry::RuntimeAttrs& r = spec.runtime;
+  r.max_retries =
+      static_cast<int>(FlagDouble(flags, "max-retries", r.max_retries));
+  r.preemptible_tries = static_cast<int>(
+      FlagDouble(flags, "preemptible", r.preemptible_tries));
+  r.quarantine_after = static_cast<int>(
+      FlagDouble(flags, "quarantine-after", r.quarantine_after));
+  r.launch_timeout_s =
+      FlagDouble(flags, "launch-timeout", r.launch_timeout_s);
+  XCV_CHECK_MSG(r.max_retries >= 0 && r.preemptible_tries >= 0 &&
+                    r.quarantine_after >= 1,
+                "--max-retries/--preemptible must be >= 0 and "
+                "--quarantine-after >= 1");
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+void AppendJobSpecJson(std::string& out, const JobSpec& spec,
+                       const std::string& indent) {
+  const CampaignOptions& o = spec.options;
+  const verifier::VerifierOptions& v = o.verifier;
+  const support::retry::RuntimeAttrs& r = spec.runtime;
+  const std::string in2 = indent + "  ";
+  out += "{\n";
+  out += in2 + "\"format\": \"xcv-job-spec\",\n";
+  out += in2 + "\"version\": 1,\n";
+  out += in2 + "\"schema_version\": " +
+         std::to_string(kJobSpecSchemaVersion) + ",\n";
+  out += in2 + "\"functionals\": " + json::JsonEscape(spec.functionals) +
+         ",\n";
+  out += in2 + "\"conditions\": " + json::JsonEscape(spec.conditions) + ",\n";
+  out += in2 + "\"output\": \"" + OutputModeToken(spec.output) + "\",\n";
+  out += in2 + std::string("\"quiet\": ") + (spec.quiet ? "true" : "false") +
+         ",\n";
+  out += in2 + "\"tenant\": " + json::JsonEscape(spec.tenant) + ",\n";
+  out += in2 + "\"threads\": " + std::to_string(o.num_threads) + ",\n";
+  out += in2 + std::string("\"tune_lda_delta\": ") +
+         (o.tune_lda_delta ? "true" : "false") + ",\n";
+  out += in2 + "\"checkpoint\": " + json::JsonEscape(o.checkpoint_path) +
+         ",\n";
+  out += in2 + "\"cache\": " + json::JsonEscape(o.cache_path) + ",\n";
+  out += in2 + std::string("\"cache_readonly\": ") +
+         (o.cache_readonly ? "true" : "false") + ",\n";
+  out += in2 + "\"verifier\": {\n";
+  out += in2 + "  \"split_threshold\": " + json::JsonDouble(v.split_threshold) +
+         ",\n";
+  // 0 = unlimited, the CLI's --budget-seconds convention.
+  const double budget =
+      std::isinf(v.total_time_budget_seconds) ? 0.0
+                                              : v.total_time_budget_seconds;
+  out += in2 + "  \"budget_seconds\": " + json::JsonDouble(budget) + ",\n";
+  out += in2 + std::string("  \"split_all_dims\": ") +
+         (v.split_all_dims ? "true" : "false") + ",\n";
+  out += in2 + "  \"witness_tolerance\": " +
+         json::JsonDouble(v.witness_tolerance) + ",\n";
+  out += in2 + "  \"frontier\": \"" + campaign::FrontierToken(v.frontier) +
+         "\"\n";
+  out += in2 + "},\n";
+  out += in2 + "\"solver\": {\n";
+  out += in2 + "  \"delta\": " + json::JsonDouble(v.solver.delta) + ",\n";
+  out += in2 + "  \"max_nodes\": " + std::to_string(v.solver.max_nodes) +
+         ",\n";
+  out += in2 + "  \"time_budget_seconds\": " +
+         json::JsonDouble(v.solver.time_budget_seconds) + ",\n";
+  out += in2 + "  \"contraction_rounds\": " +
+         std::to_string(v.solver.contraction_rounds) + ",\n";
+  out += in2 + "  \"max_invalid_models\": " +
+         std::to_string(v.solver.max_invalid_models) + ",\n";
+  out += in2 + "  \"presample_points\": " +
+         std::to_string(v.solver.presample_points) + ",\n";
+  out += in2 + "  \"wave_width\": " + std::to_string(v.solver.wave_width) +
+         "\n";
+  out += in2 + "},\n";
+  out += in2 + "\"runtime\": {\n";
+  out += in2 + "  \"max_retries\": " + std::to_string(r.max_retries) + ",\n";
+  out += in2 + "  \"preemptible_tries\": " +
+         std::to_string(r.preemptible_tries) + ",\n";
+  out += in2 + "  \"launch_timeout_seconds\": " +
+         json::JsonDouble(r.launch_timeout_s) + ",\n";
+  out += in2 + "  \"backoff_initial_seconds\": " +
+         json::JsonDouble(r.backoff_initial_s) + ",\n";
+  out += in2 + "  \"backoff_max_seconds\": " +
+         json::JsonDouble(r.backoff_max_s) + ",\n";
+  out += in2 + "  \"quarantine_after\": " +
+         std::to_string(r.quarantine_after) + ",\n";
+  out += in2 + "  \"quarantine_cooldown_epochs\": " +
+         std::to_string(r.quarantine_cooldown_epochs) + "\n";
+  out += in2 + "}\n";
+  out += indent + "}";
+}
+
+std::string WriteJobSpecJson(const JobSpec& spec) {
+  std::string out;
+  AppendJobSpecJson(out, spec, "");
+  out += "\n";
+  return out;
+}
+
+JobSpec JobSpecFromJson(const JsonValue& root) {
+  if (const JsonValue* fmt = root.Find("format"))
+    XCV_CHECK_MSG(fmt->AsString() == "xcv-job-spec",
+                  "not an xcv job spec (format is '" << fmt->AsString()
+                                                     << "')");
+  json::RequireSupportedSchema(root, "xcv-job-spec", kJobSpecSchemaVersion);
+
+  JobSpec spec = DefaultJobSpec();
+  CampaignOptions& o = spec.options;
+  verifier::VerifierOptions& v = o.verifier;
+  if (const JsonValue* f = root.Find("functionals"))
+    spec.functionals = f->AsString();
+  if (const JsonValue* c = root.Find("conditions"))
+    spec.conditions = c->AsString();
+  if (const JsonValue* m = root.Find("output"))
+    spec.output = OutputModeFromToken(m->AsString());
+  if (const JsonValue* q = root.Find("quiet")) spec.quiet = q->AsBool();
+  if (const JsonValue* t = root.Find("tenant")) spec.tenant = t->AsString();
+  if (const JsonValue* t = root.Find("threads"))
+    o.num_threads = static_cast<int>(t->AsDouble());
+  if (const JsonValue* t = root.Find("tune_lda_delta"))
+    o.tune_lda_delta = t->AsBool();
+  if (const JsonValue* c = root.Find("checkpoint"))
+    o.checkpoint_path = c->AsString();
+  if (const JsonValue* c = root.Find("cache")) o.cache_path = c->AsString();
+  if (const JsonValue* c = root.Find("cache_readonly"))
+    o.cache_readonly = c->AsBool();
+
+  if (const JsonValue* vo = root.Find("verifier")) {
+    if (const JsonValue* x = vo->Find("split_threshold"))
+      v.split_threshold = x->AsDouble();
+    if (const JsonValue* x = vo->Find("budget_seconds")) {
+      const double budget = x->AsDouble();
+      XCV_CHECK_MSG(budget >= 0.0,
+                    "job spec: budget_seconds must be non-negative");
+      v.total_time_budget_seconds =
+          budget > 0.0 ? budget : std::numeric_limits<double>::infinity();
+    }
+    if (const JsonValue* x = vo->Find("split_all_dims"))
+      v.split_all_dims = x->AsBool();
+    if (const JsonValue* x = vo->Find("witness_tolerance"))
+      v.witness_tolerance = x->AsDouble();
+    if (const JsonValue* x = vo->Find("frontier"))
+      v.frontier = campaign::FrontierFromToken(x->AsString());
+  }
+  if (const JsonValue* so = root.Find("solver")) {
+    if (const JsonValue* x = so->Find("delta")) v.solver.delta = x->AsDouble();
+    if (const JsonValue* x = so->Find("max_nodes")) {
+      XCV_CHECK_MSG(x->AsDouble() >= 0.0,
+                    "job spec: solver max_nodes must be non-negative");
+      v.solver.max_nodes = static_cast<std::uint64_t>(x->AsDouble());
+    }
+    if (const JsonValue* x = so->Find("time_budget_seconds"))
+      v.solver.time_budget_seconds = x->AsDouble();
+    if (const JsonValue* x = so->Find("contraction_rounds"))
+      v.solver.contraction_rounds = static_cast<int>(x->AsDouble());
+    if (const JsonValue* x = so->Find("max_invalid_models"))
+      v.solver.max_invalid_models = static_cast<int>(x->AsDouble());
+    if (const JsonValue* x = so->Find("presample_points"))
+      v.solver.presample_points = static_cast<int>(x->AsDouble());
+    if (const JsonValue* x = so->Find("wave_width"))
+      v.solver.wave_width = static_cast<int>(x->AsDouble());
+  }
+  if (const JsonValue* ro = root.Find("runtime")) {
+    support::retry::RuntimeAttrs& r = spec.runtime;
+    if (const JsonValue* x = ro->Find("max_retries"))
+      r.max_retries = static_cast<int>(x->AsDouble());
+    if (const JsonValue* x = ro->Find("preemptible_tries"))
+      r.preemptible_tries = static_cast<int>(x->AsDouble());
+    if (const JsonValue* x = ro->Find("launch_timeout_seconds"))
+      r.launch_timeout_s = x->AsDouble();
+    if (const JsonValue* x = ro->Find("backoff_initial_seconds"))
+      r.backoff_initial_s = x->AsDouble();
+    if (const JsonValue* x = ro->Find("backoff_max_seconds"))
+      r.backoff_max_s = x->AsDouble();
+    if (const JsonValue* x = ro->Find("quarantine_after"))
+      r.quarantine_after = static_cast<int>(x->AsDouble());
+    if (const JsonValue* x = ro->Find("quarantine_cooldown_epochs"))
+      r.quarantine_cooldown_epochs = static_cast<int>(x->AsDouble());
+  }
+  v.num_threads = std::max(1, o.num_threads);
+  ValidateJobSpec(spec);
+  return spec;
+}
+
+JobSpec ParseJobSpecJson(const std::string& json_text) {
+  return JobSpecFromJson(json::ParseJson(json_text));
+}
+
+// ---- Selector resolution ----------------------------------------------------
+
+std::vector<const ConditionInfo*> ParseConditionList(const std::string& spec) {
+  const auto& all = conditions::AllConditions();
+  std::vector<bool> selected(all.size(), false);
+  // Numeric EC index of a validated condition id ("EC4" -> 4).
+  auto number_of = [&](const std::string& id) -> int {
+    const ConditionInfo* info = conditions::FindCondition(id);
+    XCV_CHECK_MSG(info != nullptr, "unknown condition '" << id << "'");
+    return std::atoi(info->short_id.c_str() + 2);
+  };
+  auto index_of = [&](const std::string& id) -> std::size_t {
+    const int n = number_of(id);
+    for (std::size_t i = 0; i < all.size(); ++i)
+      if (std::atoi(all[i].short_id.c_str() + 2) == n) return i;
+    return 0;  // unreachable: FindCondition returns entries of `all`
+  };
+  for (const std::string& token : SplitCommas(spec)) {
+    if (ToLower(token) == "all") {
+      selected.assign(all.size(), true);
+      continue;
+    }
+    std::string::size_type dots = token.find("..");
+    std::size_t sep_len = 2;
+    if (dots == std::string::npos) {
+      dots = token.find('-');
+      sep_len = 1;
+    }
+    if (dots != std::string::npos) {
+      // Ranges are numeric: EC1..EC7 selects every EC in [1, 7] no matter
+      // where it sits in Table I's row order.
+      const int lo = number_of(token.substr(0, dots));
+      const int hi = number_of(token.substr(dots + sep_len));
+      XCV_CHECK_MSG(lo <= hi, "empty condition range '" << token << "'");
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        const int n = std::atoi(all[i].short_id.c_str() + 2);
+        if (lo <= n && n <= hi) selected[i] = true;
+      }
+    } else {
+      selected[index_of(token)] = true;
+    }
+  }
+  std::vector<const ConditionInfo*> out;
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (selected[i]) out.push_back(&all[i]);
+  XCV_CHECK_MSG(!out.empty(), "condition spec '" << spec
+                                                 << "' selects nothing");
+  return out;
+}
+
+std::vector<const Functional*> ParseFunctionalList(const std::string& spec) {
+  std::vector<const Functional*> universe;
+  for (const Functional& f : functionals::PaperFunctionals())
+    universe.push_back(&f);
+  for (const Functional& f : functionals::ExtensionFunctionals())
+    universe.push_back(&f);
+
+  std::vector<bool> selected(universe.size(), false);
+  for (const std::string& raw : SplitCommas(spec)) {
+    const std::string token = ToLower(raw);
+    if (token == "all") {
+      // "all" = the five paper DFAs; extensions are opt-in by name.
+      for (const Functional& f : functionals::PaperFunctionals())
+        for (std::size_t i = 0; i < universe.size(); ++i)
+          if (universe[i] == &f) selected[i] = true;
+      continue;
+    }
+    std::optional<functionals::Family> family;
+    if (token == "lda") family = functionals::Family::kLda;
+    if (token == "gga") family = functionals::Family::kGga;
+    if (token == "mgga" || token == "meta-gga" || token == "metagga")
+      family = functionals::Family::kMetaGga;
+    if (family.has_value()) {
+      bool any = false;
+      for (std::size_t i = 0; i < universe.size(); ++i) {
+        if (universe[i]->family == *family) {
+          selected[i] = true;
+          any = true;
+        }
+      }
+      XCV_CHECK_MSG(any, "no functional of family '" << raw << "'");
+      continue;
+    }
+    const Functional* f = functionals::FindFunctional(raw);
+    XCV_CHECK_MSG(f != nullptr, "unknown functional '" << raw << "'");
+    for (std::size_t i = 0; i < universe.size(); ++i)
+      if (universe[i] == f) selected[i] = true;
+  }
+  std::vector<const Functional*> out;
+  for (std::size_t i = 0; i < universe.size(); ++i)
+    if (selected[i]) out.push_back(universe[i]);
+  XCV_CHECK_MSG(!out.empty(), "functional spec '" << spec
+                                                  << "' selects nothing");
+  return out;
+}
+
+// ---- Campaign construction --------------------------------------------------
+
+void PopulateCampaign(const JobSpec& spec, campaign::Campaign& campaign) {
+  const auto funcs = ParseFunctionalList(spec.functionals);
+  const auto conds = ParseConditionList(spec.conditions);
+  for (const ConditionInfo* cond : conds)
+    for (const Functional* f : funcs) campaign.Add(*f, *cond);
+}
+
+std::vector<campaign::PairState> InitialPairs(const JobSpec& spec) {
+  const auto funcs = ParseFunctionalList(spec.functionals);
+  const auto conds = ParseConditionList(spec.conditions);
+  std::vector<campaign::PairState> pairs;
+  pairs.reserve(funcs.size() * conds.size());
+  for (const ConditionInfo* cond : conds)
+    for (const Functional* f : funcs)
+      pairs.push_back(campaign::InitialPairState(*f, *cond));
+  return pairs;
+}
+
+}  // namespace xcv::api

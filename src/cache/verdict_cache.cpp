@@ -179,6 +179,7 @@ std::string VerdictCache::ToJson() const {
   std::string out = "{\n";
   out += "  \"format\": \"xcv-verdict-cache\",\n";
   out += "  \"version\": 1,\n";
+  out += "  \"schema_version\": 1,\n";
   out += "  \"entries\": [";
   char buf[32];
   std::size_t i = 0;
@@ -217,8 +218,7 @@ bool VerdictCache::FromJson(const std::string& json_text) {
     const JsonValue root = json::ParseJson(json_text);
     XCV_CHECK_MSG(root.At("format").AsString() == "xcv-verdict-cache",
                   "not an xcv verdict cache");
-    XCV_CHECK_MSG(root.At("version").AsDouble() == 1.0,
-                  "unsupported verdict cache version");
+    json::RequireSupportedSchema(root, "xcv-verdict-cache", 1);
     for (const JsonValue& ev : root.At("entries").array) {
       Entry e = EntryFromJson(ev);
       staged[MapKey(e.scope, e.box)].push_back(std::move(e));

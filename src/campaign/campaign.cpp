@@ -62,7 +62,11 @@ struct Campaign::Entry {
 
 Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
   XCV_CHECK_MSG(options_.num_threads >= 1, "need at least one thread");
-  if (!options_.cache_path.empty()) {
+  if (options_.shared_cache != nullptr) {
+    // A shared cache is warm when it already holds verdicts from earlier
+    // jobs in this process — that's the whole point of sharing it.
+    cache_was_warm_ = options_.shared_cache->size() > 0;
+  } else if (!options_.cache_path.empty()) {
     cache_ = std::make_unique<cache::VerdictCache>();
     // Absent/corrupt/truncated files are a cold start, never an error: a
     // campaign must run to completion with whatever cache it finds.
@@ -77,8 +81,8 @@ verifier::VerifierOptions Campaign::TunedOptions(
   verifier::VerifierOptions tuned = options_.verifier;
   if (options_.tune_lda_delta && f.family == functionals::Family::kLda)
     tuned.solver.delta = 1e-5;
-  if (cache_ != nullptr) {
-    tuned.solver.cache = cache_.get();
+  if (cache::VerdictCache* cache = ActiveCache(); cache != nullptr) {
+    tuned.solver.cache = cache;
     // Salt with the condition id: the cache key then names the full
     // (functional tape, condition, options, box) coordinate even if two
     // conditions happened to compile to identical atom tapes.
@@ -268,10 +272,13 @@ CampaignResult Campaign::Run(ProgressFn progress) {
   result.seconds = watch.ElapsedSeconds();
   result.pairs.reserve(entries_.size());
   for (const auto& e : entries_) result.pairs.push_back(e->state);
-  if (cache_ != nullptr) {
-    result.cache_entries = cache_->size();
+  if (cache::VerdictCache* cache = ActiveCache(); cache != nullptr) {
+    result.cache_entries = cache->size();
     result.cache_was_warm = cache_was_warm_;
-    if (!options_.cache_readonly) cache_->Save(options_.cache_path);
+    // Only the owned, file-backed cache is saved here; a shared cache's
+    // owner (the daemon) decides when and where it persists.
+    if (cache_ != nullptr && !options_.cache_readonly)
+      cache_->Save(options_.cache_path);
   }
   {
     std::lock_guard<std::mutex> lock(progress_mu_);

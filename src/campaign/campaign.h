@@ -82,6 +82,12 @@ struct CampaignOptions {
   std::string cache_path;
   /// Consult the cache but never write the file back (shared/CI caches).
   bool cache_readonly = false;
+  /// Non-owned, process-wide verdict cache (the `xcvd` serving path): when
+  /// set it takes precedence over cache_path — the campaign consults and
+  /// extends it but never loads or saves a file; the owner handles
+  /// persistence and must outlive Run(). Never serialized. VerdictCache is
+  /// internally synchronized, so many concurrent campaigns may share one.
+  cache::VerdictCache* shared_cache = nullptr;
   /// Shard provenance (default: unsharded). Set by `xcv shard`.
   ShardInfo shard;
 };
@@ -150,11 +156,17 @@ class Campaign {
   const CampaignOptions& options() const { return options_; }
   std::size_t PairCount() const { return entries_.size(); }
 
-  /// The campaign's verdict cache; nullptr when cache_path is empty.
-  const cache::VerdictCache* verdict_cache() const { return cache_.get(); }
+  /// The cache this campaign consults: the shared one when configured,
+  /// else the owned per-run cache, else nullptr.
+  const cache::VerdictCache* verdict_cache() const { return ActiveCache(); }
 
  private:
   struct Entry;
+
+  cache::VerdictCache* ActiveCache() const {
+    return options_.shared_cache != nullptr ? options_.shared_cache
+                                            : cache_.get();
+  }
 
   verifier::VerifierOptions TunedOptions(
       const functionals::Functional& f,

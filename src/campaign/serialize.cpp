@@ -210,6 +210,7 @@ std::string CheckpointToJson(const CampaignOptions& options,
   std::string out = "{\n";
   out += "  \"format\": \"xcv-campaign-checkpoint\",\n";
   out += "  \"version\": 1,\n";
+  out += "  \"schema_version\": 1,\n";
   out += std::string("  \"cancelled\": ") + (cancelled ? "true" : "false") +
          ",\n";
   out += "  \"options\": {\n";
@@ -284,8 +285,7 @@ Checkpoint CheckpointFromJson(const std::string& json_text) {
   const JsonValue root = json::ParseJson(json_text);
   XCV_CHECK_MSG(root.At("format").AsString() == "xcv-campaign-checkpoint",
                 "not an xcv campaign checkpoint");
-  XCV_CHECK_MSG(root.At("version").AsDouble() == 1.0,
-                "unsupported checkpoint version");
+  json::RequireSupportedSchema(root, "xcv-campaign-checkpoint", 1);
 
   Checkpoint cp;
   cp.cancelled = root.At("cancelled").AsBool();

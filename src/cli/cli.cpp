@@ -19,19 +19,18 @@
 
 #include <unordered_set>
 
+#include "api/job_spec.h"
+#include "api/render.h"
 #include "cache/verdict_cache.h"
 #include "campaign/campaign.h"
 #include "campaign/serialize.h"
-#include "report/tables.h"
 #include "shard/coordinator.h"
 #include "shard/merge.h"
 #include "shard/partition.h"
 #include "support/check.h"
 #include "support/fault.h"
 #include "support/io.h"
-#include "support/simd.h"
 #include "support/strings.h"
-#include "verifier/region.h"
 
 namespace xcv::cli {
 
@@ -93,7 +92,10 @@ Options (verify/resume):
   --heartbeat-stream   (resume) Also print an XCV-HEARTBEAT line to stdout
                        every beat, so a remote supervisor can mirror
                        liveness through an ssh channel (the coordinator's
-                       --nodes transport filters these lines out).
+                       --nodes transport filters these lines out). The beat
+                       stops before the final report is rendered, and with
+                       --format=json|csv per-pair progress is suppressed
+                       too — machine-read output stays clean.
 
 Options (shard):
   --checkpoint=PATH    Campaign checkpoint to partition. When omitted, an
@@ -240,21 +242,6 @@ bool RejectPositionals(const ParsedArgs& args) {
   return true;
 }
 
-std::vector<std::string> SplitCommas(const std::string& s) {
-  std::vector<std::string> out;
-  std::string token;
-  for (char c : s) {
-    if (c == ',') {
-      if (!token.empty()) out.push_back(token);
-      token.clear();
-    } else {
-      token += c;
-    }
-  }
-  if (!token.empty()) out.push_back(token);
-  return out;
-}
-
 double FlagDouble(const ParsedArgs& args, const std::string& key,
                   double fallback) {
   const auto it = args.flags.find(key);
@@ -267,142 +254,26 @@ double FlagDouble(const ParsedArgs& args, const std::string& key,
   return v;
 }
 
-CampaignOptions OptionsFromFlags(const ParsedArgs& args,
-                                 const CampaignOptions& base) {
-  CampaignOptions o = base;
-  o.num_threads = static_cast<int>(FlagDouble(args, "threads", o.num_threads));
-  XCV_CHECK_MSG(o.num_threads >= 1, "--threads must be at least 1");
-  const double budget = FlagDouble(args, "budget-seconds",
-                                   o.verifier.total_time_budget_seconds);
-  // 0 means unlimited on the command line.
-  o.verifier.total_time_budget_seconds =
-      budget > 0.0 ? budget : std::numeric_limits<double>::infinity();
-  o.verifier.split_threshold =
-      FlagDouble(args, "split-threshold", o.verifier.split_threshold);
-  o.verifier.solver.max_nodes = static_cast<std::uint64_t>(
-      FlagDouble(args, "solver-nodes",
-                 static_cast<double>(o.verifier.solver.max_nodes)));
-  o.verifier.solver.delta = FlagDouble(args, "delta", o.verifier.solver.delta);
-  o.verifier.solver.wave_width = static_cast<int>(
-      FlagDouble(args, "wave-width",
-                 static_cast<double>(o.verifier.solver.wave_width)));
-  XCV_CHECK_MSG(o.verifier.solver.wave_width >= 1,
-                "--wave-width must be at least 1");
-  if (const auto it = args.flags.find("frontier"); it != args.flags.end())
-    o.verifier.frontier = campaign::FrontierFromToken(ToLower(it->second));
-  if (const auto it = args.flags.find("checkpoint"); it != args.flags.end())
-    o.checkpoint_path = it->second;
-  if (const auto it = args.flags.find("cache"); it != args.flags.end()) {
-    o.cache_path = it->second;
-  } else if (const char* env = std::getenv("XCV_CACHE");
-             env != nullptr && env[0] != '\0') {
-    o.cache_path = env;
-  }
-  if (args.flags.count("cache-readonly") > 0) {
-    XCV_CHECK_MSG(!o.cache_path.empty(),
-                  "--cache-readonly needs --cache=PATH (or XCV_CACHE)");
-    o.cache_readonly = true;
-  }
-  o.verifier.num_threads = o.num_threads;
-  return o;
+/// Compiles the command's flags down to a JobSpec over `base` (the paper
+/// defaults, or a checkpoint's recorded options on resume) and validates
+/// it — the one option-assembly path, shared with the daemon (src/api/).
+api::JobSpec SpecFromFlags(const ParsedArgs& args, api::JobSpec base) {
+  api::ApplyFlags(args.flags, base);
+  api::ValidateJobSpec(base);
+  return base;
 }
 
-CampaignOptions DefaultOptions() {
-  CampaignOptions o;
-  o.verifier.split_threshold = 0.3125;
-  o.verifier.solver.max_nodes = 30'000;
-  o.verifier.solver.delta = 1e-3;
-  o.verifier.solver.time_budget_seconds = 0.5;
-  o.verifier.solver.max_invalid_models = 512;
-  o.verifier.total_time_budget_seconds = 10.0;
-  return o;
-}
-
-void PrintCsv(const CampaignResult& result) {
-  // Columns 1–11 (through witnesses) are deterministic for a budget-free
-  // run configuration — byte-identical across thread counts, wave widths,
-  // and cache states; the cache/timing columns after them are run-local.
-  std::printf(
-      "functional,condition,applicable,done,verdict,verified_frac,"
-      "counterexample_frac,inconclusive_frac,timeout_frac,leaves,witnesses,"
-      "solver_calls,solver_timeouts,cache_hits,cache_misses,cache_rejected,"
-      "seconds\n");
-  using verifier::RegionStatus;
-  for (const PairState& p : result.pairs) {
-    std::printf(
-        "%s,%s,%d,%d,%s,%.6f,%.6f,%.6f,%.6f,%zu,%zu,%llu,%llu,%llu,%llu,"
-        "%llu,%.3f\n",
-        p.functional.c_str(), p.condition.c_str(), p.applicable ? 1 : 0,
-        p.done ? 1 : 0, campaign::VerdictToken(p.verdict).c_str(),
-        p.report.VolumeFraction(RegionStatus::kVerified),
-        p.report.VolumeFraction(RegionStatus::kCounterexample),
-        p.report.VolumeFraction(RegionStatus::kInconclusive),
-        p.report.VolumeFraction(RegionStatus::kTimeout),
-        p.report.leaves.size(), p.report.witnesses.size(),
-        static_cast<unsigned long long>(p.report.solver_calls),
-        static_cast<unsigned long long>(p.report.solver_timeouts),
-        static_cast<unsigned long long>(p.report.cache_hits),
-        static_cast<unsigned long long>(p.report.cache_misses),
-        static_cast<unsigned long long>(p.report.cache_rejected),
-        p.seconds);
-  }
-}
-
-void PrintTable(const CampaignResult& result) {
-  // Recover the row/column structure from the pair list (works for both
-  // fresh matrices and resumed subsets).
-  std::vector<std::string> conds, funcs;
-  for (const PairState& p : result.pairs) {
-    if (std::find(conds.begin(), conds.end(), p.condition) == conds.end())
-      conds.push_back(p.condition);
-    if (std::find(funcs.begin(), funcs.end(), p.functional) == funcs.end())
-      funcs.push_back(p.functional);
-  }
-  std::vector<std::vector<report::VerdictCell>> cells(
-      conds.size(),
-      std::vector<report::VerdictCell>(
-          funcs.size(), {verifier::Verdict::kNotApplicable}));
-  for (const PairState& p : result.pairs) {
-    const auto r = std::find(conds.begin(), conds.end(), p.condition) -
-                   conds.begin();
-    const auto c = std::find(funcs.begin(), funcs.end(), p.functional) -
-                   funcs.begin();
-    cells[r][c] = {p.verdict};
-  }
-  std::vector<std::string> row_labels;
-  for (const std::string& c : conds) {
-    const ConditionInfo* info = conditions::FindCondition(c);
-    row_labels.push_back(info != nullptr ? info->name : c);
-  }
-  std::printf("%s\n", report::RenderTable1(row_labels, funcs, cells).c_str());
-
-  std::printf("Per-pair detail (fractions of domain volume):\n");
-  std::printf("%-10s %-9s %5s %8s %8s %8s %8s %6s %9s\n", "condition", "DFA",
-              "done", "verified", "counter", "inconcl", "timeout", "calls",
-              "secs");
-  using verifier::RegionStatus;
-  for (const PairState& p : result.pairs) {
-    if (!p.applicable) continue;
-    std::printf("%-10s %-9s %5s %8.3f %8.3f %8.3f %8.3f %6llu %9.2f\n",
-                p.condition.c_str(), p.functional.c_str(),
-                p.done ? "yes" : "NO",
-                p.report.VolumeFraction(RegionStatus::kVerified),
-                p.report.VolumeFraction(RegionStatus::kCounterexample),
-                p.report.VolumeFraction(RegionStatus::kInconclusive),
-                p.report.VolumeFraction(RegionStatus::kTimeout),
-                static_cast<unsigned long long>(p.report.solver_calls),
-                p.seconds);
-  }
-}
-
-int RunCampaign(Campaign& campaign, const CampaignOptions& options,
-                const std::string& format, bool quiet) {
+/// Runs the campaign with signal-cancel wiring and optional per-pair
+/// progress on stderr. Rendering is a separate step (RenderResult) so
+/// callers can stop side streams — the resume heartbeat — in between.
+CampaignResult ExecuteCampaign(Campaign& campaign,
+                               const api::OutputPolicy& policy) {
   g_campaign = &campaign;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
   Campaign::ProgressFn progress;
-  if (!quiet) {
+  if (policy.progress) {
     progress = [](const PairState& p, std::size_t completed,
                   std::size_t total) {
       std::fprintf(stderr, "[xcv] %zu/%zu %s x %s: %s (%zu leaves, %llu "
@@ -420,15 +291,19 @@ int RunCampaign(Campaign& campaign, const CampaignOptions& options,
   g_campaign = nullptr;
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  return result;
+}
 
-  if (format == "json") {
+int RenderResult(const CampaignResult& result, const CampaignOptions& options,
+                 api::OutputMode mode) {
+  if (mode == api::OutputMode::kJson) {
     std::printf("%s", campaign::CheckpointToJson(options, result.pairs,
                                                  result.cancelled)
                           .c_str());
-  } else if (format == "csv") {
-    PrintCsv(result);
+  } else if (mode == api::OutputMode::kCsv) {
+    std::fputs(api::CsvReport(result.pairs).c_str(), stdout);
   } else {
-    PrintTable(result);
+    std::fputs(api::TableReport(result.pairs).c_str(), stdout);
     if (!options.cache_path.empty()) {
       std::printf(
           "Verdict cache (%s, %s): %llu hits, %llu misses, %llu rejected; "
@@ -456,26 +331,23 @@ int RunCampaign(Campaign& campaign, const CampaignOptions& options,
 
 int CmdVerify(const ParsedArgs& args) {
   if (RejectPositionals(args)) return 2;
-  const CampaignOptions options = OptionsFromFlags(args, DefaultOptions());
-  const auto funcs = ParseFunctionalList(
-      args.flags.count("functionals") ? args.flags.at("functionals") : "all");
-  const auto conds = ParseConditionList(
-      args.flags.count("conditions") ? args.flags.at("conditions") : "all");
+  const api::JobSpec spec = SpecFromFlags(args, api::DefaultJobSpec());
+  const api::OutputPolicy policy =
+      api::ResolveOutput(spec.output, spec.quiet, /*heartbeat_stream=*/false);
 
-  Campaign campaign(options);
-  for (const ConditionInfo* cond : conds)
-    for (const Functional* f : funcs) campaign.Add(*f, *cond);
+  Campaign campaign(spec.options);
+  api::PopulateCampaign(spec, campaign);
 
-  const std::string format =
-      args.flags.count("format") ? args.flags.at("format") : "table";
-  const bool quiet = args.flags.count("quiet") > 0;
-  if (!quiet)
+  if (policy.progress)
     std::fprintf(stderr,
                  "[xcv] %zu pairs (%zu functionals x %zu conditions), "
                  "%d thread(s)\n",
-                 campaign.PairCount(), funcs.size(), conds.size(),
-                 options.num_threads);
-  return RunCampaign(campaign, options, format, quiet);
+                 campaign.PairCount(),
+                 api::ParseFunctionalList(spec.functionals).size(),
+                 api::ParseConditionList(spec.conditions).size(),
+                 spec.options.num_threads);
+  const CampaignResult result = ExecuteCampaign(campaign, policy);
+  return RenderResult(result, spec.options, policy.mode);
 }
 
 int CmdResume(const ParsedArgs& args) {
@@ -487,7 +359,10 @@ int CmdResume(const ParsedArgs& args) {
   }
   campaign::Checkpoint cp = campaign::LoadCheckpointFile(it->second);
   // Flags override the checkpointed run configuration (e.g. more threads).
-  CampaignOptions options = OptionsFromFlags(args, cp.options);
+  api::JobSpec base = api::DefaultJobSpec();
+  base.options = cp.options;
+  const api::JobSpec spec = SpecFromFlags(args, std::move(base));
+  CampaignOptions options = spec.options;
   if (options.checkpoint_path.empty()) options.checkpoint_path = it->second;
 
   Campaign campaign(options);
@@ -496,10 +371,10 @@ int CmdResume(const ParsedArgs& args) {
     if (!p.done) ++remaining;
     campaign.Restore(std::move(p));
   }
-  const std::string format =
-      args.flags.count("format") ? args.flags.at("format") : "table";
-  const bool quiet = args.flags.count("quiet") > 0;
-  if (!quiet) {
+  const bool hb_stream = args.flags.count("heartbeat-stream") > 0;
+  const api::OutputPolicy policy =
+      api::ResolveOutput(spec.output, spec.quiet, hb_stream);
+  if (policy.progress) {
     if (remaining == 0) {
       // Nothing left to solve: say so instead of silently re-emitting the
       // report (the checkpoint is complete; resume is a no-op render).
@@ -520,13 +395,13 @@ int CmdResume(const ParsedArgs& args) {
   std::atomic<bool> heartbeat_stop{false};
   std::thread heartbeat_thread;
   const auto hb = args.flags.find("heartbeat");
-  const bool hb_stream = args.flags.count("heartbeat-stream") > 0;
-  if (hb != args.flags.end() || hb_stream) {
+  const bool markers = policy.stream_markers;
+  if (hb != args.flags.end() || markers) {
     const std::string hb_path = hb != args.flags.end() ? hb->second : "";
-    heartbeat_thread = std::thread([hb_path, hb_stream, &heartbeat_stop] {
+    heartbeat_thread = std::thread([hb_path, markers, &heartbeat_stop] {
       while (!heartbeat_stop.load(std::memory_order_relaxed)) {
         if (!hb_path.empty()) support::TouchFile(hb_path);
-        if (hb_stream) {
+        if (markers) {
           // One full line per beat: a remote supervisor watching this
           // process through an ssh pipe filters these out and mirrors
           // them into its local heartbeat file.
@@ -537,12 +412,15 @@ int CmdResume(const ParsedArgs& args) {
       }
     });
   }
-  const int rc = RunCampaign(campaign, options, format, quiet);
+  const CampaignResult result = ExecuteCampaign(campaign, policy);
+  // The marker stream stops *before* the report is rendered: a machine-mode
+  // document (json/csv) on stdout must never have an XCV-HEARTBEAT line
+  // land inside it (the beat used to keep running through rendering).
   if (heartbeat_thread.joinable()) {
     heartbeat_stop.store(true, std::memory_order_relaxed);
     heartbeat_thread.join();
   }
-  return rc;
+  return RenderResult(result, options, policy.mode);
 }
 
 // ---- Distributed sharding ---------------------------------------------------
@@ -552,23 +430,27 @@ int CmdResume(const ParsedArgs& args) {
 /// configuration, like resume), otherwise an unrun campaign built from
 /// --functionals/--conditions and the solver flags — the day-one multi-node
 /// path, sharded before the first solve.
-campaign::Checkpoint CheckpointFromFlagsOrFile(const ParsedArgs& args) {
-  campaign::Checkpoint cp;
+struct SeededCampaign {
+  campaign::Checkpoint checkpoint;
+  /// The flags compiled over the checkpoint's (or the default) options —
+  /// carries the runtime attrs and output mode the command also needs.
+  api::JobSpec spec;
+};
+
+SeededCampaign CheckpointFromFlagsOrFile(const ParsedArgs& args) {
+  SeededCampaign seeded;
   if (const auto it = args.flags.find("checkpoint"); it != args.flags.end()) {
-    cp = campaign::LoadCheckpointFile(it->second);
-    cp.options = OptionsFromFlags(args, cp.options);
+    seeded.checkpoint = campaign::LoadCheckpointFile(it->second);
+    api::JobSpec base = api::DefaultJobSpec();
+    base.options = seeded.checkpoint.options;
+    seeded.spec = SpecFromFlags(args, std::move(base));
+    seeded.checkpoint.options = seeded.spec.options;
   } else {
-    cp.options = OptionsFromFlags(args, DefaultOptions());
-    const auto funcs = ParseFunctionalList(
-        args.flags.count("functionals") ? args.flags.at("functionals")
-                                        : "all");
-    const auto conds = ParseConditionList(
-        args.flags.count("conditions") ? args.flags.at("conditions") : "all");
-    for (const ConditionInfo* cond : conds)
-      for (const Functional* f : funcs)
-        cp.pairs.push_back(campaign::InitialPairState(*f, *cond));
+    seeded.spec = SpecFromFlags(args, api::DefaultJobSpec());
+    seeded.checkpoint.options = seeded.spec.options;
+    seeded.checkpoint.pairs = api::InitialPairs(seeded.spec);
   }
-  return cp;
+  return seeded;
 }
 
 int CmdShard(const ParsedArgs& args) {
@@ -580,7 +462,7 @@ int CmdShard(const ParsedArgs& args) {
     popts.by = shard::ShardByFromToken(ToLower(it->second));
   popts.rebase_provenance = args.flags.count("rebalance") > 0;
 
-  campaign::Checkpoint cp = CheckpointFromFlagsOrFile(args);
+  campaign::Checkpoint cp = CheckpointFromFlagsOrFile(args).checkpoint;
 
   const std::string out_dir =
       args.flags.count("out-dir") ? args.flags.at("out-dir") : ".";
@@ -654,19 +536,6 @@ int CmdCoordinate(const ParsedArgs& args) {
     XCV_CHECK_MSG(!copts.ssh_hosts.empty(),
                   "--nodes needs at least one host");
   }
-  copts.attrs.max_retries = static_cast<int>(
-      FlagDouble(args, "max-retries", copts.attrs.max_retries));
-  copts.attrs.preemptible_tries = static_cast<int>(
-      FlagDouble(args, "preemptible", copts.attrs.preemptible_tries));
-  copts.attrs.quarantine_after = static_cast<int>(
-      FlagDouble(args, "quarantine-after", copts.attrs.quarantine_after));
-  copts.attrs.launch_timeout_s =
-      FlagDouble(args, "launch-timeout", copts.attrs.launch_timeout_s);
-  XCV_CHECK_MSG(copts.attrs.max_retries >= 0 &&
-                    copts.attrs.preemptible_tries >= 0 &&
-                    copts.attrs.quarantine_after >= 1,
-                "coordinate: --max-retries/--preemptible must be >= 0 and "
-                "--quarantine-after >= 1");
   if (const auto it = args.flags.find("cache-dir"); it != args.flags.end())
     copts.cache_dir = it->second;
   if (const auto it = args.flags.find("xcv-bin"); it != args.flags.end())
@@ -703,7 +572,11 @@ int CmdCoordinate(const ParsedArgs& args) {
   std::filesystem::create_directories(copts.work_dir, ec);
   XCV_CHECK_MSG(!ec, "cannot create --work-dir '" << copts.work_dir
                                                   << "': " << ec.message());
-  campaign::Checkpoint cp = CheckpointFromFlagsOrFile(args);
+  const SeededCampaign seeded = CheckpointFromFlagsOrFile(args);
+  const campaign::Checkpoint& cp = seeded.checkpoint;
+  // The WDL-style retry/preemption budgets ride in the spec's runtime
+  // attrs (one assembly path with the daemon; see api::ApplyFlags).
+  copts.attrs = seeded.spec.runtime;
   copts.checkpoint_path = args.flags.count("checkpoint")
                               ? args.flags.at("checkpoint")
                               : copts.work_dir + "/campaign.json";
@@ -736,22 +609,15 @@ int CmdCoordinate(const ParsedArgs& args) {
   // Render the converged campaign exactly like a single-node run would.
   campaign::Checkpoint final_cp =
       campaign::LoadCheckpointFile(copts.checkpoint_path);
-  const std::string format =
-      args.flags.count("format") ? args.flags.at("format") : "table";
-  if (format == "json") {
+  if (seeded.spec.output == api::OutputMode::kJson) {
     std::printf("%s", campaign::CheckpointToJson(final_cp.options,
                                                  final_cp.pairs,
                                                  final_cp.cancelled)
                           .c_str());
+  } else if (seeded.spec.output == api::OutputMode::kCsv) {
+    std::fputs(api::CsvReport(final_cp.pairs).c_str(), stdout);
   } else {
-    CampaignResult render;
-    render.pairs = std::move(final_cp.pairs);
-    render.cancelled = final_cp.cancelled;
-    if (format == "csv") {
-      PrintCsv(render);
-    } else {
-      PrintTable(render);
-    }
+    std::fputs(api::TableReport(final_cp.pairs).c_str(), stdout);
   }
   return 0;
 }
@@ -855,21 +721,18 @@ int CmdMerge(const ParsedArgs& args) {
     if (p.applicable && !p.done) ++undone;
   }
 
-  const std::string format =
-      args.flags.count("format") ? args.flags.at("format") : "table";
-  if (format == "json") {
+  const api::OutputMode format =
+      args.flags.count("format")
+          ? api::OutputModeFromToken(ToLower(args.flags.at("format")))
+          : api::OutputMode::kTable;
+  if (format == api::OutputMode::kJson) {
     std::printf("%s", campaign::CheckpointToJson(merged.options, merged.pairs,
                                                  merged.cancelled)
                           .c_str());
+  } else if (format == api::OutputMode::kCsv) {
+    std::fputs(api::CsvReport(merged.pairs).c_str(), stdout);
   } else {
-    CampaignResult result;
-    result.pairs = std::move(merged.pairs);
-    result.cancelled = merged.cancelled;
-    if (format == "csv") {
-      PrintCsv(result);
-    } else {
-      PrintTable(result);
-    }
+    std::fputs(api::TableReport(merged.pairs).c_str(), stdout);
   }
 
   if (args.flags.count("quiet") == 0) {
@@ -944,134 +807,20 @@ int CmdList() {
 }
 
 int CmdInfo() {
-  std::printf("SIMD dispatch (see src/support/simd.h):\n");
-  std::printf("  %-8s %-9s %-10s %-7s %s\n", "tier", "compiled", "supported",
-              "active", "flags");
-  const simd::Tier active = simd::ActiveTier();
-  for (int ti = 0; ti < simd::kNumTiers; ++ti) {
-    const auto tier = static_cast<simd::Tier>(ti);
-    const bool compiled = simd::TierCompiled(tier);
-    const bool supported = simd::TierSupported(tier);
-    const simd::Kernels* k = simd::KernelsFor(tier);
-    std::printf("  %-8s %-9s %-10s %-7s %s\n", simd::TierName(tier),
-                compiled ? "yes" : "no", supported ? "yes" : "no",
-                tier == active ? "*" : "", k != nullptr ? k->flags : "-");
-  }
-  const std::string& env = simd::EnvOverride();
-  if (env.empty())
-    std::printf("XCV_SIMD: (unset — CPUID picked %s)\n",
-                simd::TierName(simd::BestSupportedTier()));
-  else
-    std::printf("XCV_SIMD: %s\n", env.c_str());
-  std::printf(
-      "All tiers produce bit-identical interval endpoints; the choice only\n"
-      "affects speed. Override with XCV_SIMD=scalar|sse2|avx2|avx512.\n");
-  std::printf("\nRegistered fault points (--faults / XCV_FAULTS):\n");
-  std::printf("  %-38s %-12s %s\n", "point", "arg", "effect");
-  for (const support::fault::PointInfo& p :
-       support::fault::RegisteredPoints())
-    std::printf("  %-38s %-12s %s\n", p.name, p.arg[0] ? p.arg : "-",
-                p.help);
-  std::printf(
-      "transport.* points also accept a .<node-name> suffix (e.g.\n"
-      "transport.preempt.local-0@1) to target one node of a fleet.\n");
+  std::fputs(api::InfoReport().c_str(), stdout);
   return 0;
 }
 
 }  // namespace
 
+// The selector grammars live in the API layer now (src/api/job_spec.cpp);
+// these aliases keep the CLI's public surface stable.
 std::vector<const ConditionInfo*> ParseConditionList(const std::string& spec) {
-  const auto& all = conditions::AllConditions();
-  std::vector<bool> selected(all.size(), false);
-  // Numeric EC index of a validated condition id ("EC4" -> 4).
-  auto number_of = [&](const std::string& id) -> int {
-    const ConditionInfo* info = conditions::FindCondition(id);
-    XCV_CHECK_MSG(info != nullptr, "unknown condition '" << id << "'");
-    return std::atoi(info->short_id.c_str() + 2);
-  };
-  auto index_of = [&](const std::string& id) -> std::size_t {
-    const int n = number_of(id);
-    for (std::size_t i = 0; i < all.size(); ++i)
-      if (std::atoi(all[i].short_id.c_str() + 2) == n) return i;
-    return 0;  // unreachable: FindCondition returns entries of `all`
-  };
-  for (const std::string& token : SplitCommas(spec)) {
-    if (ToLower(token) == "all") {
-      selected.assign(all.size(), true);
-      continue;
-    }
-    std::string::size_type dots = token.find("..");
-    std::size_t sep_len = 2;
-    if (dots == std::string::npos) {
-      dots = token.find('-');
-      sep_len = 1;
-    }
-    if (dots != std::string::npos) {
-      // Ranges are numeric: EC1..EC7 selects every EC in [1, 7] no matter
-      // where it sits in Table I's row order.
-      const int lo = number_of(token.substr(0, dots));
-      const int hi = number_of(token.substr(dots + sep_len));
-      XCV_CHECK_MSG(lo <= hi, "empty condition range '" << token << "'");
-      for (std::size_t i = 0; i < all.size(); ++i) {
-        const int n = std::atoi(all[i].short_id.c_str() + 2);
-        if (lo <= n && n <= hi) selected[i] = true;
-      }
-    } else {
-      selected[index_of(token)] = true;
-    }
-  }
-  std::vector<const ConditionInfo*> out;
-  for (std::size_t i = 0; i < all.size(); ++i)
-    if (selected[i]) out.push_back(&all[i]);
-  XCV_CHECK_MSG(!out.empty(), "condition spec '" << spec
-                                                 << "' selects nothing");
-  return out;
+  return api::ParseConditionList(spec);
 }
 
 std::vector<const Functional*> ParseFunctionalList(const std::string& spec) {
-  std::vector<const Functional*> universe;
-  for (const Functional& f : functionals::PaperFunctionals())
-    universe.push_back(&f);
-  for (const Functional& f : functionals::ExtensionFunctionals())
-    universe.push_back(&f);
-
-  std::vector<bool> selected(universe.size(), false);
-  for (const std::string& raw : SplitCommas(spec)) {
-    const std::string token = ToLower(raw);
-    if (token == "all") {
-      // "all" = the five paper DFAs; extensions are opt-in by name.
-      for (const Functional& f : functionals::PaperFunctionals())
-        for (std::size_t i = 0; i < universe.size(); ++i)
-          if (universe[i] == &f) selected[i] = true;
-      continue;
-    }
-    std::optional<functionals::Family> family;
-    if (token == "lda") family = functionals::Family::kLda;
-    if (token == "gga") family = functionals::Family::kGga;
-    if (token == "mgga" || token == "meta-gga" || token == "metagga")
-      family = functionals::Family::kMetaGga;
-    if (family.has_value()) {
-      bool any = false;
-      for (std::size_t i = 0; i < universe.size(); ++i) {
-        if (universe[i]->family == *family) {
-          selected[i] = true;
-          any = true;
-        }
-      }
-      XCV_CHECK_MSG(any, "no functional of family '" << raw << "'");
-      continue;
-    }
-    const Functional* f = functionals::FindFunctional(raw);
-    XCV_CHECK_MSG(f != nullptr, "unknown functional '" << raw << "'");
-    for (std::size_t i = 0; i < universe.size(); ++i)
-      if (universe[i] == f) selected[i] = true;
-  }
-  std::vector<const Functional*> out;
-  for (std::size_t i = 0; i < universe.size(); ++i)
-    if (selected[i]) out.push_back(universe[i]);
-  XCV_CHECK_MSG(!out.empty(), "functional spec '" << spec
-                                                  << "' selects nothing");
-  return out;
+  return api::ParseFunctionalList(spec);
 }
 
 int Main(int argc, const char* const* argv) {

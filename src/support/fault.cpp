@@ -148,6 +148,12 @@ const std::vector<PointInfo>& RegisteredPoints() {
       {"nodes.save.crash-before-rename", "",
        "crash before the node-ledger rename lands"},
       {"nodes.load.eio", "", "reading the node-health ledger fails"},
+      {"service.journal.save.short-write", "",
+       "torn write of the xcvd queue journal"},
+      {"service.journal.save.crash-before-rename", "",
+       "crash before the queue-journal rename lands"},
+      {"service.journal.load.eio", "",
+       "reading the xcvd queue journal fails as if by EIO"},
       {"campaign.pair-done.delay", "milliseconds",
        "straggler: sleep ARG ms after a pair completes"},
       {"campaign.pair-done.crash", "", "crash right after a pair completes"},

@@ -274,4 +274,26 @@ std::size_t SkipBalanced(const std::string& text, std::size_t start) {
   return std::string::npos;
 }
 
+int SchemaVersionOf(const JsonValue& root) {
+  if (const JsonValue* sv = root.Find("schema_version"))
+    return static_cast<int>(sv->AsDouble());
+  if (const JsonValue* v = root.Find("version"))
+    return static_cast<int>(v->AsDouble());
+  return 1;
+}
+
+void RequireSupportedSchema(const JsonValue& root, const char* format_name,
+                            int supported_major) {
+  const int major = SchemaVersionOf(root);
+  XCV_CHECK_MSG(major >= 1, format_name << " document declares invalid "
+                                           "schema_version "
+                                        << major);
+  XCV_CHECK_MSG(major <= supported_major,
+                format_name << " document has schema_version " << major
+                            << " but this build reads at most version "
+                            << supported_major
+                            << " — written by a newer xcv; upgrade to read "
+                               "it");
+}
+
 }  // namespace xcv::json

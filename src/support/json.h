@@ -52,4 +52,26 @@ JsonValue ParseJson(const std::string& text);
 /// Used by the salvage loaders to carve intact entries out of torn files.
 std::size_t SkipBalanced(const std::string& text, std::size_t start);
 
+// ---- Schema versioning ------------------------------------------------------
+//
+// Every on-disk document (campaign checkpoint, verdict cache, xcvd queue
+// journal, job spec) carries an explicit `"schema_version": <major>` field.
+// One compatibility rule, shared by every reader:
+//   * absent field      → major 1 (documents written before versioning);
+//   * major <= supported → load; unknown *fields* are ignored by the
+//     readers, which is how minor, additive format growth ships;
+//   * major >  supported → the document comes from a newer writer whose
+//     layout this binary cannot be trusted to interpret: a clear, named
+//     error (never a silent misparse).
+
+/// The document's declared schema major: `schema_version` when present,
+/// else the legacy `version` field, else 1.
+int SchemaVersionOf(const JsonValue& root);
+
+/// Enforces the compatibility rule above for a document of kind
+/// `format_name` (used in the error message). Throws xcv::InternalError
+/// naming the document's version and the newest this binary supports.
+void RequireSupportedSchema(const JsonValue& root, const char* format_name,
+                            int supported_major);
+
 }  // namespace xcv::json

@@ -52,4 +52,19 @@ std::string ToLower(std::string s) {
   return s;
 }
 
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string token;
+  for (char c : s) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
 }  // namespace xcv

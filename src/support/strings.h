@@ -29,4 +29,7 @@ bool StartsWith(const std::string& s, const std::string& prefix);
 /// Lower-cases ASCII characters in `s`.
 std::string ToLower(std::string s);
 
+/// Splits on commas, dropping empty tokens ("a,,b" -> {"a", "b"}).
+std::vector<std::string> SplitCommas(const std::string& s);
+
 }  // namespace xcv
