@@ -17,12 +17,22 @@ using conditions::ConditionInfo;
 namespace {
 
 /// printf-append: the renderers keep the CLI's exact historical formats,
-/// so they format through snprintf rather than iostreams.
+/// so they format through snprintf rather than iostreams. Lines longer
+/// than the stack buffer (e.g. unusually long functional names or fault
+/// help text) reformat into a heap string — never truncated.
 template <typename... Args>
 void Appendf(std::string& out, const char* fmt, Args... args) {
   char buf[1024];
   const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
-  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+  if (n <= 0) return;
+  if (static_cast<std::size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<std::size_t>(n));
+    return;
+  }
+  std::string big(static_cast<std::size_t>(n) + 1, '\0');
+  std::snprintf(&big[0], big.size(), fmt, args...);
+  big.resize(static_cast<std::size_t>(n));
+  out += big;
 }
 
 }  // namespace

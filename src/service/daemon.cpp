@@ -334,19 +334,22 @@ void Daemon::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
     for (const auto& job : jobs_) {
-      if (job->campaign != nullptr) {
-        // Shutdown is not a cancel: unless the requester already asked for
-        // one, the job goes back to the queue and a restart resumes it.
-        if (job->pending == Job::Pending::kNone)
-          job->pending = Job::Pending::kStop;
-        job->campaign->RequestCancel();
-      }
+      if (!IsActive(job->status)) continue;
+      // Shutdown is not a cancel: unless the requester already asked for
+      // one, the job goes back to the queue and a restart resumes it.
+      // Marked even when the runner has not yet registered its campaign —
+      // RunJob re-checks pending at registration and cancels itself, so
+      // shutdown never blocks on a freshly admitted job running to
+      // completion.
+      if (job->pending == Job::Pending::kNone)
+        job->pending = Job::Pending::kStop;
+      if (job->campaign != nullptr) job->campaign->RequestCancel();
     }
     cv_.notify_all();
   }
   if (scheduler_.joinable()) scheduler_.join();
-  for (std::thread& t : runners_)
-    if (t.joinable()) t.join();
+  for (const auto& runner : runners_)
+    if (runner->thread.joinable()) runner->thread.join();
   runners_.clear();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -368,8 +371,12 @@ Daemon::Job* Daemon::FindLocked(const std::string& id) {
 
 Daemon::Job* Daemon::PickNextLocked() {
   // Round-robin across tenants: a queued job whose tenant has the fewest
-  // jobs in flight wins; submission order breaks ties. One tenant
-  // saturating the queue cannot starve another's first job.
+  // jobs in flight wins; among equally loaded tenants the one served
+  // least recently wins, and only then submission order. In-flight load
+  // alone is not enough — at max_concurrent_jobs=1 every pick happens
+  // with zero jobs running, so without the last-served tie-break one
+  // tenant's backlog would drain in pure submission order and starve
+  // everyone else.
   std::vector<std::pair<std::string, int>> running_per_tenant;
   auto load_of = [&](const std::string& tenant) -> int& {
     for (auto& [t, n] : running_per_tenant)
@@ -382,21 +389,41 @@ Daemon::Job* Daemon::PickNextLocked() {
 
   Job* best = nullptr;
   int best_load = std::numeric_limits<int>::max();
+  std::uint64_t best_served = std::numeric_limits<std::uint64_t>::max();
   for (const auto& job : jobs_) {
     if (job->status != JobStatus::kQueued) continue;
     const int load = load_of(job->spec.tenant);
-    if (load < best_load) {
+    std::uint64_t served = 0;  // never-served tenants go first
+    if (const auto it = tenant_last_served_.find(job->spec.tenant);
+        it != tenant_last_served_.end())
+      served = it->second;
+    if (load < best_load || (load == best_load && served < best_served)) {
       best = job.get();
       best_load = load;
+      best_served = served;
     }
   }
   return best;
+}
+
+void Daemon::ReapRunnersLocked() {
+  // A done runner is past its last mu_ use and about to return, so the
+  // join is effectively instant.
+  for (auto it = runners_.begin(); it != runners_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = runners_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Daemon::SchedulerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [this] {
+      ReapRunnersLocked();
       return stopping_ ||
              (running_count_ < options_.max_concurrent_jobs &&
               PickNextLocked() != nullptr);
@@ -406,8 +433,16 @@ void Daemon::SchedulerLoop() {
     if (job == nullptr) continue;
     job->status = JobStatus::kRunning;
     ++running_count_;
+    tenant_last_served_[job->spec.tenant] = ++tenant_serve_seq_;
     SaveJournalLocked();
-    runners_.emplace_back([this, job] { RunJob(job); });
+    auto runner = std::make_unique<Runner>();
+    Runner* raw = runner.get();
+    runner->thread = std::thread([this, job, raw] {
+      RunJob(job);
+      raw->done.store(true, std::memory_order_release);
+      cv_.notify_all();  // wake the scheduler to reap this handle
+    });
+    runners_.push_back(std::move(runner));
   }
 }
 
@@ -442,12 +477,27 @@ void Daemon::RunJob(Job* job) {
     }
     if (!restored) api::PopulateCampaign(job->spec, campaign);
 
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job->campaign = &campaign;
-      // A cancel/pause that raced the admission decision still lands.
-      if (job->pending != Job::Pending::kNone) campaign.RequestCancel();
-    }
+    // job->campaign must never outlive the stack-local Campaign: if Run
+    // throws, the unwind destroys the Campaign while a concurrent
+    // pause/cancel/Stop could still dereference the pointer. This guard
+    // registers under mu_ and — declared after `campaign`, so destroyed
+    // first — nulls it under mu_ on every exit path, including unwind.
+    struct Registration {
+      std::mutex& mu;
+      Job* job;
+      Registration(std::mutex& mu, Job* job, campaign::Campaign* c)
+          : mu(mu), job(job) {
+        std::lock_guard<std::mutex> lock(mu);
+        job->campaign = c;
+        // A cancel/pause/stop that raced the admission decision still
+        // lands.
+        if (job->pending != Job::Pending::kNone) c->RequestCancel();
+      }
+      ~Registration() {
+        std::lock_guard<std::mutex> lock(mu);
+        job->campaign = nullptr;
+      }
+    } registration(mu_, job, &campaign);
 
     auto progress = [this, job](const PairState& p, std::size_t completed,
                                 std::size_t /*total*/) {
@@ -464,17 +514,12 @@ void Daemon::RunJob(Job* job) {
       job->pairs_done = completed;
     };
     result = campaign.Run(progress);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      job->campaign = nullptr;
-    }
   } catch (const std::exception& e) {
     error = e.what();
   }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job->campaign = nullptr;
     if (!error.empty()) {
       job->status = JobStatus::kFailed;
       job->error = error;

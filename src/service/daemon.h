@@ -39,6 +39,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -118,6 +119,13 @@ class Daemon {
  private:
   struct Job;
 
+  /// One admitted job's thread. done flips (last action of the thread)
+  /// once RunJob returns, making the handle safe to join without blocking.
+  struct Runner {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   std::string JournalPath() const;
   std::string CachePath() const;
   std::string CheckpointPathFor(const std::string& id) const;
@@ -132,6 +140,10 @@ class Daemon {
   Job* PickNextLocked();
   void RunJob(Job* job);
   void SchedulerLoop();
+  /// Joins and drops every finished runner thread (called from the
+  /// scheduler under mu_ so a long-lived daemon never accumulates
+  /// thread handles).
+  void ReapRunnersLocked();
 
   HttpResponse HandleSubmit(const HttpRequest& req);
   HttpResponse HandleList();
@@ -149,9 +161,12 @@ class Daemon {
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Job>> jobs_;
   std::uint64_t next_id_ = 1;
+  /// Monotonic admission counter + when each tenant last won a slot:
+  /// PickNextLocked breaks load ties by least-recently-served tenant.
   std::uint64_t tenant_serve_seq_ = 0;
+  std::map<std::string, std::uint64_t> tenant_last_served_;
   int running_count_ = 0;
-  std::vector<std::thread> runners_;
+  std::vector<std::unique_ptr<Runner>> runners_;
   std::thread scheduler_;
   bool stopping_ = false;
   bool started_ = false;

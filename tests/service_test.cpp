@@ -425,6 +425,61 @@ TEST(DaemonHttpTest, SubmitPollReportMatchesDirectRunByteForByte) {
       std::filesystem::exists(options.state_dir + "/queue.json"));
 }
 
+TEST(DaemonHttpTest, SchedulerRoundRobinsAcrossTenantsAtOneSlot) {
+  // The starvation shape the fairness guarantee exists for: tenant a
+  // queues a backlog, then tenant b submits one job. At
+  // max_concurrent_jobs=1 no job is ever in flight at pick time, so the
+  // least-recently-served tie-break (not in-flight load) is what must put
+  // tenant b ahead of tenant a's second job.
+  auto spec_for = [](const std::string& tenant) {
+    return std::string(R"({
+  "format": "xcv-job-spec",
+  "functionals": "lda",
+  "conditions": "EC1..EC4",
+  "output": "csv",
+  "tenant": ")") +
+           tenant + R"(",
+  "verifier": {"budget_seconds": 0},
+  "solver": {"max_nodes": 2000}
+})";
+  };
+
+  fault::Disarm();
+  // Slow every pair completion so all three submissions land while
+  // tenant a's first job is still running.
+  fault::ArmFromSpec("campaign.pair-done.delay@*=400");
+
+  DaemonOptions options;
+  options.state_dir = FreshStateDir("fairness");
+  options.port = 0;
+  options.max_concurrent_jobs = 1;
+  Daemon daemon(options);
+  daemon.Start();
+  const int port = daemon.port();
+
+  auto submit = [&](const std::string& tenant) {
+    const HttpResponse resp =
+        HttpFetch(port, "POST", "/v1/campaigns", spec_for(tenant));
+    EXPECT_EQ(resp.status, 201) << resp.body;
+    return json::ParseJson(resp.body).At("id").AsString();
+  };
+  const std::string a1 = submit("tenant-a");
+  const std::string a2 = submit("tenant-a");
+  const std::string b1 = submit("tenant-b");
+
+  // Jobs run serially, so completion order is admission order: when
+  // tenant b's job is done, tenant a's second job must not be.
+  ASSERT_EQ(WaitForStatus(port, b1, {"done", "failed"}), "done");
+  const HttpResponse poll = HttpFetch(port, "GET", "/v1/campaigns/" + a2);
+  EXPECT_NE(json::ParseJson(poll.body).At("status").AsString(), "done")
+      << "tenant-a's backlog was served ahead of tenant-b's first job";
+
+  ASSERT_EQ(WaitForStatus(port, a1, {"done", "failed"}), "done");
+  ASSERT_EQ(WaitForStatus(port, a2, {"done", "failed"}), "done");
+  fault::Disarm();
+  daemon.Stop();
+}
+
 TEST(DaemonHttpTest, PauseSurvivesDaemonRestartAndResumesToSameReport) {
   const std::string reference = DirectCsv(kSlowSpec);
   const std::string state_dir = FreshStateDir("pause");
