@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_contractor.dir/bench/bench_ablation_contractor.cpp.o"
+  "CMakeFiles/bench_ablation_contractor.dir/bench/bench_ablation_contractor.cpp.o.d"
+  "bench_ablation_contractor"
+  "bench_ablation_contractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_contractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

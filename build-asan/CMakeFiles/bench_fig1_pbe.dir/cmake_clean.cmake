@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pbe.dir/bench/bench_fig1_pbe.cpp.o"
+  "CMakeFiles/bench_fig1_pbe.dir/bench/bench_fig1_pbe.cpp.o.d"
+  "bench_fig1_pbe"
+  "bench_fig1_pbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_lyp.dir/bench/bench_fig2_lyp.cpp.o"
+  "CMakeFiles/bench_fig2_lyp.dir/bench/bench_fig2_lyp.cpp.o.d"
+  "bench_fig2_lyp"
+  "bench_fig2_lyp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lyp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

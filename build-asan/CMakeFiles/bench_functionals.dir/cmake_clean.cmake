@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functionals.dir/bench/bench_functionals.cpp.o"
+  "CMakeFiles/bench_functionals.dir/bench/bench_functionals.cpp.o.d"
+  "bench_functionals"
+  "bench_functionals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functionals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bool_expr_test.dir/tests/bool_expr_test.cpp.o"
+  "CMakeFiles/bool_expr_test.dir/tests/bool_expr_test.cpp.o.d"
+  "bool_expr_test"
+  "bool_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bool_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

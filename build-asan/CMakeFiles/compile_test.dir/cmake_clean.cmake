@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_test.dir/tests/compile_test.cpp.o"
+  "CMakeFiles/compile_test.dir/tests/compile_test.cpp.o.d"
+  "compile_test"
+  "compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

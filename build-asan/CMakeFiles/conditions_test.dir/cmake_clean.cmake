@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditions_test.dir/tests/conditions_test.cpp.o"
+  "CMakeFiles/conditions_test.dir/tests/conditions_test.cpp.o.d"
+  "conditions_test"
+  "conditions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contractor_test.dir/tests/contractor_test.cpp.o"
+  "CMakeFiles/contractor_test.dir/tests/contractor_test.cpp.o.d"
+  "contractor_test"
+  "contractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivative_test.dir/tests/derivative_test.cpp.o"
+  "CMakeFiles/derivative_test.dir/tests/derivative_test.cpp.o.d"
+  "derivative_test"
+  "derivative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

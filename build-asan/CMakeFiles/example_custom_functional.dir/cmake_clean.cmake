@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_functional.dir/examples/custom_functional.cpp.o"
+  "CMakeFiles/example_custom_functional.dir/examples/custom_functional.cpp.o.d"
+  "example_custom_functional"
+  "example_custom_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lyp_violation_atlas.dir/examples/lyp_violation_atlas.cpp.o"
+  "CMakeFiles/example_lyp_violation_atlas.dir/examples/lyp_violation_atlas.cpp.o.d"
+  "example_lyp_violation_atlas"
+  "example_lyp_violation_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lyp_violation_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_lyp_violation_atlas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pb_vs_verifier.dir/examples/pb_vs_verifier.cpp.o"
+  "CMakeFiles/example_pb_vs_verifier.dir/examples/pb_vs_verifier.cpp.o.d"
+  "example_pb_vs_verifier"
+  "example_pb_vs_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pb_vs_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pb_vs_verifier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scan_timeout_study.dir/examples/scan_timeout_study.cpp.o"
+  "CMakeFiles/example_scan_timeout_study.dir/examples/scan_timeout_study.cpp.o.d"
+  "example_scan_timeout_study"
+  "example_scan_timeout_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scan_timeout_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

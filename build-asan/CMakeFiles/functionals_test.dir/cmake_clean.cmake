@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functionals_test.dir/tests/functionals_test.cpp.o"
+  "CMakeFiles/functionals_test.dir/tests/functionals_test.cpp.o.d"
+  "functionals_test"
+  "functionals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functionals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsearch_test.dir/tests/gridsearch_test.cpp.o"
+  "CMakeFiles/gridsearch_test.dir/tests/gridsearch_test.cpp.o.d"
+  "gridsearch_test"
+  "gridsearch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsearch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icp_test.dir/tests/icp_test.cpp.o"
+  "CMakeFiles/icp_test.dir/tests/icp_test.cpp.o.d"
+  "icp_test"
+  "icp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

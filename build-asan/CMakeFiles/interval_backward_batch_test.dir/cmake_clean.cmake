@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_backward_batch_test.dir/tests/interval_backward_batch_test.cpp.o"
+  "CMakeFiles/interval_backward_batch_test.dir/tests/interval_backward_batch_test.cpp.o.d"
+  "interval_backward_batch_test"
+  "interval_backward_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_backward_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

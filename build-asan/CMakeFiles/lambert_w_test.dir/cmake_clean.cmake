@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambert_w_test.dir/tests/lambert_w_test.cpp.o"
+  "CMakeFiles/lambert_w_test.dir/tests/lambert_w_test.cpp.o.d"
+  "lambert_w_test"
+  "lambert_w_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambert_w_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

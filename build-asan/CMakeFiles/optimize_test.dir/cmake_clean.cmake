@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_test.dir/tests/optimize_test.cpp.o"
+  "CMakeFiles/optimize_test.dir/tests/optimize_test.cpp.o.d"
+  "optimize_test"
+  "optimize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

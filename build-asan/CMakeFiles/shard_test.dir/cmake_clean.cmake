@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_test.dir/tests/shard_test.cpp.o"
+  "CMakeFiles/shard_test.dir/tests/shard_test.cpp.o.d"
+  "shard_test"
+  "shard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/job_spec.cpp" "CMakeFiles/xcv.dir/src/api/job_spec.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/api/job_spec.cpp.o.d"
+  "/root/repo/src/api/render.cpp" "CMakeFiles/xcv.dir/src/api/render.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/api/render.cpp.o.d"
+  "/root/repo/src/cache/verdict_cache.cpp" "CMakeFiles/xcv.dir/src/cache/verdict_cache.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/cache/verdict_cache.cpp.o.d"
+  "/root/repo/src/campaign/campaign.cpp" "CMakeFiles/xcv.dir/src/campaign/campaign.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/campaign/campaign.cpp.o.d"
+  "/root/repo/src/campaign/serialize.cpp" "CMakeFiles/xcv.dir/src/campaign/serialize.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/campaign/serialize.cpp.o.d"
+  "/root/repo/src/cli/cli.cpp" "CMakeFiles/xcv.dir/src/cli/cli.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/cli/cli.cpp.o.d"
+  "/root/repo/src/conditions/conditions.cpp" "CMakeFiles/xcv.dir/src/conditions/conditions.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/conditions/conditions.cpp.o.d"
+  "/root/repo/src/conditions/enhancement.cpp" "CMakeFiles/xcv.dir/src/conditions/enhancement.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/conditions/enhancement.cpp.o.d"
+  "/root/repo/src/expr/bool_expr.cpp" "CMakeFiles/xcv.dir/src/expr/bool_expr.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/bool_expr.cpp.o.d"
+  "/root/repo/src/expr/builder.cpp" "CMakeFiles/xcv.dir/src/expr/builder.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/builder.cpp.o.d"
+  "/root/repo/src/expr/compile.cpp" "CMakeFiles/xcv.dir/src/expr/compile.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/compile.cpp.o.d"
+  "/root/repo/src/expr/complexity.cpp" "CMakeFiles/xcv.dir/src/expr/complexity.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/complexity.cpp.o.d"
+  "/root/repo/src/expr/derivative.cpp" "CMakeFiles/xcv.dir/src/expr/derivative.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/derivative.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "CMakeFiles/xcv.dir/src/expr/eval.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/eval.cpp.o.d"
+  "/root/repo/src/expr/intern.cpp" "CMakeFiles/xcv.dir/src/expr/intern.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/intern.cpp.o.d"
+  "/root/repo/src/expr/interval_backward_batch.cpp" "CMakeFiles/xcv.dir/src/expr/interval_backward_batch.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/interval_backward_batch.cpp.o.d"
+  "/root/repo/src/expr/interval_batch.cpp" "CMakeFiles/xcv.dir/src/expr/interval_batch.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/interval_batch.cpp.o.d"
+  "/root/repo/src/expr/interval_eval.cpp" "CMakeFiles/xcv.dir/src/expr/interval_eval.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/interval_eval.cpp.o.d"
+  "/root/repo/src/expr/optimize.cpp" "CMakeFiles/xcv.dir/src/expr/optimize.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/optimize.cpp.o.d"
+  "/root/repo/src/expr/printer.cpp" "CMakeFiles/xcv.dir/src/expr/printer.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/printer.cpp.o.d"
+  "/root/repo/src/expr/substitute.cpp" "CMakeFiles/xcv.dir/src/expr/substitute.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/expr/substitute.cpp.o.d"
+  "/root/repo/src/functionals/am05.cpp" "CMakeFiles/xcv.dir/src/functionals/am05.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/am05.cpp.o.d"
+  "/root/repo/src/functionals/functional.cpp" "CMakeFiles/xcv.dir/src/functionals/functional.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/functional.cpp.o.d"
+  "/root/repo/src/functionals/lda.cpp" "CMakeFiles/xcv.dir/src/functionals/lda.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/lda.cpp.o.d"
+  "/root/repo/src/functionals/lyp.cpp" "CMakeFiles/xcv.dir/src/functionals/lyp.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/lyp.cpp.o.d"
+  "/root/repo/src/functionals/pbe.cpp" "CMakeFiles/xcv.dir/src/functionals/pbe.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/pbe.cpp.o.d"
+  "/root/repo/src/functionals/scan.cpp" "CMakeFiles/xcv.dir/src/functionals/scan.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/scan.cpp.o.d"
+  "/root/repo/src/functionals/variables.cpp" "CMakeFiles/xcv.dir/src/functionals/variables.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/functionals/variables.cpp.o.d"
+  "/root/repo/src/gridsearch/grid.cpp" "CMakeFiles/xcv.dir/src/gridsearch/grid.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/gridsearch/grid.cpp.o.d"
+  "/root/repo/src/gridsearch/pb_checker.cpp" "CMakeFiles/xcv.dir/src/gridsearch/pb_checker.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/gridsearch/pb_checker.cpp.o.d"
+  "/root/repo/src/interval/functions.cpp" "CMakeFiles/xcv.dir/src/interval/functions.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/interval/functions.cpp.o.d"
+  "/root/repo/src/interval/interval.cpp" "CMakeFiles/xcv.dir/src/interval/interval.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/interval/interval.cpp.o.d"
+  "/root/repo/src/interval/inverse.cpp" "CMakeFiles/xcv.dir/src/interval/inverse.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/interval/inverse.cpp.o.d"
+  "/root/repo/src/interval/lambert_w.cpp" "CMakeFiles/xcv.dir/src/interval/lambert_w.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/interval/lambert_w.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "CMakeFiles/xcv.dir/src/lang/lexer.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "CMakeFiles/xcv.dir/src/lang/parser.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/lang/parser.cpp.o.d"
+  "/root/repo/src/report/ascii_plot.cpp" "CMakeFiles/xcv.dir/src/report/ascii_plot.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/report/ascii_plot.cpp.o.d"
+  "/root/repo/src/report/consistency.cpp" "CMakeFiles/xcv.dir/src/report/consistency.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/report/consistency.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "CMakeFiles/xcv.dir/src/report/csv.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/report/csv.cpp.o.d"
+  "/root/repo/src/report/tables.cpp" "CMakeFiles/xcv.dir/src/report/tables.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/report/tables.cpp.o.d"
+  "/root/repo/src/service/daemon.cpp" "CMakeFiles/xcv.dir/src/service/daemon.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/service/daemon.cpp.o.d"
+  "/root/repo/src/service/http.cpp" "CMakeFiles/xcv.dir/src/service/http.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/service/http.cpp.o.d"
+  "/root/repo/src/shard/coordinator.cpp" "CMakeFiles/xcv.dir/src/shard/coordinator.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/shard/coordinator.cpp.o.d"
+  "/root/repo/src/shard/merge.cpp" "CMakeFiles/xcv.dir/src/shard/merge.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/shard/merge.cpp.o.d"
+  "/root/repo/src/shard/partition.cpp" "CMakeFiles/xcv.dir/src/shard/partition.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/shard/partition.cpp.o.d"
+  "/root/repo/src/shard/transport.cpp" "CMakeFiles/xcv.dir/src/shard/transport.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/shard/transport.cpp.o.d"
+  "/root/repo/src/solver/box.cpp" "CMakeFiles/xcv.dir/src/solver/box.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/solver/box.cpp.o.d"
+  "/root/repo/src/solver/contractor.cpp" "CMakeFiles/xcv.dir/src/solver/contractor.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/solver/contractor.cpp.o.d"
+  "/root/repo/src/solver/icp.cpp" "CMakeFiles/xcv.dir/src/solver/icp.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/solver/icp.cpp.o.d"
+  "/root/repo/src/support/fault.cpp" "CMakeFiles/xcv.dir/src/support/fault.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/fault.cpp.o.d"
+  "/root/repo/src/support/io.cpp" "CMakeFiles/xcv.dir/src/support/io.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/io.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "CMakeFiles/xcv.dir/src/support/json.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/json.cpp.o.d"
+  "/root/repo/src/support/retry.cpp" "CMakeFiles/xcv.dir/src/support/retry.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/retry.cpp.o.d"
+  "/root/repo/src/support/simd.cpp" "CMakeFiles/xcv.dir/src/support/simd.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/simd.cpp.o.d"
+  "/root/repo/src/support/simd_kernels_avx2.cpp" "CMakeFiles/xcv.dir/src/support/simd_kernels_avx2.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/simd_kernels_avx2.cpp.o.d"
+  "/root/repo/src/support/simd_kernels_avx512.cpp" "CMakeFiles/xcv.dir/src/support/simd_kernels_avx512.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/simd_kernels_avx512.cpp.o.d"
+  "/root/repo/src/support/simd_kernels_scalar.cpp" "CMakeFiles/xcv.dir/src/support/simd_kernels_scalar.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/simd_kernels_scalar.cpp.o.d"
+  "/root/repo/src/support/simd_kernels_sse2.cpp" "CMakeFiles/xcv.dir/src/support/simd_kernels_sse2.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/simd_kernels_sse2.cpp.o.d"
+  "/root/repo/src/support/stopwatch.cpp" "CMakeFiles/xcv.dir/src/support/stopwatch.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/stopwatch.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "CMakeFiles/xcv.dir/src/support/strings.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/xcv.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "CMakeFiles/xcv.dir/src/support/thread_pool.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/support/thread_pool.cpp.o.d"
+  "/root/repo/src/verifier/engine.cpp" "CMakeFiles/xcv.dir/src/verifier/engine.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/verifier/engine.cpp.o.d"
+  "/root/repo/src/verifier/region.cpp" "CMakeFiles/xcv.dir/src/verifier/region.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/verifier/region.cpp.o.d"
+  "/root/repo/src/verifier/verifier.cpp" "CMakeFiles/xcv.dir/src/verifier/verifier.cpp.o" "gcc" "CMakeFiles/xcv.dir/src/verifier/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcv_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/xcv_bench_common.dir/bench/common.cpp.o.d"
+  "libxcv_bench_common.a"
+  "libxcv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxcv_bench_common.a"
+)

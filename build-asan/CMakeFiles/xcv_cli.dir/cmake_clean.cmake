@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcv_cli.dir/apps/xcv_main.cpp.o"
+  "CMakeFiles/xcv_cli.dir/apps/xcv_main.cpp.o.d"
+  "xcv"
+  "xcv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

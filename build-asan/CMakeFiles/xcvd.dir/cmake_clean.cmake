@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xcvd.dir/apps/xcvd_main.cpp.o"
+  "CMakeFiles/xcvd.dir/apps/xcvd_main.cpp.o.d"
+  "xcvd"
+  "xcvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xcvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
