@@ -1,4 +1,10 @@
 // The `xcv` binary: see src/cli/cli.h.
 #include "cli/cli.h"
+#include "obs/metrics.h"
 
-int main(int argc, char** argv) { return xcv::cli::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // Metrics default on (XCV_NO_METRICS=1 disables); disarmed cost is one
+  // relaxed atomic load per instrumentation site either way.
+  xcv::obs::InitMetricsFromEnv();
+  return xcv::cli::Main(argc, argv);
+}

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "service/daemon.h"
 #include "support/check.h"
 #include "support/fault.h"
@@ -21,15 +22,20 @@ void OnSignal(int) { g_signalled = 1; }
 int Usage(std::FILE* out) {
   std::fputs(
       "usage: xcvd [--port N] [--state-dir DIR] [--max-jobs N] [--verbose]\n"
-      "            [--faults SPEC]\n"
+      "            [--no-job-traces] [--faults SPEC]\n"
       "\n"
       "Runs the xcv verification daemon on 127.0.0.1.\n"
       "  --port N        listen port (default 7070; 0 = ephemeral, printed)\n"
-      "  --state-dir DIR queue journal, job checkpoints, and the shared\n"
-      "                  verdict cache (default: xcvd-state)\n"
+      "  --state-dir DIR queue journal, job checkpoints, per-job traces,\n"
+      "                  and the shared verdict cache (default: xcvd-state)\n"
       "  --max-jobs N    campaigns admitted concurrently (default 1)\n"
       "  --verbose       log scheduling decisions on stderr\n"
-      "  --faults SPEC   arm fault-injection points (also: XCV_FAULTS)\n",
+      "  --no-job-traces skip per-job span timelines (GET\n"
+      "                  /v1/campaigns/:id/trace then 404s)\n"
+      "  --faults SPEC   arm fault-injection points (also: XCV_FAULTS)\n"
+      "\n"
+      "GET /v1/metrics serves the process metrics registry in Prometheus\n"
+      "text form; XCV_NO_METRICS=1 disables metric collection.\n",
       out);
   return out == stdout ? 0 : 2;
 }
@@ -55,6 +61,8 @@ int main(int argc, char** argv) {
         options.max_concurrent_jobs = std::atoi(value().c_str());
       } else if (arg == "--verbose") {
         options.verbose = true;
+      } else if (arg == "--no-job-traces") {
+        options.job_traces = false;
       } else if (arg == "--faults") {
         xcv::support::fault::ArmFromSpec(value());
       } else {
@@ -63,6 +71,7 @@ int main(int argc, char** argv) {
       }
     }
     xcv::support::fault::ArmFromEnv();
+    xcv::obs::InitMetricsFromEnv();
 
     xcv::service::Daemon daemon(options);
     daemon.Start();

@@ -133,10 +133,93 @@ double FlagDouble(const std::map<std::string, std::string>& flags,
   return v;
 }
 
+// The keys ApplyFlags itself consumes. Kept adjacent to the consuming code
+// below — a new `flags.find` there must be mirrored here or the strictness
+// check will reject the new flag.
+constexpr const char* kSpecFlagKeys[] = {
+    "functionals",  "conditions",  "threads",        "budget-seconds",
+    "split-threshold", "solver-nodes", "delta",      "wave-width",
+    "frontier",     "checkpoint",  "cache",          "cache-readonly",
+    "format",       "quiet",       "max-retries",    "preemptible",
+    "quarantine-after", "launch-timeout", "tenant"};
+
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Length of the longest '-'-separated token the two keys share. Flag
+/// names are noun phrases ("solver-nodes", "budget-seconds"); a shared
+/// whole token is stronger evidence of intent than raw character edits.
+std::size_t SharedTokenLen(const std::string& a, const std::string& b) {
+  const auto tokens = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == '-') {
+        if (i > start) out.push_back(s.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  };
+  std::size_t best = 0;
+  for (const std::string& ta : tokens(a))
+    for (const std::string& tb : tokens(b))
+      if (ta == tb) best = std::max(best, ta.size());
+  return best;
+}
+
+/// Usage-error gate: every key must be one ApplyFlags consumes or one the
+/// calling command declared. The error names the flag and suggests the
+/// nearest recognized one — scored by edit distance with a bonus for a
+/// shared whole token, so `--max-nodes` suggests `--solver-nodes` (shared
+/// "nodes") rather than the edit-closer `--max-retries`.
+void RejectUnknownKeys(const std::map<std::string, std::string>& flags,
+                       const std::vector<std::string>& extra_allowed) {
+  std::vector<std::string> known(std::begin(kSpecFlagKeys),
+                                 std::end(kSpecFlagKeys));
+  known.insert(known.end(), extra_allowed.begin(), extra_allowed.end());
+  for (const auto& [key, value] : flags) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::string best;
+    long best_score = 0;
+    bool have_best = false;
+    for (const std::string& k : known) {
+      const long score = static_cast<long>(EditDistance(key, k)) -
+                         2 * static_cast<long>(SharedTokenLen(key, k));
+      if (!have_best || score < best_score) {
+        have_best = true;
+        best_score = score;
+        best = k;
+      }
+    }
+    std::string hint;
+    const bool close =
+        have_best &&
+        (SharedTokenLen(key, best) > 0 ||
+         EditDistance(key, best) <=
+             std::max<std::size_t>(best.size(), key.size()) / 2);
+    if (close) hint = " (did you mean --" + best + "?)";
+    XCV_CHECK_MSG(false, "unknown flag --" << key << hint
+                             << "; see `xcv help` for the flag list");
+  }
+}
+
 }  // namespace
 
 void ApplyFlags(const std::map<std::string, std::string>& flags,
-                JobSpec& spec) {
+                JobSpec& spec, const std::vector<std::string>& extra_allowed) {
+  RejectUnknownKeys(flags, extra_allowed);
   CampaignOptions& o = spec.options;
   if (const auto it = flags.find("functionals"); it != flags.end())
     spec.functionals = it->second;

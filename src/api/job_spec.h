@@ -101,15 +101,20 @@ JobSpec DefaultJobSpec();
 void ValidateJobSpec(const JobSpec& spec);
 
 /// Applies `--key=value` style flags over `spec` (the CLI's option
-/// assembly, reusable by anything that speaks that dialect). Unknown keys
-/// are ignored — the caller owns rejecting them. Recognized keys:
-/// functionals, conditions, threads, budget-seconds (0 = unlimited),
+/// assembly, reusable by anything that speaks that dialect). Recognized
+/// keys: functionals, conditions, threads, budget-seconds (0 = unlimited),
 /// split-threshold, solver-nodes, delta, wave-width, frontier, checkpoint,
 /// cache (XCV_CACHE env supplies the default), cache-readonly, format,
 /// quiet, max-retries, preemptible, quarantine-after, launch-timeout,
-/// tenant. Throws xcv::InternalError on malformed values.
+/// tenant. Unrecognized keys are a usage error: the throw names the flag
+/// and suggests the nearest recognized one (so `--max-nodes` points at
+/// `--solver-nodes`). `extra_allowed` lists additional keys the calling
+/// command consumes itself (e.g. resume's `heartbeat`) — they pass the
+/// strictness check untouched. Throws xcv::InternalError on malformed
+/// values.
 void ApplyFlags(const std::map<std::string, std::string>& flags,
-                JobSpec& spec);
+                JobSpec& spec,
+                const std::vector<std::string>& extra_allowed = {});
 
 /// Serializes the complete spec as a standalone JSON document
 /// ("xcv-job-spec", schema_version, every field explicit).

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "campaign/serialize.h"
+#include "obs/metrics.h"
 #include "report/tables.h"
 #include "support/fault.h"
 #include "support/simd.h"
@@ -149,6 +150,15 @@ std::string InfoReport() {
   out +=
       "transport.* points also accept a .<node-name> suffix (e.g.\n"
       "transport.preempt.local-0@1) to target one node of a fleet.\n";
+  return out;
+}
+
+std::string MetricsReport() {
+  std::string out = obs::Registry::Global().RenderPrometheus();
+  // Families register on first use, so a fresh process (plain `xcv info`)
+  // has an empty registry — say so instead of printing nothing.
+  if (out.empty())
+    out = "# no metrics recorded in this process yet\n";
   return out;
 }
 

@@ -29,4 +29,10 @@ std::string TableReport(const std::vector<campaign::PairState>& pairs);
 /// the registered fault-point listing.
 std::string InfoReport();
 
+/// The process metrics registry in Prometheus text exposition format —
+/// the exact bytes xcvd serves from `GET /v1/metrics`; `xcv info
+/// --metrics` appends it to the info document. Empty registry renders an
+/// empty string.
+std::string MetricsReport();
+
 }  // namespace xcv::api

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "expr/optimize.h"
+#include "obs/metrics.h"
 #include "solver/box.h"
 #include "support/check.h"
 #include "support/io.h"
@@ -36,6 +37,16 @@ CachedKind CachedKindFromToken(const std::string& token) {
 }
 
 namespace {
+
+// Process-wide resident-entry gauge, delta-updated at every count_
+// mutation across every VerdictCache instance (a campaign's file-backed
+// cache and the daemon's shared cache both report into it).
+obs::Gauge& CacheEntriesGauge() {
+  static obs::Gauge& g = obs::Registry::Global().GetGauge(
+      "xcv_cache_store_entries",
+      "Verdict-cache entries resident in this process (all caches).");
+  return g;
+}
 
 // Endpoint identity is bit-pattern identity: -0.0 and 0.0 are different
 // keys, exactly as the solver's splitting arithmetic produces them. The
@@ -89,6 +100,10 @@ std::uint64_t VerdictCache::MapKey(std::uint64_t scope,
   return h;
 }
 
+VerdictCache::~VerdictCache() {
+  CacheEntriesGauge().Add(-static_cast<double>(count_));
+}
+
 bool VerdictCache::Lookup(std::uint64_t scope, std::span<const Interval> box,
                           CachedVerdict* out) const {
   const std::uint64_t key = MapKey(scope, box);
@@ -125,6 +140,7 @@ void VerdictCache::Store(std::uint64_t scope, std::span<const Interval> box,
   entry.verdict = std::move(verdict);
   bucket.push_back(std::move(entry));
   ++count_;
+  CacheEntriesGauge().Add(1.0);
 }
 
 bool VerdictCache::Erase(std::uint64_t scope, std::span<const Interval> box) {
@@ -138,6 +154,7 @@ bool VerdictCache::Erase(std::uint64_t scope, std::span<const Interval> box) {
       bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
       if (bucket.empty()) entries_.erase(it);
       --count_;
+      CacheEntriesGauge().Add(-1.0);
       return true;
     }
   }
@@ -226,11 +243,14 @@ bool VerdictCache::FromJson(const std::string& json_text) {
     }
   } catch (const InternalError&) {
     std::lock_guard<std::mutex> lock(mu_);
+    CacheEntriesGauge().Add(-static_cast<double>(count_));
     entries_.clear();
     count_ = 0;
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
+  CacheEntriesGauge().Add(static_cast<double>(count) -
+                          static_cast<double>(count_));
   entries_ = std::move(staged);
   count_ = count;
   return true;
@@ -329,6 +349,8 @@ bool VerdictCache::Load(const std::string& path, CacheLoadStats* stats) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    CacheEntriesGauge().Add(static_cast<double>(count) -
+                            static_cast<double>(count_));
     entries_ = std::move(staged);
     count_ = count;
   }

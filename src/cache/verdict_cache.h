@@ -90,6 +90,9 @@ struct CacheLoadStats {
 class VerdictCache {
  public:
   VerdictCache() = default;
+  /// Retires this cache's entries from the process-wide
+  /// xcv_cache_store_entries gauge (src/obs/metrics.h).
+  ~VerdictCache();
 
   VerdictCache(const VerdictCache&) = delete;
   VerdictCache& operator=(const VerdictCache&) = delete;

@@ -6,6 +6,7 @@
 
 #include "campaign/serialize.h"
 #include "expr/optimize.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/fault.h"
 #include "support/stopwatch.h"
@@ -58,7 +59,18 @@ struct Campaign::Entry {
   const ConditionInfo* condition = nullptr;
   std::unique_ptr<verifier::PairEngine> engine;
   std::atomic<bool> finish_latch{false};
+  // Trace identity: async pair events ('b'/'e') match on this id, so
+  // interleaved pairs stay separable in the timeline.
+  std::size_t pair_index = 0;
 };
+
+namespace {
+
+std::string PairTraceName(const PairState& p) {
+  return "pair " + p.functional + ":" + p.condition;
+}
+
+}  // namespace
 
 Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
   XCV_CHECK_MSG(options_.num_threads >= 1, "need at least one thread");
@@ -156,6 +168,9 @@ void Campaign::FinishPair(Entry& entry, const ProgressFn& progress) {
     if (progress) progress(entry.state, completed_, entries_.size());
     WriteCheckpointLocked();
   }
+  if (obs::TraceRecorder::Global().armed())
+    obs::TraceRecorder::Global().RecordAsync(
+        PairTraceName(entry.state), "xcv", 'e', entry.pair_index);
   // Chaos hooks, outside the lock so a straggler simulation never stalls
   // other pairs' checkpoint writes.
   support::fault::MaybeDelay("campaign.pair-done.delay");
@@ -189,9 +204,14 @@ CampaignResult Campaign::Run(ProgressFn progress) {
   ran_ = true;
   Stopwatch watch;
 
+  obs::Span job_span("job");
+  job_span.Arg("pairs", static_cast<std::uint64_t>(entries_.size()));
+
   // Build one engine per unfinished applicable pair.
   std::vector<Entry*> running;
+  std::size_t pair_index = 0;
   for (const auto& e : entries_) {
+    e->pair_index = pair_index++;
     if (e->state.done || !e->state.applicable) {
       if (e->state.done) ++completed_;
       continue;
@@ -202,6 +222,9 @@ CampaignResult Campaign::Run(ProgressFn progress) {
                                        << e->state.condition);
     e->engine = std::make_unique<verifier::PairEngine>(
         *psi, TunedOptions(*e->functional, *e->condition));
+    if (obs::TraceRecorder::Global().armed())
+      obs::TraceRecorder::Global().RecordAsync(PairTraceName(e->state), "xcv",
+                                               'b', e->pair_index);
     const bool has_restored_frontier = !e->state.open.empty();
     if (has_restored_frontier) {
       e->engine->Restore(e->state.report, std::move(e->state.open));
@@ -265,6 +288,10 @@ CampaignResult Campaign::Run(ProgressFn progress) {
     e->state.report = e->engine->TakeReport();
     e->state.verdict = PartialVerdict(e->state.report);
     e->state.seconds = e->state.report.seconds;
+    if (obs::TraceRecorder::Global().armed())
+      obs::TraceRecorder::Global().RecordAsync(PairTraceName(e->state), "xcv",
+                                               'e', e->pair_index,
+                                               "\"partial\":1");
   }
 
   CampaignResult result;

@@ -24,6 +24,8 @@
 #include "cache/verdict_cache.h"
 #include "campaign/campaign.h"
 #include "campaign/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/coordinator.h"
 #include "shard/merge.h"
 #include "shard/partition.h"
@@ -58,8 +60,10 @@ Usage:
                             merge — loops until every pair is done
   xcv cache-stats FILE      Inspect a verdict-cache file (read-only)
   xcv list                  List known functionals and conditions
-  xcv info                  Show SIMD tiers: compiled, CPU-supported, active
-                            dispatch choice, and the XCV_SIMD override
+  xcv info [--metrics]      Show SIMD tiers: compiled, CPU-supported, active
+                            dispatch choice, and the XCV_SIMD override;
+                            --metrics appends the process metrics registry
+                            in Prometheus text form
   xcv help                  Show this help
 
 Options (verify/resume):
@@ -167,12 +171,28 @@ Options (merge):
                        instead of failing; zero readable inputs is still an
                        error.
 
+Observability (verify/resume/coordinate):
+  --trace=FILE         Record a structured span timeline of the run (job ->
+                       pair -> solve -> classify/contract, coordinator
+                       epochs and events) and write it to FILE as Chrome
+                       trace_event JSON — open in chrome://tracing or
+                       Perfetto. The XCV_TRACE environment variable is the
+                       same thing; XCV_TRACE_CLOCK=fixed swaps in a
+                       deterministic counter clock for replay diffing.
+                       Verdicts and reports are byte-identical with tracing
+                       on or off. Set XCV_NO_METRICS=1 to disable the
+                       metrics registry (`xcv info --metrics` shows it).
+
 Fault injection (any command, for robustness testing):
   --faults=SPEC        Arm named fault points for this process, e.g.
                        --faults=checkpoint.save.short-write@2. The
                        XCV_FAULTS environment variable is the same thing;
                        `xcv info` lists every registered point; see README
                        "Fault tolerance" for the grammar.
+
+Unrecognized --flags are usage errors: the message names the flag and
+suggests the nearest recognized spelling (e.g. --max-nodes -> try
+--solver-nodes).
 
 Exit codes: 0 success, 1 coordinate gave up, 2 usage error, 70 injected
 fault crash, 126/127 node launch failure (cannot exec), 130 cancelled
@@ -254,14 +274,56 @@ double FlagDouble(const ParsedArgs& args, const std::string& key,
   return v;
 }
 
+/// Flags every command accepts on top of api::ApplyFlags' spec keys:
+/// process-wide fault arming (Main) and trace capture (TraceSession).
+const std::vector<std::string> kGlobalExtraFlags = {"faults", "trace"};
+
 /// Compiles the command's flags down to a JobSpec over `base` (the paper
 /// defaults, or a checkpoint's recorded options on resume) and validates
 /// it — the one option-assembly path, shared with the daemon (src/api/).
-api::JobSpec SpecFromFlags(const ParsedArgs& args, api::JobSpec base) {
-  api::ApplyFlags(args.flags, base);
+/// `command_flags` lists the keys this command consumes itself (resume's
+/// heartbeat, coordinate's fleet knobs); anything else unrecognized is a
+/// usage error with a nearest-flag suggestion (api::ApplyFlags).
+api::JobSpec SpecFromFlags(const ParsedArgs& args, api::JobSpec base,
+                           std::vector<std::string> command_flags = {}) {
+  command_flags.insert(command_flags.end(), kGlobalExtraFlags.begin(),
+                       kGlobalExtraFlags.end());
+  api::ApplyFlags(args.flags, base, command_flags);
   api::ValidateJobSpec(base);
   return base;
 }
+
+/// RAII trace capture for one command run: arms the global recorder when
+/// --trace=FILE (or XCV_TRACE=FILE) names an output, writes the Chrome
+/// trace_event JSON there on scope exit — including the exception path, so
+/// a crashed run still leaves its timeline behind. XCV_TRACE_CLOCK=fixed
+/// swaps in the deterministic counter clock (obs/trace.h).
+class TraceSession {
+ public:
+  explicit TraceSession(const ParsedArgs& args) {
+    if (const auto it = args.flags.find("trace"); it != args.flags.end()) {
+      path_ = it->second;
+    } else if (const char* env = std::getenv("XCV_TRACE");
+               env != nullptr && *env != '\0') {
+      path_ = env;
+    }
+    XCV_CHECK_MSG(args.flags.count("trace") == 0 || !path_.empty(),
+                  "--trace needs a file path (--trace=FILE)");
+    if (!path_.empty()) obs::TraceRecorder::Global().Start();
+  }
+  ~TraceSession() {
+    if (path_.empty()) return;
+    std::string error;
+    if (!obs::TraceRecorder::Global().StopToFile(path_, &error))
+      std::fprintf(stderr, "xcv: could not write trace file %s: %s\n",
+                   path_.c_str(), error.c_str());
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  std::string path_;
+};
 
 /// Runs the campaign with signal-cancel wiring and optional per-pair
 /// progress on stderr. Rendering is a separate step (RenderResult) so
@@ -332,6 +394,7 @@ int RenderResult(const CampaignResult& result, const CampaignOptions& options,
 int CmdVerify(const ParsedArgs& args) {
   if (RejectPositionals(args)) return 2;
   const api::JobSpec spec = SpecFromFlags(args, api::DefaultJobSpec());
+  TraceSession trace(args);
   const api::OutputPolicy policy =
       api::ResolveOutput(spec.output, spec.quiet, /*heartbeat_stream=*/false);
 
@@ -361,7 +424,9 @@ int CmdResume(const ParsedArgs& args) {
   // Flags override the checkpointed run configuration (e.g. more threads).
   api::JobSpec base = api::DefaultJobSpec();
   base.options = cp.options;
-  const api::JobSpec spec = SpecFromFlags(args, std::move(base));
+  const api::JobSpec spec =
+      SpecFromFlags(args, std::move(base), {"heartbeat", "heartbeat-stream"});
+  TraceSession trace(args);
   CampaignOptions options = spec.options;
   if (options.checkpoint_path.empty()) options.checkpoint_path = it->second;
 
@@ -437,16 +502,19 @@ struct SeededCampaign {
   api::JobSpec spec;
 };
 
-SeededCampaign CheckpointFromFlagsOrFile(const ParsedArgs& args) {
+SeededCampaign CheckpointFromFlagsOrFile(
+    const ParsedArgs& args, std::vector<std::string> command_flags) {
   SeededCampaign seeded;
   if (const auto it = args.flags.find("checkpoint"); it != args.flags.end()) {
     seeded.checkpoint = campaign::LoadCheckpointFile(it->second);
     api::JobSpec base = api::DefaultJobSpec();
     base.options = seeded.checkpoint.options;
-    seeded.spec = SpecFromFlags(args, std::move(base));
+    seeded.spec = SpecFromFlags(args, std::move(base),
+                                std::move(command_flags));
     seeded.checkpoint.options = seeded.spec.options;
   } else {
-    seeded.spec = SpecFromFlags(args, api::DefaultJobSpec());
+    seeded.spec = SpecFromFlags(args, api::DefaultJobSpec(),
+                                std::move(command_flags));
     seeded.checkpoint.options = seeded.spec.options;
     seeded.checkpoint.pairs = api::InitialPairs(seeded.spec);
   }
@@ -462,7 +530,9 @@ int CmdShard(const ParsedArgs& args) {
     popts.by = shard::ShardByFromToken(ToLower(it->second));
   popts.rebase_provenance = args.flags.count("rebalance") > 0;
 
-  campaign::Checkpoint cp = CheckpointFromFlagsOrFile(args).checkpoint;
+  campaign::Checkpoint cp =
+      CheckpointFromFlagsOrFile(args, {"shards", "by", "out-dir", "rebalance"})
+          .checkpoint;
 
   const std::string out_dir =
       args.flags.count("out-dir") ? args.flags.at("out-dir") : ".";
@@ -572,7 +642,10 @@ int CmdCoordinate(const ParsedArgs& args) {
   std::filesystem::create_directories(copts.work_dir, ec);
   XCV_CHECK_MSG(!ec, "cannot create --work-dir '" << copts.work_dir
                                                   << "': " << ec.message());
-  const SeededCampaign seeded = CheckpointFromFlagsOrFile(args);
+  const SeededCampaign seeded = CheckpointFromFlagsOrFile(
+      args, {"shards", "by", "nodes", "work-dir", "rebalance-epoch", "lease",
+             "max-epochs", "cache-dir", "xcv-bin", "kill-node", "fault-node"});
+  TraceSession trace(args);
   const campaign::Checkpoint& cp = seeded.checkpoint;
   // The WDL-style retry/preemption budgets ride in the spec's runtime
   // attrs (one assembly path with the daemon; see api::ApplyFlags).
@@ -806,8 +879,10 @@ int CmdList() {
   return 0;
 }
 
-int CmdInfo() {
+int CmdInfo(const ParsedArgs& args) {
   std::fputs(api::InfoReport().c_str(), stdout);
+  if (args.flags.count("metrics") > 0)
+    std::fputs(api::MetricsReport().c_str(), stdout);
   return 0;
 }
 
@@ -846,7 +921,7 @@ int Main(int argc, const char* const* argv) {
     }
     if (args->command == "info") {
       if (RejectPositionals(*args)) return 2;
-      return CmdInfo();
+      return CmdInfo(*args);
     }
     if (args->command == "help" || args->command == "--help") {
       if (RejectPositionals(*args)) return 2;

@@ -1,0 +1,252 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "support/io.h"
+
+namespace xcv::obs {
+
+namespace {
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked for the same reason as the metrics registry: spans may fire
+  // from static destructors of arbitrary TUs.
+  static TraceRecorder* g = new TraceRecorder();
+  return *g;
+}
+
+void TraceRecorder::ArmLocked(std::function<std::uint64_t()> now_us) {
+  clock_ = std::move(now_us);
+  events_.clear();
+  next_seq_ = 0;
+  next_tid_ = 1;
+  ++trace_epoch_;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The default clock: wall µs since arm, or (XCV_TRACE_CLOCK=fixed) a
+/// monotone counter so replays are byte-identical.
+std::function<std::uint64_t()> DefaultClock(
+    std::atomic<std::uint64_t>& fixed_now) {
+  const char* mode = std::getenv("XCV_TRACE_CLOCK");
+  if (mode != nullptr && std::string(mode) == "fixed") {
+    fixed_now.store(0, std::memory_order_relaxed);
+    return [&fixed_now] {
+      return fixed_now.fetch_add(1, std::memory_order_relaxed) + 1;
+    };
+  }
+  const auto epoch = std::chrono::steady_clock::now();
+  return [epoch] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+  };
+}
+
+}  // namespace
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.load(std::memory_order_relaxed)) return;
+  ArmLocked(DefaultClock(fixed_now_));
+}
+
+void TraceRecorder::StartWithClock(std::function<std::uint64_t()> now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.load(std::memory_order_relaxed)) return;
+  ArmLocked(std::move(now_us));
+}
+
+bool TraceRecorder::TryStart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_.load(std::memory_order_relaxed)) return false;
+  ArmLocked(DefaultClock(fixed_now_));
+  return true;
+}
+
+std::uint64_t TraceRecorder::NowUs() const {
+  std::function<std::uint64_t()> clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!clock_) return 0;
+    clock = clock_;
+  }
+  return clock();
+}
+
+int TraceRecorder::ThreadId() {
+  // First-touch ordinal per trace: deterministic for single-threaded runs
+  // and stable within one trace for multi-threaded ones. The epoch check
+  // invalidates the cache when a new trace starts.
+  static thread_local std::uint64_t tl_epoch = 0;
+  static thread_local int tl_tid = 0;
+  if (tl_epoch != trace_epoch_) {
+    tl_epoch = trace_epoch_;
+    tl_tid = next_tid_++;
+  }
+  return tl_tid;
+}
+
+void TraceRecorder::Append(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  e.tid = ThreadId();
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::RecordComplete(const std::string& name,
+                                   const std::string& cat,
+                                   std::uint64_t ts_us, std::uint64_t dur_us,
+                                   const std::string& args_json) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts = ts_us;
+  e.dur = dur_us;
+  e.args = args_json;
+  Append(std::move(e));
+}
+
+void TraceRecorder::RecordAsync(const std::string& name,
+                                const std::string& cat, char ph,
+                                std::uint64_t id,
+                                const std::string& args_json) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = ph;
+  e.ts = NowUs();
+  e.id = id;
+  e.args = args_json;
+  Append(std::move(e));
+}
+
+void TraceRecorder::RecordInstant(const std::string& name,
+                                  const std::string& cat,
+                                  const std::string& args_json) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts = NowUs();
+  e.args = args_json;
+  Append(std::move(e));
+}
+
+std::string TraceRecorder::Stop() {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.store(false, std::memory_order_relaxed);
+    events.swap(events_);
+    clock_ = nullptr;
+  }
+  // Stable presentation order: time, then thread, then append order.
+  // Spans are recorded at destruction, so an outer span lands after its
+  // children in append order but sorts before them by begin timestamp.
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.seq < b.seq;
+  });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"xcv\"}}";
+  for (const Event& e : events) {
+    out += ",\n{\"name\":\"" + EscapeJsonString(e.name) + "\",\"cat\":\"" +
+           EscapeJsonString(e.cat) + "\",\"ph\":\"" + std::string(1, e.ph) +
+           "\",\"ts\":" + std::to_string(e.ts);
+    if (e.ph == 'X') out += ",\"dur\":" + std::to_string(e.dur);
+    if (e.ph == 'b' || e.ph == 'e')
+      out += ",\"id\":" + std::to_string(e.id);
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) out += ",\"args\":{" + e.args + "}";
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::StopToFile(const std::string& path, std::string* error) {
+  const std::string json = Stop();
+  try {
+    support::AtomicWriteFile(path, json);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  return true;
+}
+
+// ---- Span -------------------------------------------------------------------
+
+Span::Span(const char* name, const char* cat)
+    : armed_(TraceRecorder::Global().armed()), name_(name), cat_(cat) {
+  if (armed_) begin_ = TraceRecorder::Global().NowUs();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  TraceRecorder& rec = TraceRecorder::Global();
+  const std::uint64_t end = rec.NowUs();
+  rec.RecordComplete(name_, cat_, begin_, end >= begin_ ? end - begin_ : 0,
+                     args_);
+}
+
+void Span::Arg(const char* key, const std::string& value) {
+  if (!armed_) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += "\"" + std::string(key) + "\":\"" + EscapeJsonString(value) + "\"";
+}
+
+void Span::Arg(const char* key, std::uint64_t value) {
+  if (!armed_) return;
+  if (!args_.empty()) args_ += ",";
+  args_ += "\"" + std::string(key) + "\":" + std::to_string(value);
+}
+
+void Instant(const char* name, const char* cat,
+             const std::string& args_json) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  if (!rec.armed()) return;
+  rec.RecordInstant(name, cat, args_json);
+}
+
+}  // namespace xcv::obs

@@ -1,0 +1,129 @@
+// Structured trace spans (the "T" of src/obs/): a process-global recorder
+// that captures RAII spans and instant events into Chrome `trace_event`
+// JSON, loadable in chrome://tracing or Perfetto. Spans nest job → pair →
+// solve → classify/contract/cache-revalidate; the shard coordinator's node
+// launches/retries/backoffs/quarantines land in the same timeline.
+//
+// Cost model: when no trace is armed, a Span constructor is ONE relaxed
+// atomic load (same disarmed shape as fault.h and obs/metrics.h) — safe to
+// leave in solver-adjacent code. When armed, each event takes a mutex for
+// the append; tracing is an opt-in diagnostic mode, not a hot-path one.
+//
+// Determinism: the recorder's clock is injectable. XCV_TRACE_CLOCK=fixed
+// swaps the wall clock for a monotone counter (each read advances 1µs), so
+// a single-threaded traced run renders a byte-identical file every time —
+// the acceptance harness diffs two such runs. Event args carry only
+// deterministic payloads (result kinds, node counts), never wall seconds.
+//
+// Tracing never feeds back into verdicts/reports/checkpoints.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xcv::obs {
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// One relaxed load — the disarmed fast path.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Arms with the default clock: wall µs since Start, or the fixed
+  /// counter clock when XCV_TRACE_CLOCK=fixed. No-op if already armed.
+  void Start();
+
+  /// Arms with an explicit clock (µs since trace start). Tests inject
+  /// plain counters here; replays stay deterministic.
+  void StartWithClock(std::function<std::uint64_t()> now_us);
+
+  /// Arms only if currently idle; returns whether this caller won. The
+  /// daemon uses this so one job at a time owns the recorder.
+  bool TryStart();
+
+  std::uint64_t NowUs() const;
+
+  /// ph "X" complete event. `args_json` is either empty or a JSON object
+  /// body fragment (`"key":"value",...`) — pre-rendered by Span.
+  void RecordComplete(const std::string& name, const std::string& cat,
+                      std::uint64_t ts_us, std::uint64_t dur_us,
+                      const std::string& args_json);
+  /// ph "b"/"e" async event (id-matched; pairs interleave across threads).
+  void RecordAsync(const std::string& name, const std::string& cat, char ph,
+                   std::uint64_t id, const std::string& args_json = "");
+  /// ph "i" thread-scoped instant event.
+  void RecordInstant(const std::string& name, const std::string& cat,
+                     const std::string& args_json = "");
+
+  /// Renders the Chrome trace JSON, clears all events, and disarms.
+  std::string Stop();
+  /// Stop() + AtomicWriteFile. Returns false (with *error set) on write
+  /// failure; the recorder is disarmed either way.
+  bool StopToFile(const std::string& path, std::string* error);
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string cat;
+    char ph = 'X';
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;   // ph X only
+    std::uint64_t id = 0;    // ph b/e only
+    int tid = 0;
+    std::uint64_t seq = 0;   // render tiebreak: append order
+    std::string args;        // JSON object body fragment ("" = no args)
+  };
+
+  void ArmLocked(std::function<std::uint64_t()> now_us);
+  int ThreadId();
+  void Append(Event e);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> fixed_now_{0};
+  mutable std::mutex mu_;
+  std::function<std::uint64_t()> clock_;
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 0;
+  int next_tid_ = 1;
+  std::uint64_t trace_epoch_ = 0;  // bumped per Start; invalidates tid cache
+};
+
+/// RAII complete-event span. Captures the armed state once at
+/// construction; a disarmed span costs one relaxed load and nothing else.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "xcv");
+  ~Span();
+
+  bool armed() const { return armed_; }
+
+  /// Attach deterministic args (rendered into the event's "args" object).
+  /// No-ops when disarmed. Values must not depend on wall time.
+  void Arg(const char* key, const std::string& value);
+  void Arg(const char* key, std::uint64_t value);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool armed_;
+  const char* name_;
+  const char* cat_;
+  std::uint64_t begin_ = 0;
+  std::string args_;
+};
+
+/// Thread-scoped instant event; one relaxed load when disarmed.
+void Instant(const char* name, const char* cat = "xcv",
+             const std::string& args_json = "");
+
+}  // namespace xcv::obs

@@ -1,6 +1,7 @@
 #include "service/daemon.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -10,6 +11,8 @@
 
 #include "api/render.h"
 #include "campaign/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/io.h"
 #include "support/json.h"
@@ -70,6 +73,14 @@ HttpResponse ErrorResponse(int status, const std::string& message) {
                       "{\"error\": " + json::JsonEscape(message) + "}\n");
 }
 
+obs::Histogram& AdmissionWaitHistogram() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "xcv_daemon_admission_wait_seconds",
+      "Seconds a job waited in the queue before a scheduler slot.",
+      obs::DefaultSecondsBuckets());
+  return h;
+}
+
 }  // namespace
 
 struct Daemon::Job {
@@ -100,6 +111,9 @@ struct Daemon::Job {
   /// Valid exactly while RunJob is inside campaign.Run (guarded by mu_);
   /// the cancel/pause endpoints use it to request a cooperative stop.
   campaign::Campaign* campaign = nullptr;
+  /// When the job last entered the queue (zero = unknown, e.g. restored
+  /// from a journal) — feeds the admission-wait histogram on admission.
+  std::chrono::steady_clock::time_point queued_at{};
 
   /// Resets the progress view to the spec's unrun matrix.
   void InitProgressFromSpec() { ProgressFromPairStates(api::InitialPairs(spec)); }
@@ -143,9 +157,40 @@ std::string Daemon::CheckpointPathFor(const std::string& id) const {
   return options_.state_dir + "/job-" + id + ".json";
 }
 
+std::string Daemon::TracePathFor(const std::string& id) const {
+  return options_.state_dir + "/trace-" + id + ".json";
+}
+
+void Daemon::UpdateJobsGaugeLocked() {
+  // Count jobs per (tenant, state) and push the whole grid, including
+  // zeros for every previously seen tenant — a gauge that never returns
+  // to zero would report phantom jobs after they finish.
+  std::map<std::pair<std::string, std::string>, double> counts;
+  for (const auto& job : jobs_) {
+    gauge_tenants_.insert(job->spec.tenant);
+    ++counts[{job->spec.tenant, JobStatusToken(job->status)}];
+  }
+  static constexpr JobStatus kAll[] = {
+      JobStatus::kQueued,    JobStatus::kRunning,    JobStatus::kPausing,
+      JobStatus::kPaused,    JobStatus::kCancelling, JobStatus::kCancelled,
+      JobStatus::kDone,      JobStatus::kFailed};
+  for (const std::string& tenant : gauge_tenants_) {
+    for (JobStatus s : kAll) {
+      const char* token = JobStatusToken(s);
+      obs::Registry::Global()
+          .GetGauge("xcv_daemon_jobs", "Jobs in the daemon queue.",
+                    {"tenant", "state"}, {tenant, token})
+          .Set(counts[{tenant, token}]);
+    }
+  }
+}
+
 // ---- Journal ----------------------------------------------------------------
 
 void Daemon::SaveJournalLocked() {
+  // Every queue transition passes through here, making it the one hook
+  // needed to keep the per-tenant jobs gauge in step with the journal.
+  if (obs::MetricsEnabled()) UpdateJobsGaugeLocked();
   std::string out = "{\n";
   out += "  \"format\": \"xcvd-queue\",\n";
   out += "  \"version\": 1,\n";
@@ -431,6 +476,13 @@ void Daemon::SchedulerLoop() {
     if (stopping_) return;
     Job* job = PickNextLocked();
     if (job == nullptr) continue;
+    if (obs::MetricsEnabled() &&
+        job->queued_at.time_since_epoch().count() != 0)
+      AdmissionWaitHistogram().Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        job->queued_at)
+              .count());
+    job->queued_at = {};
     job->status = JobStatus::kRunning;
     ++running_count_;
     tenant_last_served_[job->spec.tenant] = ++tenant_serve_seq_;
@@ -447,6 +499,13 @@ void Daemon::SchedulerLoop() {
 }
 
 void Daemon::RunJob(Job* job) {
+  // Per-job span timeline: the process-wide recorder is claimed for this
+  // run if it is free (TryStart — at max_concurrent_jobs > 1 a concurrent
+  // job simply runs untraced) and its events land in trace-<id>.json for
+  // GET /v1/campaigns/:id/trace.
+  const bool tracing =
+      options_.job_traces && obs::TraceRecorder::Global().TryStart();
+
   // The job's options, re-based onto the daemon's state: its checkpoint
   // lives in the state dir and every solver verdict flows through the one
   // process-wide cache. The spec's own checkpoint/cache paths are CLI
@@ -518,6 +577,15 @@ void Daemon::RunJob(Job* job) {
     error = e.what();
   }
 
+  if (tracing) {
+    std::string trace_error;
+    if (!obs::TraceRecorder::Global().StopToFile(TracePathFor(job->id),
+                                                 &trace_error) &&
+        options_.verbose)
+      std::fprintf(stderr, "[xcvd] %s: trace write failed: %s\n",
+                   job->id.c_str(), trace_error.c_str());
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!error.empty()) {
@@ -556,6 +624,13 @@ HttpResponse Daemon::Handle(const HttpRequest& req) {
   try {
     if (req.path == "/v1/healthz" && req.method == "GET")
       return HandleHealthz();
+    if (req.path == "/v1/metrics" && req.method == "GET") {
+      HttpResponse resp;
+      // Prometheus text exposition format 0.0.4 — scrape-ready as-is.
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::Registry::Global().RenderPrometheus();
+      return resp;
+    }
     if (req.path == "/v1/info" && req.method == "GET") {
       HttpResponse resp;
       resp.content_type = "text/plain; charset=utf-8";
@@ -586,6 +661,8 @@ HttpResponse Daemon::Handle(const HttpRequest& req) {
       if (action.empty() && req.method == "GET") return HandleGet(*job);
       if (action == "report" && req.method == "GET")
         return HandleReport(*job, req);
+      if (action == "trace" && req.method == "GET")
+        return HandleTrace(*job);
       if (action == "pause" && req.method == "POST")
         return HandleStopJob(*job, /*cancel=*/false);
       if (action == "cancel" && req.method == "POST")
@@ -610,6 +687,7 @@ HttpResponse Daemon::HandleSubmit(const HttpRequest& req) {
   auto job = std::make_unique<Job>();
   job->id = "j" + std::to_string(next_id_++);
   job->spec = std::move(spec);
+  job->queued_at = std::chrono::steady_clock::now();
   job->InitProgressFromSpec();
   const std::string id = job->id;
   jobs_.push_back(std::move(job));
@@ -700,6 +778,7 @@ HttpResponse Daemon::HandleResume(Job& job) {
   job.status = JobStatus::kQueued;
   job.error.clear();
   job.pending = Job::Pending::kNone;
+  job.queued_at = std::chrono::steady_clock::now();
   SaveJournalLocked();
   cv_.notify_all();
   return JsonResponse(202, "{\"status\": \"queued\"}\n");
@@ -743,6 +822,21 @@ HttpResponse Daemon::HandleReport(const Job& job, const HttpRequest& req) {
   return resp;
 }
 
+HttpResponse Daemon::HandleTrace(const Job& job) {
+  // Serves the file the job's RunJob invocation wrote (AtomicWriteFile, so
+  // a concurrent rewrite is never seen half-written). No file means the
+  // job has not run since the daemon started, or traces are disabled, or
+  // another concurrent job owned the recorder during its run.
+  std::string body;
+  if (!support::ReadFileToString(TracePathFor(job.id), &body, nullptr))
+    return ErrorResponse(404, "job " + job.id + " has no trace (not run "
+                                  "yet, or job traces are disabled)");
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
 HttpResponse Daemon::HandleHealthz() {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t queued = 0, running = 0, done = 0, failed = 0;
@@ -752,13 +846,23 @@ HttpResponse Daemon::HandleHealthz() {
     if (job->status == JobStatus::kDone) ++done;
     if (job->status == JobStatus::kFailed) ++failed;
   }
+  const obs::Registry& reg = obs::Registry::Global();
   std::string out = "{\"status\": \"ok\", \"queued\": " +
                     std::to_string(queued) +
                     ", \"running\": " + std::to_string(running) +
                     ", \"done\": " + std::to_string(done) +
                     ", \"failed\": " + std::to_string(failed) +
                     ", \"cache_entries\": " + std::to_string(cache_.size()) +
-                    "}\n";
+                    ", \"metrics\": {\"solver_calls\": " +
+                    obs::FormatMetricValue(
+                        reg.CounterTotal("xcv_solver_calls_total")) +
+                    ", \"cache_lookups\": " +
+                    obs::FormatMetricValue(
+                        reg.CounterTotal("xcv_cache_lookups_total")) +
+                    ", \"http_requests\": " +
+                    obs::FormatMetricValue(
+                        reg.CounterTotal("xcv_http_requests_total")) +
+                    "}}\n";
   return JsonResponse(200, std::move(out));
 }
 

@@ -31,7 +31,13 @@
 //   GET  /v1/campaigns/:id/report    ?format=table|json|csv (job's own
 //                                    output mode by default) — csv is
 //                                    byte-identical to `xcv verify`
-//   GET  /v1/healthz                 liveness + queue counters
+//   GET  /v1/campaigns/:id/trace     the job's span timeline as Chrome
+//                                    trace_event JSON (404 until the job
+//                                    has run with job traces enabled)
+//   GET  /v1/healthz                 liveness + queue counters + a summary
+//                                    of the process metrics registry
+//   GET  /v1/metrics                 Prometheus text exposition of every
+//                                    registered metric (text/plain 0.0.4)
 //   GET  /v1/info                    the `xcv info` report (text/plain)
 //   POST /v1/shutdown                graceful stop (checkpoints + journal)
 #pragma once
@@ -42,6 +48,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +88,12 @@ struct DaemonOptions {
   /// Log lines on stderr (the daemon never writes to stdout — stdout
   /// belongs to machine-read streams, per the OutputPolicy rules).
   bool verbose = false;
+  /// Record a span timeline per job run into <state_dir>/trace-<id>.json,
+  /// served by GET /v1/campaigns/:id/trace. The process-wide recorder has
+  /// one timeline, so only one job traces at a time (first admitted wins;
+  /// complete coverage at max_concurrent_jobs = 1). Verdicts and reports
+  /// are identical either way.
+  bool job_traces = true;
 };
 
 class Daemon {
@@ -129,6 +142,11 @@ class Daemon {
   std::string JournalPath() const;
   std::string CachePath() const;
   std::string CheckpointPathFor(const std::string& id) const;
+  std::string TracePathFor(const std::string& id) const;
+
+  /// Recomputes the xcv_daemon_jobs{tenant,state} gauge family from the
+  /// queue (called from SaveJournalLocked — every state transition saves).
+  void UpdateJobsGaugeLocked();
 
   /// Serializes the whole queue under mu_ and writes it durably.
   void SaveJournalLocked();
@@ -151,6 +169,7 @@ class Daemon {
   HttpResponse HandleStopJob(Job& job, bool cancel);
   HttpResponse HandleResume(Job& job);
   HttpResponse HandleReport(const Job& job, const HttpRequest& req);
+  HttpResponse HandleTrace(const Job& job);
   HttpResponse HandleHealthz();
 
   DaemonOptions options_;
@@ -165,6 +184,9 @@ class Daemon {
   /// PickNextLocked breaks load ties by least-recently-served tenant.
   std::uint64_t tenant_serve_seq_ = 0;
   std::map<std::string, std::uint64_t> tenant_last_served_;
+  /// Every tenant the jobs gauge has ever reported, so a tenant whose jobs
+  /// all finish still gets its per-state series zeroed (not left stale).
+  std::set<std::string> gauge_tenants_;
   int running_count_ = 0;
   std::vector<std::unique_ptr<Runner>> runners_;
   std::thread scheduler_;

@@ -8,10 +8,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/json.h"
 
@@ -21,6 +23,53 @@ namespace {
 
 constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
+
+/// Collapses per-resource path segments so routes form a bounded label
+/// set: any segment that looks like a job id ("j" + digits) or a bare
+/// number becomes ":id". "/v1/campaigns/j12/report" → "/v1/campaigns/:id/
+/// report".
+std::string NormalizeRoute(const std::string& path) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] != '/') {  // degenerate target; keep as-is
+      out += path[i++];
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < path.size() && path[j] != '/') ++j;
+    const std::string seg = path.substr(i + 1, j - i - 1);
+    bool id_like = !seg.empty();
+    std::size_t k = 0;
+    if (seg[0] == 'j') k = 1;
+    if (k >= seg.size()) id_like = false;
+    for (; id_like && k < seg.size(); ++k)
+      if (!std::isdigit(static_cast<unsigned char>(seg[k]))) id_like = false;
+    out += "/";
+    out += id_like ? ":id" : seg;
+    i = j;
+  }
+  return out.empty() ? "/" : out;
+}
+
+void ObserveRequest(const std::string& method, const std::string& path,
+                    int status, double seconds) {
+  if (!obs::MetricsEnabled()) return;
+  const std::string route = method + " " + NormalizeRoute(path);
+  // Routes are a small bounded set, but the label value is dynamic, so
+  // these lookups go through the registry each time (one mutex acquire on
+  // a cold admin-path endpoint — not a hot path).
+  obs::Registry::Global()
+      .GetCounter("xcv_http_requests_total",
+                  "HTTP requests served, by normalized route and status.",
+                  {"route", "code"}, {route, std::to_string(status)})
+      .Inc();
+  obs::Registry::Global()
+      .GetHistogram("xcv_http_request_seconds",
+                    "HTTP request handling latency by normalized route.",
+                    obs::DefaultSecondsBuckets(), {"route"}, {route})
+      .Observe(seconds);
+}
 
 std::string UrlDecode(const std::string& s) {
   std::string out;
@@ -212,6 +261,7 @@ void HttpServer::AcceptLoop() {
     HttpRequest req;
     if (ReadRequest(fd, req)) {
       HttpResponse resp;
+      const auto handle_start = std::chrono::steady_clock::now();
       try {
         resp = handler_(req);
       } catch (const std::exception& e) {
@@ -219,6 +269,10 @@ void HttpServer::AcceptLoop() {
         resp.content_type = "application/json";
         resp.body = "{\"error\": " + json::JsonEscape(e.what()) + "}\n";
       }
+      ObserveRequest(req.method, req.path, resp.status,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - handle_start)
+                         .count());
       WriteResponse(fd, resp);
     }
     ::shutdown(fd, SHUT_RDWR);

@@ -17,6 +17,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/merge.h"
 #include "shard/transport.h"
 #include "support/check.h"
@@ -29,6 +31,36 @@ using campaign::PairState;
 namespace retry = support::retry;
 
 namespace {
+
+// Coordinator observability (src/obs/): fleet-level counters plus trace
+// instants so node attempts, backoffs, quarantines, and re-deals land in
+// the same timeline as the solver spans when a trace is armed.
+obs::Counter& CoordCounter(const char* which) {
+  static obs::Counter& retries = obs::Registry::Global().GetCounter(
+      "xcv_coordinator_retries_total", "Node attempts scheduled for retry.");
+  static obs::Counter& preemptions = obs::Registry::Global().GetCounter(
+      "xcv_coordinator_preemptions_total",
+      "Node attempts classified as preempted.");
+  static obs::Counter& quarantines = obs::Registry::Global().GetCounter(
+      "xcv_coordinator_quarantines_total",
+      "Nodes newly quarantined by the ledger.");
+  static obs::Counter& launches = obs::Registry::Global().GetCounter(
+      "xcv_coordinator_launches_total", "Node attempts launched.");
+  switch (which[0]) {
+    case 'r': return retries;
+    case 'p': return preemptions;
+    case 'q': return quarantines;
+    default: return launches;
+  }
+}
+
+obs::Histogram& EpochSecondsHistogram() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "xcv_coordinator_epoch_seconds",
+      "Wall seconds per coordinator epoch (launch to merge).",
+      obs::DefaultSecondsBuckets());
+  return h;
+}
 
 std::string PairKey(const PairState& p) {
   return p.functional + '\x1f' + p.condition;
@@ -232,6 +264,19 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
                             " node=" + slot.node +
                             " attempt=" + std::to_string(slot.attempt) + " " +
                             what);
+    // Mirror every structured event into the trace timeline: retries,
+    // backoffs, quarantines, and give-ups interleave with solver spans.
+    obs::TraceRecorder& trec = obs::TraceRecorder::Global();
+    if (trec.armed()) {
+      std::string detail = what;
+      for (char& c : detail)
+        if (c == '"') c = '\'';
+      trec.RecordInstant("coordinator-event", "coordinator",
+                         "\"node\":\"" + slot.node +
+                             "\",\"epoch\":" + std::to_string(epoch) +
+                             ",\"attempt\":" + std::to_string(slot.attempt) +
+                             ",\"what\":\"" + detail + "\"");
+    }
   };
 
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
@@ -298,10 +343,14 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
       const bool newly_quarantined =
           ledger.RecordFailure(s.node, kind, options.attrs);
       ledger.Save();
-      if (kind == retry::FailureKind::kPreempted) ++result.preemptions;
+      if (kind == retry::FailureKind::kPreempted) {
+        ++result.preemptions;
+        CoordCounter("preemptions").Inc();
+      }
       if (kind == retry::FailureKind::kHeartbeatStall) ++result.stalls;
       if (kind == retry::FailureKind::kLaunchError) ++result.launch_failures;
       if (newly_quarantined) {
+        CoordCounter("quarantines").Inc();
         result.quarantined.push_back(s.node);
         event(epoch, s,
               std::string("kind=") + retry::FailureKindName(kind) +
@@ -333,6 +382,7 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
       log("node %s: %s — retrying in %.3fs", s.node.c_str(),
           retry::FailureKindName(kind), backoff);
       ++result.retries;
+      CoordCounter("retries").Inc();
     };
 
     auto launch = [&](Slot& s) {
@@ -386,6 +436,8 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
         spec.fault_env = options.fault_spec;
       ledger.RecordLaunch(s.node);
       ++result.launches;
+      CoordCounter("launches").Inc();
+      event(epoch, s, "action=launch");
       std::string err;
       if (transport->Launch(spec, &err)) {
         s.phase = Slot::Phase::kRunning;
@@ -396,6 +448,10 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
     };
 
     const auto epoch_start = std::chrono::steady_clock::now();
+    const std::uint64_t trace_epoch_t0 =
+        obs::TraceRecorder::Global().armed()
+            ? obs::TraceRecorder::Global().NowUs()
+            : 0;
     for (Slot& s : slots) launch(s);
     log("epoch %d: launched %zu node(s) via %s transport", epoch, n,
         transport->Name());
@@ -579,6 +635,16 @@ CoordinatorResult RunCoordinator(const CoordinatorOptions& options_in) {
     state = std::move(merged);
 
     PruneEpochLogs(options.work_dir, epoch);
+
+    EpochSecondsHistogram().Observe(SecondsSince(epoch_start));
+    if (obs::TraceRecorder::Global().armed()) {
+      obs::TraceRecorder& trec = obs::TraceRecorder::Global();
+      const std::uint64_t now = trec.NowUs();
+      trec.RecordComplete("epoch " + std::to_string(epoch), "coordinator",
+                          trace_epoch_t0,
+                          now >= trace_epoch_t0 ? now - trace_epoch_t0 : 0,
+                          "\"nodes\":" + std::to_string(n));
+    }
 
     std::size_t open_pairs = 0;
     for (const PairState& p : state.pairs)

@@ -12,6 +12,7 @@
 #include "cache/verdict_cache.h"
 #include "expr/eval.h"
 #include "expr/optimize.h"
+#include "obs/trace.h"
 #include "support/check.h"
 
 namespace xcv::solver {
@@ -383,6 +384,11 @@ void DeltaSolver::ClassifyContractWave() {
   const std::size_t nreq = required_atoms_.size();
   const bool measure = options_.measure_phases && phase_stats_ != nullptr;
   Stopwatch classify_watch;
+  // Per-wave (not per-node) phase spans: one relaxed load when no trace is
+  // armed, so the kernels stay clean of clock reads in normal runs.
+  obs::TraceRecorder& trec = obs::TraceRecorder::Global();
+  const bool tracing = trec.armed();
+  const std::uint64_t trace_t0 = tracing ? trec.NowUs() : 0;
 
   // Forward sweeps. Required atoms fill their own scratch so the per-slot
   // lanes survive until the backward pass below; the rest share one.
@@ -403,6 +409,10 @@ void DeltaSolver::ClassifyContractWave() {
   for (std::size_t k = 0; k < k_boxes; ++k)
     classified_[static_cast<std::size_t>(wave_refs_[k])] = 1;
   if (measure) phase_stats_->classify_seconds += classify_watch.ElapsedSeconds();
+  if (tracing)
+    trec.RecordComplete("classify", "xcv", trace_t0,
+                        trec.NowUs() - trace_t0,
+                        "\"boxes\":" + std::to_string(k_boxes));
 
   // Batched HC4 fixpoint over every undecided lane: the exact rounds ×
   // required-atoms loop the pop path used to run per box, precomputed for
@@ -412,6 +422,7 @@ void DeltaSolver::ClassifyContractWave() {
   // lane's narrowing sequence, final box, and contraction-call count are
   // exactly what the scalar loop produces for that box.
   Stopwatch contract_watch;
+  const std::uint64_t trace_t1 = tracing ? trec.NowUs() : 0;
   wave_active_.resize(width);
   wave_any_.resize(width);
   wave_done_.resize(width);
@@ -452,6 +463,10 @@ void DeltaSolver::ClassifyContractWave() {
   if (!can_precompute || undecided == 0) {
     if (measure)
       phase_stats_->contract_seconds += contract_watch.ElapsedSeconds();
+    if (tracing)
+      trec.RecordComplete("contract", "xcv", trace_t1,
+                          trec.NowUs() - trace_t1,
+                          "\"boxes\":" + std::to_string(k_boxes));
     return;
   }
 
@@ -516,6 +531,10 @@ void DeltaSolver::ClassifyContractWave() {
     }
   }
   if (measure) phase_stats_->contract_seconds += contract_watch.ElapsedSeconds();
+  if (tracing)
+    trec.RecordComplete("contract", "xcv", trace_t1,
+                        trec.NowUs() - trace_t1,
+                        "\"boxes\":" + std::to_string(k_boxes));
 }
 
 void DeltaSolver::ExpandWaveChildren() {

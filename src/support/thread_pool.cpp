@@ -1,8 +1,10 @@
 #include "support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "support/check.h"
 
 namespace xcv {
@@ -13,6 +15,50 @@ namespace {
 // recursive Submit() can use the local deque fast path.
 thread_local ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker = 0;
+
+// Scheduler observability (src/obs/metrics.h). All pools in the process
+// report into one family set; the registry lookups resolve once into
+// function-local statics and each update is a relaxed atomic op (one
+// relaxed load when metrics are disabled).
+obs::Counter& TasksCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "xcv_scheduler_tasks_total", "Tasks submitted to the shared pools.");
+  return c;
+}
+
+obs::Counter& StealsCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "xcv_scheduler_steals_total",
+      "Tasks taken from another worker's deque.");
+  return c;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::Registry::Global().GetGauge(
+      "xcv_scheduler_queue_depth",
+      "Outstanding tasks (queued + deferred + running) across pools.");
+  return g;
+}
+
+obs::Histogram& TaskWaitHistogram() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "xcv_scheduler_task_wait_seconds",
+      "Seconds a task spent queued before a worker picked it up.",
+      obs::DefaultSecondsBuckets());
+  return h;
+}
+
+obs::Histogram& TaskRunHistogram() {
+  static obs::Histogram& h = obs::Registry::Global().GetHistogram(
+      "xcv_scheduler_task_run_seconds", "Seconds a task ran on a worker.",
+      obs::DefaultSecondsBuckets());
+  return h;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 }  // namespace
 
@@ -47,7 +93,12 @@ void ThreadPool::Submit(std::function<void()> task) {
   Item item;
   item.seq = next_seq_++;
   item.fn = std::move(task);
+  if (obs::MetricsEnabled()) {
+    item.enqueued = std::chrono::steady_clock::now();
+    TasksCounter().Inc();
+  }
   ++outstanding_;
+  QueueDepthGauge().Set(static_cast<double>(outstanding_));
   if (tl_pool == this) {
     local_[tl_worker].push_back(std::move(item));
   } else {
@@ -69,7 +120,12 @@ void ThreadPool::Submit(const std::shared_ptr<Group>& group, double priority,
   item.seq = next_seq_++;
   item.group = group;
   item.fn = std::move(task);
+  if (obs::MetricsEnabled()) {
+    item.enqueued = std::chrono::steady_clock::now();
+    TasksCounter().Inc();
+  }
   ++outstanding_;
+  QueueDepthGauge().Set(static_cast<double>(outstanding_));
   ++group->pending_;
   frontier_.push_back(std::move(item));
   std::push_heap(frontier_.begin(), frontier_.end(), ItemHeapLess{});
@@ -151,6 +207,7 @@ bool ThreadPool::TryTakeLocked(std::size_t worker_index, Item* out) {
     if (i == worker_index || local_[i].empty()) continue;
     *out = std::move(local_[i].front());
     local_[i].pop_front();
+    StealsCounter().Inc();
     return true;
   }
   return false;
@@ -159,6 +216,7 @@ bool ThreadPool::TryTakeLocked(std::size_t worker_index, Item* out) {
 void ThreadPool::FinishItemLocked(const Item& item) {
   --active_;
   --outstanding_;
+  QueueDepthGauge().Set(static_cast<double>(outstanding_));
   if (Group* g = item.group.get()) {
     --g->running_;
     --g->pending_;
@@ -185,8 +243,14 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
       ++active_;
       if (Group* g = item.group.get()) ++g->running_;
       lock.unlock();
+      const bool observe = obs::MetricsEnabled() &&
+                           item.enqueued.time_since_epoch().count() != 0;
+      if (observe) TaskWaitHistogram().Observe(SecondsSince(item.enqueued));
+      const auto run_start = observe ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
       item.fn();  // Exceptions from tasks are intentionally fatal (terminate):
                   // engine tasks catch their own errors and record them.
+      if (observe) TaskRunHistogram().Observe(SecondsSince(run_start));
       item.fn = nullptr;
       lock.lock();
       FinishItemLocked(item);

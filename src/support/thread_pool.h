@@ -18,6 +18,7 @@
 // grows on demand and replaces the old per-Verifier::Run pools.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -82,6 +83,10 @@ class ThreadPool {
     std::uint64_t seq = 0;
     std::shared_ptr<Group> group;  // null for ungrouped tasks
     std::function<void()> fn;
+    // Submit timestamp for the scheduler's task-wait-latency histogram
+    // (src/obs/metrics.h). Stamped only when metrics are enabled; a zero
+    // value means "don't observe".
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   void WorkerLoop(std::size_t worker_index);

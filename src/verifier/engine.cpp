@@ -10,6 +10,8 @@
 
 #include "expr/eval.h"
 #include "expr/optimize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/thread_pool.h"
 
@@ -47,6 +49,74 @@ bool BoxLess(const Box& a, const Box& b) {
     if (a[i].hi() != b[i].hi()) return a[i].hi() < b[i].hi();
   }
   return a.size() < b.size();
+}
+
+// Observability instruments (src/obs/metrics.h). Each accessor resolves
+// its registry slot once into a function-local static; after that an
+// increment is one relaxed fetch_add — or one relaxed load when metrics
+// are disabled. These mirror (never replace) the report counters: the
+// fetch_adds on cache_hits_/solver_calls_/... below stay the source of
+// truth for verdicts and CSVs.
+obs::Counter& CacheLookupCounter(const char* outcome) {
+  static const char* kHelp =
+      "Verdict-cache lookups by outcome (mirrors the report's "
+      "cache_hits/cache_misses/cache_rejected columns).";
+  static obs::Counter& hit = obs::Registry::Global().GetCounter(
+      "xcv_cache_lookups_total", kHelp, {"outcome"}, {"hit"});
+  static obs::Counter& miss = obs::Registry::Global().GetCounter(
+      "xcv_cache_lookups_total", kHelp, {"outcome"}, {"miss"});
+  static obs::Counter& rejected = obs::Registry::Global().GetCounter(
+      "xcv_cache_lookups_total", kHelp, {"outcome"}, {"rejected"});
+  if (outcome[0] == 'h') return hit;
+  if (outcome[0] == 'm') return miss;
+  return rejected;
+}
+
+obs::Counter& SolverCallCounter(SatKind kind) {
+  static const char* kHelp =
+      "DeltaSolver::Check invocations by result (sums to the report's "
+      "solver_calls column; result=\"timeout\" is solver_timeouts).";
+  static obs::Counter& unsat = obs::Registry::Global().GetCounter(
+      "xcv_solver_calls_total", kHelp, {"result"}, {"unsat"});
+  static obs::Counter& delta_sat = obs::Registry::Global().GetCounter(
+      "xcv_solver_calls_total", kHelp, {"result"}, {"delta_sat"});
+  static obs::Counter& timeout = obs::Registry::Global().GetCounter(
+      "xcv_solver_calls_total", kHelp, {"result"}, {"timeout"});
+  switch (kind) {
+    case SatKind::kUnsat: return unsat;
+    case SatKind::kDeltaSat: return delta_sat;
+    case SatKind::kTimeout: return timeout;
+  }
+  return timeout;
+}
+
+void ObserveSolverStats(const solver::SolverStats& stats) {
+  static obs::Counter& nodes = obs::Registry::Global().GetCounter(
+      "xcv_solver_nodes_total", "ICP boxes popped across all solves.");
+  static obs::Counter& contractions = obs::Registry::Global().GetCounter(
+      "xcv_solver_contractions_total", "HC4 contraction passes executed.");
+  static obs::Counter& prunes = obs::Registry::Global().GetCounter(
+      "xcv_solver_prunes_total",
+      "Boxes discarded by certainty or emptiness.");
+  static const char* kPhaseHelp =
+      "Per-phase solver seconds (populated only when measure_phases is "
+      "on; see SolverOptions).";
+  static obs::Counter& classify = obs::Registry::Global().GetCounter(
+      "xcv_solver_phase_seconds_total", kPhaseHelp, {"phase"}, {"classify"});
+  static obs::Counter& contract = obs::Registry::Global().GetCounter(
+      "xcv_solver_phase_seconds_total", kPhaseHelp, {"phase"}, {"contract"});
+  nodes.Add(static_cast<double>(stats.nodes));
+  contractions.Add(static_cast<double>(stats.contractions));
+  prunes.Add(static_cast<double>(stats.prunes));
+  if (stats.classify_seconds > 0.0) classify.Add(stats.classify_seconds);
+  if (stats.contract_seconds > 0.0) contract.Add(stats.contract_seconds);
+}
+
+obs::Counter& CacheRevalidationCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter(
+      "xcv_cache_revalidations_total",
+      "Batched forward sweeps run to revalidate cached verdicts.");
+  return c;
 }
 
 }  // namespace
@@ -341,29 +411,47 @@ bool PairEngine::ProcessNext(const std::atomic<bool>* cancel) {
     // without spending solver time (keeps the partition total).
   } else {
     auto solver = AcquireSolver();
-    CheckResult result = solver->Check(box);
-    if (result.from_cache &&
-        !RevalidateCachedResult(*solver, item.seq, box, result)) {
-      // The cached entry contradicts a fresh interval sweep (scope-hash
-      // collision or a tampered file): distrust it and solve for real. The
-      // fresh result overwrites the bad entry.
-      hit_rejected = true;
-      cache_rejected_.fetch_add(1, std::memory_order_relaxed);
-      result = solver->Check(box, /*consult_cache=*/false);
+    CheckResult result;
+    {
+      obs::Span solve_span("solve");
+      result = solver->Check(box);
+      if (result.from_cache &&
+          !RevalidateCachedResult(*solver, item.seq, box, result)) {
+        // The cached entry contradicts a fresh interval sweep (scope-hash
+        // collision or a tampered file): distrust it and solve for real.
+        // The fresh result overwrites the bad entry.
+        hit_rejected = true;
+        cache_rejected_.fetch_add(1, std::memory_order_relaxed);
+        CacheLookupCounter("rejected").Inc();
+        result = solver->Check(box, /*consult_cache=*/false);
+      }
+      if (solve_span.armed()) {
+        // Deterministic args only (no wall seconds): replays of the same
+        // run under the fixed trace clock stay byte-identical.
+        solve_span.Arg("result", solver::SatKindName(result.kind));
+        solve_span.Arg("nodes", result.stats.nodes);
+        solve_span.Arg("from_cache",
+                       static_cast<std::uint64_t>(result.from_cache ? 1 : 0));
+      }
     }
     ReleaseSolver(std::move(solver));
     if (result.from_cache) {
       // No solver ran; the replayed result is byte-equivalent to the cold
       // run's, so everything below (status, witness, split) replays too.
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      CacheLookupCounter("hit").Inc();
     } else {
       // hits / misses / rejected are disjoint per box (see region.h): a
       // rejected hit was not a miss — the lookup found an entry.
-      if (options_.solver.cache != nullptr && !hit_rejected)
+      if (options_.solver.cache != nullptr && !hit_rejected) {
         cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        CacheLookupCounter("miss").Inc();
+      }
       solver_calls_.fetch_add(1, std::memory_order_relaxed);
+      SolverCallCounter(result.kind).Inc();
       if (result.kind == SatKind::kTimeout)
         solver_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::MetricsEnabled()) ObserveSolverStats(result.stats);
     }
 
     if (result.kind == SatKind::kUnsat) {
@@ -455,7 +543,12 @@ bool PairEngine::RevalidateCachedResult(DeltaSolver& solver,
       }
     }
     std::vector<int> tris;
-    solver.ClassifyBoxes(wave, tris);
+    {
+      obs::Span reval_span("cache-revalidate");
+      reval_span.Arg("wave", static_cast<std::uint64_t>(wave.size()));
+      solver.ClassifyBoxes(wave, tris);
+    }
+    CacheRevalidationCounter().Inc();
     tri = tris[0];
     {
       std::lock_guard<std::mutex> lock(mu_);

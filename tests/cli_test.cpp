@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/job_spec.h"
 #include "cli/cli.h"
 #include "support/check.h"
 
@@ -71,6 +72,40 @@ TEST(Cli, ExtensionFunctionalsAreOptIn) {
 TEST(Cli, RejectsBadFunctionalSpecs) {
   EXPECT_THROW(ParseFunctionalList("b3lyp"), InternalError);
   EXPECT_THROW(ParseFunctionalList(""), InternalError);
+}
+
+TEST(Cli, UnknownFlagIsAUsageErrorWithASuggestion) {
+  // The classic typo: the node budget flag is --solver-nodes. The error
+  // must name the flag the user typed and point at the real one.
+  api::JobSpec spec = api::DefaultJobSpec();
+  try {
+    api::ApplyFlags({{"max-nodes", "1000"}}, spec);
+    FAIL() << "ApplyFlags accepted an unknown flag";
+  } catch (const InternalError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--max-nodes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--solver-nodes"), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, UnknownFlagWithoutANearMissStillNamesTheFlag) {
+  api::JobSpec spec = api::DefaultJobSpec();
+  try {
+    api::ApplyFlags({{"zzz-qqq", "1"}}, spec);
+    FAIL() << "ApplyFlags accepted an unknown flag";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("--zzz-qqq"), std::string::npos);
+  }
+}
+
+TEST(Cli, ExtraAllowedKeysPassTheStrictnessCheck) {
+  // Command-consumed keys (resume's heartbeat, the global trace flag) are
+  // declared by the caller and pass through untouched.
+  api::JobSpec spec = api::DefaultJobSpec();
+  EXPECT_NO_THROW(api::ApplyFlags({{"heartbeat", "/tmp/hb"}}, spec,
+                                  {"heartbeat", "trace"}));
+  EXPECT_THROW(api::ApplyFlags({{"heartbeat", "/tmp/hb"}}, spec),
+               InternalError);
 }
 
 }  // namespace

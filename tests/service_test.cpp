@@ -81,6 +81,50 @@ std::string CutColumns(const std::string& csv, int ncols) {
   return out;
 }
 
+/// Sum of one numeric CSV column (0-based index) over the data rows.
+std::uint64_t SumCsvColumn(const std::string& csv, int column) {
+  std::uint64_t total = 0;
+  std::size_t pos = csv.find('\n') + 1;  // skip header
+  while (pos < csv.size()) {
+    std::size_t eol = csv.find('\n', pos);
+    if (eol == std::string::npos) eol = csv.size();
+    const std::string line = csv.substr(pos, eol - pos);
+    int field = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (field == column)
+          total += std::strtoull(line.substr(start, i - start).c_str(),
+                                 nullptr, 10);
+        ++field;
+        start = i + 1;
+      }
+    }
+    pos = eol + 1;
+  }
+  return total;
+}
+
+/// Sum of every series whose line starts with `prefix` in a Prometheus
+/// text exposition ("xcv_solver_calls_total" sums the whole family;
+/// "xcv_cache_lookups_total{outcome=\"hit\"}" picks one series).
+double PromCounterSum(const std::string& text, const std::string& prefix) {
+  double total = 0.0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.compare(0, prefix.size(), prefix) == 0 && line[0] != '#') {
+      const std::size_t space = line.rfind(' ');
+      if (space != std::string::npos)
+        total += std::strtod(line.c_str() + space + 1, nullptr);
+    }
+    pos = eol + 1;
+  }
+  return total;
+}
+
 /// Sum of the solver_calls column (12th, 0-based index 11) over the data
 /// rows of a CSV report.
 std::uint64_t SumSolverCalls(const std::string& csv) {
@@ -423,6 +467,86 @@ TEST(DaemonHttpTest, SubmitPollReportMatchesDirectRunByteForByte) {
       std::filesystem::exists(options.state_dir + "/cache.json"));
   EXPECT_TRUE(
       std::filesystem::exists(options.state_dir + "/queue.json"));
+}
+
+TEST(DaemonHttpTest, MetricsEndpointAgreesWithReportAndServesTraces) {
+  DaemonOptions options;
+  options.state_dir = FreshStateDir("metrics");
+  options.port = 0;
+  Daemon daemon(options);
+  daemon.Start();
+  const int port = daemon.port();
+
+  // Scrape before/after: the registry is process-wide, so the job's
+  // contribution is the delta between the two exposures.
+  const HttpResponse before = HttpFetch(port, "GET", "/v1/metrics");
+  ASSERT_EQ(before.status, 200);
+  EXPECT_NE(before.content_type.find("version=0.0.4"), std::string::npos);
+  const double calls_before =
+      PromCounterSum(before.body, "xcv_solver_calls_total");
+  const double hits_before = PromCounterSum(
+      before.body, "xcv_cache_lookups_total{outcome=\"hit\"}");
+
+  const HttpResponse submit =
+      HttpFetch(port, "POST", "/v1/campaigns", kInstantSpec);
+  ASSERT_EQ(submit.status, 201) << submit.body;
+  const std::string id = json::ParseJson(submit.body).At("id").AsString();
+  ASSERT_EQ(WaitForStatus(port, id, {"done", "failed"}), "done");
+  const HttpResponse report =
+      HttpFetch(port, "GET", "/v1/campaigns/" + id + "/report?format=csv");
+  ASSERT_EQ(report.status, 200);
+
+  const HttpResponse after = HttpFetch(port, "GET", "/v1/metrics");
+  ASSERT_EQ(after.status, 200);
+  const double calls_delta =
+      PromCounterSum(after.body, "xcv_solver_calls_total") - calls_before;
+  const double hits_delta =
+      PromCounterSum(after.body, "xcv_cache_lookups_total{outcome=\"hit\"}") -
+      hits_before;
+
+  // The scraped counters agree exactly with the job's own report: solver
+  // calls with column 12, cache hits with column 14.
+  EXPECT_EQ(calls_delta, static_cast<double>(SumSolverCalls(report.body)));
+  EXPECT_EQ(hits_delta, static_cast<double>(SumCsvColumn(report.body, 13)));
+  EXPECT_GT(calls_delta, 0.0);
+
+  // Healthz carries the same totals in its metrics section.
+  const HttpResponse health = HttpFetch(port, "GET", "/v1/healthz");
+  EXPECT_EQ(json::ParseJson(health.body)
+                .At("metrics")
+                .At("solver_calls")
+                .AsDouble(),
+            PromCounterSum(after.body, "xcv_solver_calls_total"));
+
+  // The job ran with job traces on (the default): its span timeline parses
+  // as trace_event JSON and contains the job -> solve nesting.
+  const HttpResponse trace =
+      HttpFetch(port, "GET", "/v1/campaigns/" + id + "/trace");
+  ASSERT_EQ(trace.status, 200) << trace.body;
+  EXPECT_EQ(trace.content_type, "application/json");
+  const json::JsonValue root = json::ParseJson(trace.body);
+  bool saw_job = false, saw_solve = false;
+  for (const json::JsonValue& e : root.At("traceEvents").array) {
+    if (const json::JsonValue* n = e.Find("name")) {
+      if (n->AsString() == "job") saw_job = true;
+      if (n->AsString() == "solve") saw_solve = true;
+    }
+  }
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_solve);
+
+  // No trace for a job that has not run.
+  const HttpResponse submit2 = HttpFetch(
+      port, "POST", "/v1/campaigns",
+      R"({"functionals": "lda", "conditions": "EC1", "output": "csv"})");
+  ASSERT_EQ(submit2.status, 201);
+  const std::string id2 = json::ParseJson(submit2.body).At("id").AsString();
+  // Poll the trace endpoint immediately; either it 404s (not run yet) or
+  // the job already finished and it serves JSON — both are valid, but an
+  // unknown id must still 404.
+  EXPECT_EQ(HttpFetch(port, "GET", "/v1/campaigns/j999/trace").status, 404);
+  WaitForStatus(port, id2, {"done", "failed"});
+  daemon.Stop();
 }
 
 TEST(DaemonHttpTest, SchedulerRoundRobinsAcrossTenantsAtOneSlot) {
